@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the branch-prediction substrates: lookup/update
+//! throughput of the structures the front-ends are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smt_bpred::{
+    Btb, Dolc, Ftb, GlobalHistory, Gshare, Gskew, ObservedEnd, ObservedStream, ReturnStack,
+    StreamPath, StreamPredictor,
+};
+use smt_isa::{Addr, BranchKind};
+
+/// A deterministic PC stream resembling branch addresses.
+fn pcs(n: usize) -> Vec<Addr> {
+    (0..n)
+        .map(|i| Addr::new(0x40_0000 + ((i * 2654435761) % 65536) as u64 * 4))
+        .collect()
+}
+
+fn bench_direction_predictors(c: &mut Criterion) {
+    let pcs = pcs(4096);
+    let mut g = c.benchmark_group("direction_predict_update");
+    g.throughput(Throughput::Elements(pcs.len() as u64));
+
+    g.bench_function("gshare_64k", |b| {
+        let mut p = Gshare::hpca2004();
+        let mut h = GlobalHistory::new(16);
+        b.iter(|| {
+            for &pc in &pcs {
+                let t = p.predict(pc, h);
+                p.update(pc, h, t);
+                h.push(t);
+            }
+        });
+    });
+
+    g.bench_function("gskew_3x32k", |b| {
+        let mut p = Gskew::hpca2004();
+        let mut h = GlobalHistory::new(15);
+        b.iter(|| {
+            for &pc in &pcs {
+                let t = p.predict(pc, h);
+                p.update(pc, h, t);
+                h.push(t);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_target_structures(c: &mut Criterion) {
+    let pcs = pcs(4096);
+    let mut g = c.benchmark_group("target_structures");
+    g.throughput(Throughput::Elements(pcs.len() as u64));
+
+    g.bench_function("btb_2k4w", |b| {
+        let mut btb = Btb::hpca2004();
+        b.iter(|| {
+            for &pc in &pcs {
+                if btb.lookup(pc).is_none() {
+                    btb.record_taken(pc, pc + 64, BranchKind::Jump);
+                }
+            }
+        });
+    });
+
+    g.bench_function("ftb_2k4w", |b| {
+        let mut ftb = Ftb::hpca2004();
+        b.iter(|| {
+            for &pc in &pcs {
+                if ftb.lookup(pc).is_none() {
+                    ftb.record_taken(
+                        pc,
+                        ObservedEnd {
+                            branch_pc: pc.add_insts(5),
+                            kind: BranchKind::Cond,
+                            target: pc + 256,
+                        },
+                    );
+                }
+            }
+        });
+    });
+
+    g.bench_function("stream_1k_4k_dolc", |b| {
+        let mut sp = StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64);
+        let mut path = StreamPath::new();
+        b.iter(|| {
+            for &pc in &pcs {
+                if sp.predict(pc, &path).is_none() {
+                    sp.train(
+                        pc,
+                        &path,
+                        ObservedStream {
+                            len: 12,
+                            kind: BranchKind::Cond,
+                            target: pc + 128,
+                        },
+                    );
+                }
+                path.push(pc);
+            }
+        });
+    });
+
+    g.bench_function("ras_push_pop", |b| {
+        let mut ras = ReturnStack::hpca2004();
+        b.iter(|| {
+            for &pc in &pcs {
+                ras.push(pc);
+                let _ = ras.pop();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_direction_predictors, bench_target_structures);
+criterion_main!(benches);

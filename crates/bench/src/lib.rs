@@ -1,0 +1,1 @@
+//! Criterion benchmark crate (benches only; see `benches/`).

@@ -1,0 +1,160 @@
+//! Saturating counters — the basic state element of direction predictors.
+
+/// A 2-bit saturating counter.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. New counters start
+/// weakly taken (2), which favours the loop branches that dominate dynamic
+/// conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TwoBit(u8);
+
+impl TwoBit {
+    /// Strongly not-taken.
+    pub const STRONG_NT: TwoBit = TwoBit(0);
+    /// Weakly not-taken.
+    pub const WEAK_NT: TwoBit = TwoBit(1);
+    /// Weakly taken.
+    pub const WEAK_T: TwoBit = TwoBit(2);
+    /// Strongly taken.
+    pub const STRONG_T: TwoBit = TwoBit(3);
+
+    /// Creates a counter in the given state (clamped to 0..=3).
+    pub fn new(state: u8) -> Self {
+        TwoBit(state.min(3))
+    }
+
+    /// The predicted direction.
+    pub fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Whether the counter is in a saturated (strong) state.
+    pub fn is_strong(self) -> bool {
+        self.0 == 0 || self.0 == 3
+    }
+
+    /// Trains the counter toward the actual outcome.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw state, 0..=3.
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for TwoBit {
+    fn default() -> Self {
+        TwoBit::WEAK_T
+    }
+}
+
+/// A table of 2-bit counters of power-of-two size.
+#[derive(Clone, Debug)]
+pub struct CounterTable {
+    counters: Vec<TwoBit>,
+    mask: u64,
+}
+
+impl CounterTable {
+    /// Creates a table with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        CounterTable {
+            counters: vec![TwoBit::default(); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The counter at `index` (wrapped into range).
+    pub fn get(&self, index: u64) -> TwoBit {
+        self.counters[(index & self.mask) as usize]
+    }
+
+    /// Trains the counter at `index` (wrapped into range).
+    pub fn update(&mut self, index: u64, taken: bool) {
+        self.counters[(index & self.mask) as usize].update(taken);
+    }
+
+    /// Index mask (`len - 1`).
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_saturates_both_ends() {
+        let mut c = TwoBit::STRONG_NT;
+        c.update(false);
+        assert_eq!(c, TwoBit::STRONG_NT);
+        c.update(true);
+        assert_eq!(c, TwoBit::WEAK_NT);
+        c.update(true);
+        c.update(true);
+        assert_eq!(c, TwoBit::STRONG_T);
+        c.update(true);
+        assert_eq!(c, TwoBit::STRONG_T);
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        // A single anomalous not-taken outcome must not flip a strong-taken
+        // counter's prediction.
+        let mut c = TwoBit::STRONG_T;
+        c.update(false);
+        assert!(c.taken());
+        c.update(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn default_is_weakly_taken() {
+        assert_eq!(TwoBit::default(), TwoBit::WEAK_T);
+        assert!(TwoBit::default().taken());
+        assert!(!TwoBit::default().is_strong());
+    }
+
+    #[test]
+    fn new_clamps() {
+        assert_eq!(TwoBit::new(9), TwoBit::STRONG_T);
+    }
+
+    #[test]
+    fn table_wraps_indices() {
+        let mut t = CounterTable::new(16);
+        assert_eq!(t.len(), 16);
+        t.update(3, false);
+        t.update(3 + 16, false);
+        assert!(!t.get(3).taken());
+        assert_eq!(t.get(3), t.get(19));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn table_size_validated() {
+        let _ = CounterTable::new(12);
+    }
+}

@@ -1,0 +1,346 @@
+//! Simulator configuration (Table 3 of the paper).
+
+use std::fmt;
+
+/// Which high-performance fetch engine drives the front-end (paper §3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FetchEngineKind {
+    /// gshare (64K, 16-bit history) + BTB (2K, 4-way): the standard SMT
+    /// front-end the paper compares against.
+    GshareBtb,
+    /// gskew (3×32K, 15-bit history) + FTB (2K, 4-way): the first proposed
+    /// high-performance engine.
+    GskewFtb,
+    /// The stream front-end (1K + 4K cascaded stream predictor).
+    Stream,
+    /// A trace cache backed by a gshare+BTB core fetch unit — the
+    /// high-complexity alternative the paper's related work compares
+    /// against (Rotenberg et al.); included to reproduce the "stream fetch
+    /// is within ~1.5% of a trace cache" comparison.
+    TraceCache,
+}
+
+impl FetchEngineKind {
+    /// The paper's three engines, in its presentation order.
+    pub fn all() -> [FetchEngineKind; 3] {
+        [
+            FetchEngineKind::GshareBtb,
+            FetchEngineKind::GskewFtb,
+            FetchEngineKind::Stream,
+        ]
+    }
+
+    /// The paper's engines plus the trace cache comparator.
+    pub fn all_with_trace_cache() -> [FetchEngineKind; 4] {
+        [
+            FetchEngineKind::GshareBtb,
+            FetchEngineKind::GskewFtb,
+            FetchEngineKind::Stream,
+            FetchEngineKind::TraceCache,
+        ]
+    }
+}
+
+impl fmt::Display for FetchEngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchEngineKind::GshareBtb => write!(f, "gshare+BTB"),
+            FetchEngineKind::GskewFtb => write!(f, "gskew+FTB"),
+            FetchEngineKind::Stream => write!(f, "stream"),
+            FetchEngineKind::TraceCache => write!(f, "trace cache"),
+        }
+    }
+}
+
+/// How threads are prioritized for prediction/fetch slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolicyKind {
+    /// ICOUNT (Tullsen et al.): prioritize the thread with the fewest
+    /// instructions in the pre-issue pipeline stages.
+    Icount,
+    /// Round-robin rotation among eligible threads.
+    RoundRobin,
+    /// BRCOUNT (Tullsen et al.): fewest unresolved branches in the
+    /// pre-issue stages.
+    BrCount,
+    /// MISSCOUNT (Tullsen et al.): fewest outstanding long-latency data
+    /// misses.
+    MissCount,
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Icount => write!(f, "ICOUNT"),
+            PolicyKind::RoundRobin => write!(f, "RR"),
+            PolicyKind::BrCount => write!(f, "BRCOUNT"),
+            PolicyKind::MissCount => write!(f, "MISSCOUNT"),
+        }
+    }
+}
+
+/// What the front-end does about a thread with a long-latency (memory)
+/// load in flight — the mechanisms of Tullsen & Brown (MICRO 2001), which
+/// the paper's §5.2 cites as the orthodox answer to the resource-clogging
+/// problem its 1.X fetch unit sidesteps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LongLatencyAction {
+    /// Keep fetching the thread normally (the paper's configurations).
+    #[default]
+    None,
+    /// STALL: gate the thread's prediction/fetch slots until the miss
+    /// returns.
+    Stall,
+    /// FLUSH: additionally squash the thread's instructions younger than
+    /// the missing load, freeing the shared queues they occupy.
+    Flush,
+}
+
+impl fmt::Display for LongLatencyAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LongLatencyAction::None => Ok(()),
+            LongLatencyAction::Stall => write!(f, "-STALL"),
+            LongLatencyAction::Flush => write!(f, "-FLUSH"),
+        }
+    }
+}
+
+/// A fetch policy in the paper's `POLICY.n.X` notation: up to `X`
+/// instructions from up to `n` threads per cycle.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::FetchPolicy;
+///
+/// let p = FetchPolicy::icount(1, 16);
+/// assert_eq!(p.to_string(), "ICOUNT.1.16");
+/// assert_eq!(p.threads_per_cycle, 1);
+/// assert_eq!(p.width, 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FetchPolicy {
+    /// Thread-priority scheme.
+    pub kind: PolicyKind,
+    /// `n`: threads fetched per cycle (1 or 2).
+    pub threads_per_cycle: u32,
+    /// `X`: total instructions fetched per cycle (8 or 16).
+    pub width: u32,
+    /// Long-latency-load handling on top of the priority scheme.
+    pub long_latency: LongLatencyAction,
+}
+
+impl FetchPolicy {
+    /// `ICOUNT.n.X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 1 or 2, or `width` is 0.
+    pub fn icount(n: u32, width: u32) -> Self {
+        assert!((1..=2).contains(&n), "n.X policies with n in {{1, 2}} only");
+        assert!(width > 0, "zero fetch width");
+        FetchPolicy {
+            kind: PolicyKind::Icount,
+            threads_per_cycle: n,
+            width,
+            long_latency: LongLatencyAction::None,
+        }
+    }
+
+    /// `RR.n.X` (round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 1 or 2, or `width` is 0.
+    pub fn round_robin(n: u32, width: u32) -> Self {
+        assert!((1..=2).contains(&n), "n.X policies with n in {{1, 2}} only");
+        assert!(width > 0, "zero fetch width");
+        FetchPolicy {
+            kind: PolicyKind::RoundRobin,
+            threads_per_cycle: n,
+            width,
+            long_latency: LongLatencyAction::None,
+        }
+    }
+
+    /// `BRCOUNT.n.X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 1 or 2, or `width` is 0.
+    pub fn br_count(n: u32, width: u32) -> Self {
+        assert!((1..=2).contains(&n), "n.X policies with n in {{1, 2}} only");
+        assert!(width > 0, "zero fetch width");
+        FetchPolicy {
+            kind: PolicyKind::BrCount,
+            threads_per_cycle: n,
+            width,
+            long_latency: LongLatencyAction::None,
+        }
+    }
+
+    /// `MISSCOUNT.n.X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 1 or 2, or `width` is 0.
+    pub fn miss_count(n: u32, width: u32) -> Self {
+        assert!((1..=2).contains(&n), "n.X policies with n in {{1, 2}} only");
+        assert!(width > 0, "zero fetch width");
+        FetchPolicy {
+            kind: PolicyKind::MissCount,
+            threads_per_cycle: n,
+            width,
+            long_latency: LongLatencyAction::None,
+        }
+    }
+
+    /// Adds STALL gating for long-latency loads (Tullsen & Brown).
+    pub fn with_stall(mut self) -> Self {
+        self.long_latency = LongLatencyAction::Stall;
+        self
+    }
+
+    /// Adds FLUSH recovery for long-latency loads (Tullsen & Brown).
+    pub fn with_flush(mut self) -> Self {
+        self.long_latency = LongLatencyAction::Flush;
+        self
+    }
+
+    /// The four policies the paper sweeps: `1.8`, `2.8`, `1.16`, `2.16`.
+    pub fn paper_sweep() -> [FetchPolicy; 4] {
+        [
+            FetchPolicy::icount(1, 8),
+            FetchPolicy::icount(2, 8),
+            FetchPolicy::icount(1, 16),
+            FetchPolicy::icount(2, 16),
+        ]
+    }
+}
+
+impl fmt::Display for FetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}.{}.{}",
+            self.kind, self.long_latency, self.threads_per_cycle, self.width
+        )
+    }
+}
+
+/// Processor resources (Table 3).
+///
+/// Passive configuration record (public fields by design).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Fetch policy (`ICOUNT.1.8` … `ICOUNT.2.16`).
+    pub fetch_policy: FetchPolicy,
+    /// Intermediate fetch-buffer capacity in instructions (32).
+    pub fetch_buffer: u32,
+    /// Decode and rename width (8).
+    pub decode_width: u32,
+    /// Commit width (8).
+    pub commit_width: u32,
+    /// Per-thread fetch target queue depth (4).
+    pub ftq_depth: u32,
+    /// Integer issue-queue capacity (32).
+    pub iq_int: u32,
+    /// Load/store issue-queue capacity (32).
+    pub iq_ls: u32,
+    /// Floating-point issue-queue capacity (32).
+    pub iq_fp: u32,
+    /// Shared reorder-buffer capacity (256).
+    pub rob_size: u32,
+    /// Integer physical registers (384).
+    pub regs_int: u32,
+    /// Floating-point physical registers (384).
+    pub regs_fp: u32,
+    /// Integer ALUs (6).
+    pub fu_int: u32,
+    /// Load/store units (4).
+    pub fu_ls: u32,
+    /// Floating-point units (3).
+    pub fu_fp: u32,
+    /// Maximum predicted-stream length for the stream front-end (64).
+    pub max_stream: u32,
+    /// Maximum FTB fetch-block length (16).
+    pub max_ftb_block: u32,
+}
+
+impl SimConfig {
+    /// The paper's baseline configuration (Table 3) with the given fetch
+    /// policy.
+    pub fn hpca2004(fetch_policy: FetchPolicy) -> Self {
+        SimConfig {
+            fetch_policy,
+            fetch_buffer: 32,
+            decode_width: 8,
+            commit_width: 8,
+            ftq_depth: 4,
+            iq_int: 32,
+            iq_ls: 32,
+            iq_fp: 32,
+            rob_size: 256,
+            regs_int: 384,
+            regs_fp: 384,
+            fu_int: 6,
+            fu_ls: 4,
+            fu_fp: 3,
+            max_stream: 64,
+            max_ftb_block: 16,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::hpca2004(FetchPolicy::icount(1, 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_display_matches_paper_notation() {
+        assert_eq!(FetchPolicy::icount(2, 8).to_string(), "ICOUNT.2.8");
+        assert_eq!(FetchPolicy::icount(1, 16).to_string(), "ICOUNT.1.16");
+        assert_eq!(FetchPolicy::round_robin(1, 8).to_string(), "RR.1.8");
+    }
+
+    #[test]
+    fn paper_sweep_covers_all_four() {
+        let names: Vec<String> = FetchPolicy::paper_sweep()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(names, ["ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n.X")]
+    fn three_thread_fetch_rejected() {
+        let _ = FetchPolicy::icount(3, 8);
+    }
+
+    #[test]
+    fn table3_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.fetch_buffer, 32);
+        assert_eq!(c.decode_width, 8);
+        assert_eq!(c.ftq_depth, 4);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.regs_int, 384);
+        assert_eq!((c.fu_int, c.fu_ls, c.fu_fp), (6, 4, 3));
+    }
+
+    #[test]
+    fn engine_display() {
+        assert_eq!(FetchEngineKind::GshareBtb.to_string(), "gshare+BTB");
+        assert_eq!(FetchEngineKind::GskewFtb.to_string(), "gskew+FTB");
+        assert_eq!(FetchEngineKind::Stream.to_string(), "stream");
+        assert_eq!(FetchEngineKind::all().len(), 3);
+    }
+}

@@ -1,0 +1,970 @@
+//! The three fetch engines (prediction-stage block builders).
+//!
+//! A fetch engine turns the per-thread speculative front-end state (next
+//! fetch PC, history/path registers, RAS) into [`FetchBlock`]s for the FTQ:
+//!
+//! * **gshare+BTB** — one basic block at a time: the block ends at the first
+//!   branch (one direction prediction per cycle), the end of the cache line,
+//!   or the fetch width;
+//! * **gskew+FTB** — learned *fetch blocks* that embed never-taken branches;
+//! * **stream** — learned *instruction streams* (taken-target to next taken
+//!   branch), with no separate direction predictor.
+//!
+//! Engines also own all predictor training, driven by the back end at
+//! branch resolve (gshare/gskew/BTB/FTB) and at commit (stream).
+
+use smt_bpred::{
+    Btb, Ftb, GlobalHistory, Gshare, Gskew, ObservedEnd, ObservedStream, RasCheckpoint,
+    ReturnStack, StreamPath, StreamPredictor, Trace, TraceCache, TraceSegment,
+};
+use smt_isa::{Addr, BranchKind, DynInst, EndBranch, FetchBlock, ThreadId};
+use smt_workloads::Program;
+
+use crate::config::{FetchEngineKind, SimConfig};
+
+/// I-cache line size in bytes (Table 3) — bounds classical fetch blocks.
+pub const LINE_BYTES: u64 = 64;
+
+/// Per-thread speculative front-end state, updated at prediction time and
+/// repaired on squashes.
+#[derive(Clone, Debug)]
+pub struct SpecState {
+    /// Global branch history (gshare: 16 bits, gskew: 15 bits).
+    pub hist: GlobalHistory,
+    /// Return address stack (64 entries, per thread).
+    pub ras: ReturnStack,
+    /// Stream-path register (stream front-end only, but kept uniformly).
+    pub path: StreamPath,
+    /// Start address of the stream currently being fetched.
+    pub stream_start: Addr,
+}
+
+impl SpecState {
+    /// Fresh state for a thread entering at `entry`.
+    pub fn new(hist_bits: u32, entry: Addr) -> Self {
+        SpecState {
+            hist: GlobalHistory::new(hist_bits),
+            ras: ReturnStack::hpca2004(),
+            path: StreamPath::new(),
+            stream_start: entry,
+        }
+    }
+}
+
+/// Checkpoints captured when a block is predicted, used to repair the
+/// speculative state when a branch in that block squashes.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockMeta {
+    /// History before the block's end-branch prediction was shifted in.
+    pub hist: GlobalHistory,
+    /// RAS repair checkpoint before the block's call/return effect.
+    pub ras: RasCheckpoint,
+    /// Stream path before this block's stream bookkeeping.
+    pub path: StreamPath,
+    /// Stream start register before this block.
+    pub stream_start: Addr,
+}
+
+/// Per-branch information carried through the pipeline for training and
+/// recovery.
+#[derive(Clone, Debug)]
+pub struct BranchInfo {
+    /// Start address of the fetch block that contained the branch.
+    pub block_start: Addr,
+    /// Whether the branch terminated its fetch block (i.e. was actually
+    /// predicted; embedded branches were invisible to the predictor).
+    pub is_end: bool,
+    /// Speculative direction applied at fetch.
+    pub spec_taken: bool,
+    /// Speculative next PC applied at fetch.
+    pub spec_next: Addr,
+    /// Whether fetch already knows this branch diverged from the oracle.
+    pub mispredicted: bool,
+    /// Whether the divergence is detectable at decode (a statically-known
+    /// misfetch: a direct unconditional branch with the wrong speculative
+    /// next PC, or a predicted branch that is not a branch at all), so the
+    /// redirect fires from the decode stage instead of execute.
+    pub decode_redirect: bool,
+    /// Block checkpoints for recovery.
+    pub meta: BlockMeta,
+}
+
+/// A predicted fetch block plus its recovery metadata.
+#[derive(Clone, Debug)]
+pub struct PredictedBlock {
+    /// The block, ready for the FTQ.
+    pub block: FetchBlock,
+    /// Recovery checkpoints.
+    pub meta: BlockMeta,
+    /// Blocks sharing a trace-cache line carry the same group id: the fetch
+    /// stage may consume them in one cycle without I-cache accesses (the
+    /// trace cache stores the instructions itself).
+    pub trace_group: Option<u64>,
+}
+
+/// One of the three front-end fetch engines.
+#[derive(Clone, Debug)]
+pub enum Engine {
+    /// gshare + BTB (the baseline SMT front-end).
+    GshareBtb {
+        /// Direction predictor.
+        gshare: Gshare,
+        /// Branch target buffer.
+        btb: Btb,
+    },
+    /// gskew + FTB.
+    GskewFtb {
+        /// Direction predictor.
+        gskew: Gskew,
+        /// Fetch target buffer.
+        ftb: Ftb,
+    },
+    /// Stream front-end.
+    Stream {
+        /// Cascaded stream predictor.
+        predictor: StreamPredictor,
+    },
+    /// Trace cache + gshare/BTB core fetch unit (related-work comparator).
+    TraceCache {
+        /// The trace storage and its path-associative tags.
+        tc: TraceCache,
+        /// Multiple-branch direction predictor for way selection
+        /// (trained by the fill unit).
+        multi: Gshare,
+        /// Core fetch unit direction predictor (trained at resolve).
+        gshare: Gshare,
+        /// Core fetch unit target buffer.
+        btb: Btb,
+        /// Monotone id shared by the blocks of one emitted trace.
+        next_group: u64,
+    },
+}
+
+impl Engine {
+    /// Builds the engine in the paper's Table 3 configuration.
+    pub fn hpca2004(kind: FetchEngineKind, cfg: &SimConfig) -> Self {
+        match kind {
+            FetchEngineKind::GshareBtb => Engine::GshareBtb {
+                gshare: Gshare::hpca2004(),
+                btb: Btb::hpca2004(),
+            },
+            FetchEngineKind::GskewFtb => Engine::GskewFtb {
+                gskew: Gskew::hpca2004(),
+                ftb: Ftb::new(2048, 4, cfg.max_ftb_block),
+            },
+            FetchEngineKind::Stream => Engine::Stream {
+                predictor: StreamPredictor::new(
+                    1024,
+                    4096,
+                    4,
+                    smt_bpred::Dolc::HPCA2004,
+                    cfg.max_stream,
+                ),
+            },
+            FetchEngineKind::TraceCache => Engine::TraceCache {
+                tc: TraceCache::typical(),
+                multi: Gshare::new(32 * 1024),
+                gshare: Gshare::new(32 * 1024),
+                btb: Btb::hpca2004(),
+                next_group: 1,
+            },
+        }
+    }
+
+    /// Which engine this is.
+    pub fn kind(&self) -> FetchEngineKind {
+        match self {
+            Engine::GshareBtb { .. } => FetchEngineKind::GshareBtb,
+            Engine::GskewFtb { .. } => FetchEngineKind::GskewFtb,
+            Engine::Stream { .. } => FetchEngineKind::Stream,
+            Engine::TraceCache { .. } => FetchEngineKind::TraceCache,
+        }
+    }
+
+    /// History length this engine's direction predictor uses.
+    pub fn history_bits(&self) -> u32 {
+        match self {
+            Engine::GshareBtb { .. } => 16,
+            Engine::GskewFtb { .. } => 15,
+            Engine::Stream { .. } => 16, // unused, kept for uniform state
+            Engine::TraceCache { .. } => 15,
+        }
+    }
+
+    /// Predicts the next fetch block for `thread` starting at `pc`.
+    ///
+    /// Speculatively updates `spec` (history shift, RAS push/pop, stream
+    /// path) and returns the block plus the checkpoints needed to undo those
+    /// updates.
+    pub fn predict_block(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+    ) -> PredictedBlock {
+        let meta = BlockMeta {
+            hist: spec.hist,
+            ras: spec.ras.checkpoint(),
+            path: spec.path,
+            stream_start: spec.stream_start,
+        };
+        let block = match self {
+            Engine::GshareBtb { gshare, btb } => {
+                classic_block(gshare, btb, thread, pc, spec, program, width)
+            }
+            Engine::GskewFtb { gskew, ftb } => match ftb.lookup(pc) {
+                Some(p) => {
+                    let len = p.len.max(1);
+                    match p.end {
+                        Some(end) => {
+                            let end_pc = pc.add_insts(len as u64 - 1);
+                            let (taken, target) = match end.kind {
+                                BranchKind::Cond => {
+                                    let t = gskew.predict(end_pc, spec.hist);
+                                    // FTB entries always carry a target, but
+                                    // stay defensive about null targets the
+                                    // same way the BTB path is.
+                                    let t = t && !end.target.is_null();
+                                    spec.hist.push(t);
+                                    (t, end.target)
+                                }
+                                BranchKind::Jump | BranchKind::Indirect => (true, end.target),
+                                BranchKind::Call => {
+                                    spec.ras.push(end_pc.add_insts(1));
+                                    (true, end.target)
+                                }
+                                BranchKind::Return => (true, spec.ras.pop()),
+                            };
+                            let fall = pc.add_insts(len as u64);
+                            let next =
+                                if taken && !target.is_null() { target } else { fall };
+                            FetchBlock {
+                                thread,
+                                start: pc,
+                                len,
+                                embedded_branches: 0,
+                                end_branch: Some(EndBranch {
+                                    pc: end_pc,
+                                    kind: end.kind,
+                                    predicted_taken: taken,
+                                    predicted_target: target,
+                                }),
+                                next_fetch: next,
+                            }
+                        }
+                        None => sequential_block(thread, pc, len),
+                    }
+                }
+                None => sequential_block(thread, pc, width),
+            },
+            Engine::TraceCache { gshare, btb, .. } => {
+                classic_block(gshare, btb, thread, pc, spec, program, width)
+            }
+            Engine::Stream { predictor } => match predictor.predict(pc, &spec.path) {
+                Some(p) => {
+                    let len = p.len.max(1);
+                    match p.end {
+                        Some(end) => {
+                            let end_pc = pc.add_insts(len as u64 - 1);
+                            // Stream-ending branches are taken by definition.
+                            let target = match end.kind {
+                                BranchKind::Return => spec.ras.pop(),
+                                BranchKind::Call => {
+                                    spec.ras.push(end_pc.add_insts(1));
+                                    end.target
+                                }
+                                _ => end.target,
+                            };
+                            let fall = pc.add_insts(len as u64);
+                            let next = if target.is_null() { fall } else { target };
+                            // This block closes a stream: record it in the
+                            // path and open the next stream.
+                            spec.path.push(spec.stream_start);
+                            spec.stream_start = next;
+                            FetchBlock {
+                                thread,
+                                start: pc,
+                                len,
+                                embedded_branches: 0,
+                                end_branch: Some(EndBranch {
+                                    pc: end_pc,
+                                    kind: end.kind,
+                                    predicted_taken: true,
+                                    predicted_target: target,
+                                }),
+                                next_fetch: next,
+                            }
+                        }
+                        None => sequential_block(thread, pc, len),
+                    }
+                }
+                None => sequential_block(thread, pc, width),
+            },
+        };
+        PredictedBlock {
+            block,
+            meta,
+            trace_group: None,
+        }
+    }
+
+    /// Predicts up to `max_blocks` fetch blocks in one cycle.
+    ///
+    /// Single-block engines return exactly one block; the trace-cache
+    /// engine returns one block per trace segment on a hit (all sharing a
+    /// trace group id) so the fetch stage can consume the whole trace in
+    /// one cycle.
+    pub fn predict_blocks(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+        max_blocks: usize,
+    ) -> Vec<PredictedBlock> {
+        if matches!(self, Engine::TraceCache { .. }) {
+            self.predict_trace(thread, pc, spec, program, width, max_blocks.max(1))
+        } else {
+            vec![self.predict_block(thread, pc, spec, program, width)]
+        }
+    }
+
+    /// Trace-cache prediction: way-select by the multiple-branch direction
+    /// vector; on a hit emit the trace's segments, on a miss fall back to
+    /// the core fetch unit.
+    fn predict_trace(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+        max_blocks: usize,
+    ) -> Vec<PredictedBlock> {
+        let Engine::TraceCache {
+            tc,
+            multi,
+            next_group,
+            ..
+        } = self
+        else {
+            unreachable!("caller checked the variant")
+        };
+        // Multiple-branch prediction: up to 3 segment-end directions,
+        // indexed by (start + i, incrementally updated history).
+        let mut dirs = [false; 3];
+        let mut h = spec.hist;
+        for (i, d) in dirs.iter_mut().enumerate() {
+            *d = multi.predict(pc.add_insts(i as u64), h);
+            h.push(*d);
+        }
+        let hit = tc.lookup(pc, &dirs);
+        match hit {
+            Some(trace) => {
+                let group = *next_group;
+                *next_group += 1;
+                let nseg = trace.segments.len().min(max_blocks);
+                let mut out = Vec::with_capacity(nseg);
+                for (si, seg) in trace.segments.iter().take(nseg).enumerate() {
+                    let meta = BlockMeta {
+                        hist: spec.hist,
+                        ras: spec.ras.checkpoint(),
+                        path: spec.path,
+                        stream_start: spec.stream_start,
+                    };
+                    let next_start = if si + 1 < trace.segments.len() {
+                        trace.segments[si + 1].start
+                    } else {
+                        trace.next_pc
+                    };
+                    let fall = seg.start.add_insts(seg.len as u64);
+                    let end_branch = seg.end_kind.map(|kind| {
+                        let taken = seg.end_taken;
+                        let end_pc = seg.start.add_insts(seg.len as u64 - 1);
+                        // The trace embodies the path: targets come from the
+                        // stored next segment, while the RAS is kept in sync
+                        // for later core-fetch predictions.
+                        match kind {
+                            BranchKind::Cond => spec.hist.push(taken),
+                            BranchKind::Call => spec.ras.push(end_pc.add_insts(1)),
+                            BranchKind::Return
+                                if taken => {
+                                    let _ = spec.ras.pop();
+                                }
+                            _ => {}
+                        }
+                        EndBranch {
+                            pc: end_pc,
+                            kind,
+                            predicted_taken: taken,
+                            predicted_target: if taken { next_start } else { Addr::NULL },
+                        }
+                    });
+                    let next_fetch = match &end_branch {
+                        Some(e) if e.predicted_taken && !e.predicted_target.is_null() => {
+                            e.predicted_target
+                        }
+                        _ => fall,
+                    };
+                    out.push(PredictedBlock {
+                        block: FetchBlock {
+                            thread,
+                            start: seg.start,
+                            len: seg.len,
+                            embedded_branches: 0,
+                            end_branch,
+                            next_fetch,
+                        },
+                        meta,
+                        trace_group: Some(group),
+                    });
+                }
+                out
+            }
+            None => vec![self.predict_block(thread, pc, spec, program, width)],
+        }
+    }
+
+    /// Trains the engine with a resolved correct-path branch.
+    ///
+    /// Called by the back end when the branch executes. `info` carries the
+    /// prediction-time checkpoints; `di` the actual outcome.
+    pub fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+        match self {
+            Engine::GshareBtb { gshare, btb } => {
+                if di.is_cond_branch() {
+                    // Every correct-path conditional ends a block under this
+                    // engine, so each one was genuinely predicted.
+                    gshare.update(di.pc, info.meta.hist, di.taken);
+                }
+                if di.taken {
+                    let kind = di.class.branch_kind().expect("branch");
+                    btb.record_taken(di.pc, di.next_pc, kind);
+                }
+            }
+            Engine::GskewFtb { gskew, ftb } => {
+                if info.is_end && di.is_cond_branch() {
+                    gskew.update(di.pc, info.meta.hist, di.taken);
+                }
+                if di.taken {
+                    let kind = di.class.branch_kind().expect("branch");
+                    ftb.record_taken(
+                        info.block_start,
+                        ObservedEnd {
+                            branch_pc: di.pc,
+                            kind,
+                            target: di.next_pc,
+                        },
+                    );
+                } else if info.is_end {
+                    ftb.record_not_taken(info.block_start);
+                }
+            }
+            Engine::Stream { .. } => {
+                // Stream training happens at commit, on completed streams.
+            }
+            Engine::TraceCache { gshare, btb, .. } => {
+                // The core fetch unit trains like gshare+BTB; the trace
+                // cache itself and the multiple-branch predictor are
+                // trained by the fill unit at commit.
+                if info.is_end && di.is_cond_branch() {
+                    gshare.update(di.pc, info.meta.hist, di.taken);
+                }
+                if di.taken {
+                    let kind = di.class.branch_kind().expect("branch");
+                    btb.record_taken(di.pc, di.next_pc, kind);
+                }
+            }
+        }
+    }
+
+    /// Trains the stream predictor with a stream completed at commit.
+    pub fn train_stream_commit(&mut self, start: Addr, path: &StreamPath, obs: ObservedStream) {
+        if let Engine::Stream { predictor } = self {
+            predictor.train(start, path, obs);
+        }
+    }
+
+    /// Repairs the speculative state after the mispredicted branch described
+    /// by `info`/`di` squashes everything younger, then applies the branch's
+    /// actual outcome.
+    pub fn repair(&self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+        // History: restore, then shift in the actual direction if this
+        // branch was a predicted (block-ending) conditional.
+        spec.hist = info.meta.hist;
+        if di.is_cond_branch() && info.is_end && !matches!(self, Engine::Stream { .. }) {
+            spec.hist.push(di.taken);
+        }
+        // RAS: restore, then apply the actual call/return effect.
+        spec.ras.restore(info.meta.ras);
+        match di.class.branch_kind() {
+            Some(BranchKind::Call) => spec.ras.push(di.pc.add_insts(1)),
+            Some(BranchKind::Return) => {
+                let _ = spec.ras.pop();
+            }
+            _ => {}
+        }
+        // Stream path: restore; a taken branch closes the current stream.
+        spec.path = info.meta.path;
+        spec.stream_start = info.meta.stream_start;
+        if di.taken {
+            spec.path.push(info.meta.stream_start);
+            spec.stream_start = di.next_pc;
+        }
+    }
+}
+
+/// The trace-cache fill unit's per-thread collection buffer: committed
+/// instructions accumulate until a trace line closes (16 instructions or a
+/// third taken branch), at which point the trace is installed and the
+/// multiple-branch predictor trained.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFillBuffer {
+    /// `(pc, class, taken, next_pc)` of buffered committed instructions.
+    entries: Vec<(Addr, smt_isa::InstClass, bool, Addr)>,
+    /// Committed end-conditional history at the start of the buffer.
+    start_hist: u64,
+    /// Taken branches buffered so far.
+    taken_branches: u32,
+}
+
+impl TraceFillBuffer {
+    /// Number of buffered instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Engine {
+    /// Feeds one committed instruction to the trace-cache fill unit
+    /// (no-op for other engines). `commit_hist_end` is the thread's
+    /// committed end-conditional history *before* this instruction.
+    pub fn trace_fill_commit(
+        &mut self,
+        fill: &mut TraceFillBuffer,
+        di: &DynInst,
+        commit_hist_end: u64,
+    ) {
+        let Engine::TraceCache { tc, multi, .. } = self else {
+            return;
+        };
+        if fill.entries.is_empty() {
+            fill.start_hist = commit_hist_end;
+            fill.taken_branches = 0;
+        }
+        fill.entries.push((di.pc, di.class, di.taken, di.next_pc));
+        if di.is_branch() && di.taken {
+            fill.taken_branches += 1;
+        }
+        let close = fill.entries.len() as u32 >= Trace::MAX_INSTS
+            || fill.taken_branches >= Trace::MAX_SEGMENTS as u32;
+        if !close {
+            return;
+        }
+
+        // Build segments: split after every taken control transfer.
+        let mut segments: Vec<TraceSegment> = Vec::with_capacity(Trace::MAX_SEGMENTS);
+        let mut cond_dirs: Vec<bool> = Vec::new();
+        let mut seg_start = fill.entries[0].0;
+        let mut seg_len = 0u32;
+        for (i, &(pc, class, taken, next_pc)) in fill.entries.iter().enumerate() {
+            seg_len += 1;
+            let last = i == fill.entries.len() - 1;
+            let taken_branch = class.is_branch() && taken;
+            if taken_branch || last {
+                let end_kind = class.branch_kind();
+                if end_kind == Some(BranchKind::Cond) {
+                    cond_dirs.push(taken);
+                }
+                segments.push(TraceSegment {
+                    start: seg_start,
+                    len: seg_len,
+                    end_kind,
+                    end_taken: taken,
+                });
+                seg_start = next_pc;
+                seg_len = 0;
+            } else {
+                debug_assert_eq!(next_pc, pc.add_insts(1), "trace segment contiguity");
+            }
+        }
+        let next_pc = fill.entries.last().expect("non-empty").3;
+        let start = fill.entries[0].0;
+        let start_hist = fill.start_hist;
+        fill.entries.clear();
+        fill.taken_branches = 0;
+
+        // Train the multiple-branch predictor with the observed direction
+        // vector, using the same (start + i, incremental history) indexing
+        // the predictor is consulted with.
+        let mut h = GlobalHistory::new(15);
+        for i in (0..15u32).rev() {
+            h.push((start_hist >> i) & 1 == 1);
+        }
+        for (i, &d) in cond_dirs.iter().enumerate().take(3) {
+            multi.update(start.add_insts(i as u64), h, d);
+            h.push(d);
+        }
+        tc.fill(Trace {
+            segments,
+            cond_dirs,
+            next_pc,
+        });
+    }
+}
+
+/// A classical gshare+BTB fetch block: one prediction per cycle, so the
+/// block ends at the first branch, the cache-line boundary, or the width.
+/// Used by the gshare+BTB engine and as the trace cache's core fetch unit.
+fn classic_block(
+    gshare: &mut Gshare,
+    btb: &mut Btb,
+    thread: ThreadId,
+    pc: Addr,
+    spec: &mut SpecState,
+    program: &Program,
+    width: u32,
+) -> FetchBlock {
+    let max = (width as u64).min(pc.insts_to_line_end(LINE_BYTES)).max(1);
+    match program.first_branch_at_or_after(pc, max) {
+        Some((dist, inst)) => {
+            let end_pc = inst.addr;
+            let kind = inst.class.branch_kind().expect("scan returns branches");
+            let (taken, target) = match kind {
+                BranchKind::Cond => {
+                    let t = gshare.predict(end_pc, spec.hist);
+                    let tgt = if t {
+                        btb.lookup(end_pc).map(|e| e.target).unwrap_or(Addr::NULL)
+                    } else {
+                        Addr::NULL
+                    };
+                    // A taken prediction without a BTB target cannot be
+                    // followed: the fetch unit falls through, so the
+                    // *effective* speculative direction — the one entering
+                    // the history register and compared at resolve — is
+                    // not-taken.
+                    let t = t && !tgt.is_null();
+                    spec.hist.push(t);
+                    (t, tgt)
+                }
+                BranchKind::Jump | BranchKind::Indirect => (
+                    true,
+                    btb.lookup(end_pc).map(|e| e.target).unwrap_or(Addr::NULL),
+                ),
+                BranchKind::Call => {
+                    let tgt = btb.lookup(end_pc).map(|e| e.target).unwrap_or(Addr::NULL);
+                    spec.ras.push(end_pc.add_insts(1));
+                    (true, tgt)
+                }
+                BranchKind::Return => (true, spec.ras.pop()),
+            };
+            let len = (dist + 1) as u32;
+            let fall = pc.add_insts(len as u64);
+            let next = if taken && !target.is_null() { target } else { fall };
+            FetchBlock {
+                thread,
+                start: pc,
+                len,
+                embedded_branches: 0,
+                end_branch: Some(EndBranch {
+                    pc: end_pc,
+                    kind,
+                    predicted_taken: taken,
+                    predicted_target: target,
+                }),
+                next_fetch: next,
+            }
+        }
+        None => sequential_block(thread, pc, max as u32),
+    }
+}
+
+/// A plain sequential block: `len` instructions, falls through.
+fn sequential_block(thread: ThreadId, pc: Addr, len: u32) -> FetchBlock {
+    let len = len.max(1);
+    FetchBlock {
+        thread,
+        start: pc,
+        len,
+        embedded_branches: 0,
+        end_branch: None,
+        next_fetch: pc.add_insts(len as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FetchPolicy;
+    use smt_isa::{Addr, InstClass};
+    use smt_workloads::{BenchmarkProfile, ProgramBuilder};
+
+    fn program() -> Program {
+        ProgramBuilder::new(BenchmarkProfile::gzip())
+            .base(Addr::new(0x40_0000))
+            .seed(1)
+            .build()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::hpca2004(FetchPolicy::icount(1, 8))
+    }
+
+    #[test]
+    fn gshare_btb_blocks_end_at_first_branch_and_line() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::GshareBtb, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pb = e.predict_block(0, prog.entry(), &mut spec, &prog, 8);
+        let b = &pb.block;
+        assert!(b.len >= 1 && b.len <= 8);
+        // The block must not cross a cache line.
+        assert!(b.start.line(LINE_BYTES) == b.last_pc().line(LINE_BYTES));
+        // If it has an end branch, no *earlier* instruction in the block is
+        // a branch.
+        if let Some(end) = b.end_branch {
+            for i in 0..(b.len - 1) as u64 {
+                let inst = prog.inst_at(b.start.add_insts(i)).unwrap();
+                assert!(!inst.class.is_branch(), "embedded branch in BTB block");
+            }
+            assert_eq!(end.pc, b.last_pc());
+        }
+    }
+
+    #[test]
+    fn gshare_btb_chains_blocks_through_program() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::GshareBtb, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let mut pc = prog.entry();
+        for _ in 0..200 {
+            let pb = e.predict_block(0, pc, &mut spec, &prog, 8);
+            pc = pb.block.next_fetch;
+            // Stay in (or be clamped back into) the program.
+            assert!(prog.contains(prog.clamp(pc)));
+        }
+    }
+
+    #[test]
+    fn ftb_miss_gives_width_sequential_block_then_learns() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::GskewFtb, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pc = prog.entry();
+        let pb = e.predict_block(0, pc, &mut spec, &prog, 8);
+        assert_eq!(pb.block.len, 8, "FTB cold miss fetches a width block");
+        assert!(pb.block.end_branch.is_none());
+
+        // Train: a taken branch 3 instructions in.
+        let di = DynInst {
+            thread: 0,
+            static_id: 0,
+            pc: pc.add_insts(2),
+            class: InstClass::Branch(BranchKind::Cond),
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            taken: true,
+            next_pc: pc.add_insts(40),
+            wrong_path: false,
+        };
+        let info = BranchInfo {
+            block_start: pc,
+            is_end: false,
+            spec_taken: false,
+            spec_next: di.pc.add_insts(1),
+            mispredicted: true,
+            decode_redirect: false,
+            meta: pb.meta,
+        };
+        e.train_resolve(&info, &di);
+        let pb2 = e.predict_block(0, pc, &mut spec, &prog, 8);
+        assert_eq!(pb2.block.len, 3, "FTB learned the block extent");
+        assert_eq!(pb2.block.end_branch.unwrap().pc, di.pc);
+    }
+
+    #[test]
+    fn stream_engine_learns_streams_at_commit() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::Stream, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pc = prog.entry();
+        // Cold: sequential width block.
+        let pb = e.predict_block(0, pc, &mut spec, &prog, 16);
+        assert_eq!(pb.block.len, 16);
+        // Commit-side training: a 24-instruction stream ending in a taken
+        // branch to 0x40_2000.
+        e.train_stream_commit(
+            pc,
+            &StreamPath::new(),
+            ObservedStream {
+                len: 24,
+                kind: BranchKind::Cond,
+                target: Addr::new(0x40_2000),
+            },
+        );
+        let mut spec2 = SpecState::new(e.history_bits(), prog.entry());
+        let pb2 = e.predict_block(0, pc, &mut spec2, &prog, 16);
+        assert_eq!(pb2.block.len, 24, "stream longer than the fetch width");
+        assert_eq!(pb2.block.next_fetch, Addr::new(0x40_2000));
+        assert!(pb2.block.end_branch.unwrap().predicted_taken);
+    }
+
+    #[test]
+    fn stream_blocks_update_path_and_stream_start() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::Stream, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pc = prog.entry();
+        e.train_stream_commit(
+            pc,
+            &StreamPath::new(),
+            ObservedStream {
+                len: 10,
+                kind: BranchKind::Jump,
+                target: Addr::new(0x40_1000),
+            },
+        );
+        let before = spec.path;
+        let _ = e.predict_block(0, pc, &mut spec, &prog, 16);
+        assert_ne!(spec.path, before, "taken stream end must push the path");
+        assert_eq!(spec.stream_start, Addr::new(0x40_1000));
+    }
+
+    #[test]
+    fn trace_cache_engine_misses_fall_back_to_core_fetch() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::TraceCache, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pbs = e.predict_blocks(0, prog.entry(), &mut spec, &prog, 16, 4);
+        assert_eq!(pbs.len(), 1, "cold trace cache must fall back");
+        assert!(pbs[0].trace_group.is_none());
+        // Fallback blocks obey the classical single-basic-block limit.
+        assert!(pbs[0].block.len <= 16);
+    }
+
+    #[test]
+    fn trace_cache_fill_then_hit_emits_grouped_segments() {
+        let prog = program();
+        let mut e = Engine::hpca2004(FetchEngineKind::TraceCache, &cfg());
+        // Commit a synthetic trace through the fill unit: 6 sequential
+        // instructions, a taken cond, then 5 more and a taken jump.
+        let mut fill = TraceFillBuffer::default();
+        let base = prog.entry();
+        let mk = |pc: Addr, class: InstClass, taken: bool, next: Addr| DynInst {
+            thread: 0,
+            static_id: 0,
+            pc,
+            class,
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            taken,
+            next_pc: next,
+            wrong_path: false,
+        };
+        for i in 0..5u64 {
+            let pc = base.add_insts(i);
+            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+        }
+        let br = base.add_insts(5);
+        let tgt = base.add_insts(40);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br, InstClass::Branch(BranchKind::Cond), true, tgt),
+            0,
+        );
+        for i in 0..4u64 {
+            let pc = tgt.add_insts(i);
+            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+        }
+        let br2 = tgt.add_insts(4);
+        let tgt2 = base.add_insts(80);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br2, InstClass::Branch(BranchKind::Jump), true, tgt2),
+            0,
+        );
+        // Keep feeding to force a close on the 3rd taken branch (15 insts
+        // total, under the 16-instruction line limit).
+        for i in 0..3u64 {
+            let pc = tgt2.add_insts(i);
+            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+        }
+        let br3 = tgt2.add_insts(3);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br3, InstClass::Branch(BranchKind::Jump), true, base),
+            0,
+        );
+        assert!(fill.is_empty(), "third taken branch must close the trace");
+
+        // The filled trace is now fetchable in one multi-block prediction.
+        let mut spec = SpecState::new(e.history_bits(), base);
+        let pbs = e.predict_blocks(0, base, &mut spec, &prog, 16, 4);
+        assert!(pbs.len() >= 2, "trace hit must emit its segments");
+        let group = pbs[0].trace_group.expect("trace blocks carry a group");
+        assert!(pbs.iter().all(|p| p.trace_group == Some(group)));
+        assert_eq!(pbs[0].block.start, base);
+        assert_eq!(pbs[0].block.len, 6);
+        assert_eq!(pbs[0].block.next_fetch, tgt);
+        assert_eq!(pbs[1].block.start, tgt);
+    }
+
+    #[test]
+    fn repair_restores_history_ras_and_path() {
+        let prog = program();
+        let e = Engine::hpca2004(FetchEngineKind::GshareBtb, &cfg());
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        spec.ras.push(Addr::new(0x40_0044));
+        spec.hist.push(true);
+        let meta = BlockMeta {
+            hist: spec.hist,
+            ras: spec.ras.checkpoint(),
+            path: spec.path,
+            stream_start: spec.stream_start,
+        };
+        // Wrong-path speculation after the checkpoint.
+        spec.hist.push(false);
+        spec.hist.push(false);
+        let _ = spec.ras.pop();
+        let di = DynInst {
+            thread: 0,
+            static_id: 0,
+            pc: Addr::new(0x40_0100),
+            class: InstClass::Branch(BranchKind::Cond),
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            taken: true,
+            next_pc: Addr::new(0x40_0200),
+            wrong_path: false,
+        };
+        let info = BranchInfo {
+            block_start: Addr::new(0x40_0100),
+            is_end: true,
+            spec_taken: false,
+            spec_next: Addr::new(0x40_0104),
+            mispredicted: true,
+            decode_redirect: false,
+            meta,
+        };
+        e.repair(&mut spec, &info, &di);
+        // History = checkpoint + actual outcome (taken).
+        let mut expect = meta.hist;
+        expect.push(true);
+        assert_eq!(spec.hist, expect);
+        // RAS top is restored.
+        assert_eq!(spec.ras.peek(), Some(Addr::new(0x40_0044)));
+        // Taken branch closed the stream.
+        assert_eq!(spec.stream_start, Addr::new(0x40_0200));
+    }
+}

@@ -1,0 +1,48 @@
+//! # smt-core — the SMT processor simulator
+//!
+//! An execution-driven, cycle-level simulator of the SMT processor the
+//! HPCA 2004 paper evaluates: a 9-stage pipeline with a **decoupled
+//! front-end** (prediction stage → per-thread FTQs → fetch stage), an
+//! 8-wide out-of-order back end (Table 3 resources), and the paper's two
+//! fetch architectures:
+//!
+//! * **1.X** (Figure 1) — fine-grained, non-simultaneous sharing: one
+//!   thread fetches per cycle through a single I-cache port;
+//! * **2.X** (Figure 3) — simultaneous sharing: two threads per cycle,
+//!   with dual predictor ports, bank-conflict logic and a merge network.
+//!
+//! Front-ends: gshare+BTB (baseline), gskew+FTB, and the stream fetch unit
+//! ([`FetchEngineKind`]). Thread priority: ICOUNT or round-robin
+//! ([`FetchPolicy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder};
+//! use smt_workloads::Workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = SimBuilder::new(Workload::mix2().programs(42)?)
+//!     .fetch_engine(FetchEngineKind::Stream)
+//!     .fetch_policy(FetchPolicy::icount(1, 16))
+//!     .build()?;
+//! let stats = sim.run_cycles(10_000);
+//! println!("IPC = {:.2}, IPFC = {:.2}", stats.ipc(), stats.ipfc());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod metrics;
+mod sim;
+mod thread;
+
+pub use config::{FetchEngineKind, FetchPolicy, PolicyKind, SimConfig};
+pub use engine::{BlockMeta, BranchInfo, Engine, PredictedBlock, SpecState, TraceFillBuffer, LINE_BYTES};
+pub use metrics::{FetchDistribution, SimStats};
+pub use sim::{BuildError, SimBuilder, Simulator};
+pub use thread::{FtqEntry, InFlight, PhysReg, ThreadState};

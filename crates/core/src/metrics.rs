@@ -1,0 +1,197 @@
+//! Simulation statistics: the paper's two headline metrics plus the
+//! distributions quoted in §3.1/§3.2.
+
+use smt_isa::MAX_THREADS;
+
+/// Histogram of instructions delivered per fetch cycle (0 ..= 16).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FetchDistribution {
+    buckets: Vec<u64>,
+}
+
+impl FetchDistribution {
+    /// Creates an empty distribution for widths up to `max_width`.
+    pub fn new(max_width: u32) -> Self {
+        FetchDistribution {
+            buckets: vec![0; max_width as usize + 1],
+        }
+    }
+
+    /// Records one fetch cycle that delivered `n` instructions.
+    pub fn record(&mut self, n: u32) {
+        let idx = (n as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total fetch cycles recorded.
+    pub fn cycles(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of fetch cycles that delivered at least `n` instructions.
+    pub fn frac_at_least(&self, n: u32) -> f64 {
+        let total = self.cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        let ge: u64 = self.buckets.iter().skip(n as usize).sum();
+        ge as f64 / total as f64
+    }
+
+    /// Fraction of fetch cycles that delivered exactly `n` instructions.
+    pub fn frac_exactly(&self, n: u32) -> f64 {
+        let total = self.cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        self.buckets.get(n as usize).copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// Aggregated statistics of one simulation run.
+///
+/// Passive data record (public fields by design); produced by the simulator,
+/// consumed by the experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Cycles in which the fetch stage issued at least one I-cache access
+    /// — the paper's IPFC denominator ("instructions provided by the fetch
+    /// unit on every fetch request").
+    pub fetch_cycles: u64,
+    /// Instructions delivered by the fetch stage (correct + wrong path).
+    pub fetched: u64,
+    /// Wrong-path instructions delivered.
+    pub fetched_wrong_path: u64,
+    /// Instructions committed, per thread.
+    pub committed: [u64; MAX_THREADS],
+    /// Instructions squashed.
+    pub squashed: u64,
+    /// Conditional branches resolved on the correct path.
+    pub cond_branches: u64,
+    /// Conditional branches mispredicted (direction) on the correct path.
+    pub cond_mispredicts: u64,
+    /// Correct-path branches of any kind whose speculative next PC was
+    /// wrong (direction, target, or misfetch).
+    pub control_mispredicts: u64,
+    /// Fetch blocks predicted.
+    pub blocks_predicted: u64,
+    /// Cycles in which fetch was stalled because the fetch buffer was full.
+    pub fetch_buffer_stalls: u64,
+    /// Cycles a 2.X second thread lost to an I-cache bank conflict.
+    pub bank_conflicts: u64,
+    /// Distribution of instructions per fetch cycle.
+    pub distribution: FetchDistribution,
+    /// Committed predicted conditionals whose prediction-time history
+    /// checkpoint disagreed with the architectural history (diagnostic;
+    /// should be ~0 for the gshare+BTB engine).
+    pub hist_mismatches: u64,
+    /// Long-latency-load FLUSH events (Tullsen & Brown mechanism).
+    pub flushes: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics for a given maximum fetch width.
+    pub fn new(max_width: u32) -> Self {
+        SimStats {
+            distribution: FetchDistribution::new(max_width),
+            ..SimStats::default()
+        }
+    }
+
+    /// Total committed instructions across threads.
+    pub fn total_committed(&self) -> u64 {
+        self.committed.iter().sum()
+    }
+
+    /// Commit throughput in instructions per cycle — the paper's overall
+    /// SMT performance metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_committed() as f64 / self.cycles as f64
+    }
+
+    /// Fetch throughput in instructions per fetch cycle — the paper's fetch
+    /// performance metric.
+    pub fn ipfc(&self) -> f64 {
+        if self.fetch_cycles == 0 {
+            return 0.0;
+        }
+        self.fetched as f64 / self.fetch_cycles as f64
+    }
+
+    /// Conditional-branch direction prediction accuracy in [0, 1].
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            return 1.0;
+        }
+        1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64
+    }
+
+    /// Fraction of fetched instructions on the wrong path.
+    pub fn wrong_path_fraction(&self) -> f64 {
+        if self.fetched == 0 {
+            return 0.0;
+        }
+        self.fetched_wrong_path as f64 / self.fetched as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_ipfc() {
+        let mut s = SimStats::new(8);
+        s.cycles = 1000;
+        s.fetch_cycles = 800;
+        s.fetched = 4000;
+        s.committed[0] = 1500;
+        s.committed[1] = 1500;
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+        assert!((s.ipfc() - 5.0).abs() < 1e-12);
+        assert_eq!(s.total_committed(), 3000);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let s = SimStats::new(8);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.ipfc(), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.wrong_path_fraction(), 0.0);
+    }
+
+    #[test]
+    fn distribution_fractions() {
+        let mut d = FetchDistribution::new(8);
+        d.record(0);
+        d.record(4);
+        d.record(8);
+        d.record(8);
+        assert_eq!(d.cycles(), 4);
+        assert!((d.frac_at_least(4) - 0.75).abs() < 1e-12);
+        assert!((d.frac_at_least(8) - 0.5).abs() < 1e-12);
+        assert!((d.frac_exactly(8) - 0.5).abs() < 1e-12);
+        assert!((d.frac_at_least(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_clamps_overwide_records() {
+        let mut d = FetchDistribution::new(8);
+        d.record(12); // clamped into the top bucket
+        assert!((d.frac_exactly(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy() {
+        let mut s = SimStats::new(8);
+        s.cond_branches = 100;
+        s.cond_mispredicts = 7;
+        assert!((s.branch_accuracy() - 0.93).abs() < 1e-12);
+    }
+}

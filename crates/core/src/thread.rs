@@ -1,0 +1,250 @@
+//! Per-thread simulator state: front-end context, FTQ, and the in-flight
+//! instruction window.
+
+use std::collections::VecDeque;
+
+use smt_bpred::StreamPath;
+use smt_isa::{Addr, Cycle, DynInst, ThreadId};
+use smt_workloads::{Program, Walker};
+
+use crate::engine::{BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
+
+/// An FTQ entry: a predicted fetch block, partially consumed by the fetch
+/// stage (blocks longer than the fetch width span several cycles).
+#[derive(Clone, Debug)]
+pub struct FtqEntry {
+    /// The predicted block plus recovery metadata.
+    pub pb: PredictedBlock,
+    /// Instructions already delivered from this block.
+    pub consumed: u32,
+}
+
+impl FtqEntry {
+    /// Instructions not yet delivered.
+    pub fn remaining(&self) -> u32 {
+        self.pb.block.len - self.consumed
+    }
+}
+
+/// Physical register id (dense across int + fp spaces).
+pub type PhysReg = u32;
+
+/// One in-flight dynamic instruction and its pipeline bookkeeping.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Per-thread fetch-order sequence number.
+    pub seq: u64,
+    /// The dynamic instruction.
+    pub di: DynInst,
+    /// Branch/recovery metadata (branches and diverging instructions).
+    pub binfo: Option<Box<BranchInfo>>,
+    /// Cycle the instruction was fetched.
+    pub fetched_at: Cycle,
+    /// Whether the instruction passed dispatch (holds backend resources).
+    pub dispatched: bool,
+    /// Whether the instruction has issued to a functional unit.
+    pub issued: bool,
+    /// Completion cycle (valid once issued).
+    pub done_at: Cycle,
+    /// Physical destination register, if any.
+    pub phys_dest: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register.
+    pub prev_phys: Option<PhysReg>,
+    /// Renamed source registers.
+    pub src_phys: [Option<PhysReg>; 2],
+}
+
+impl InFlight {
+    /// Whether execution finished by cycle `now`.
+    pub fn completed(&self, now: Cycle) -> bool {
+        self.issued && self.done_at <= now
+    }
+}
+
+/// All per-thread state.
+#[derive(Clone, Debug)]
+pub struct ThreadState {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Oracle walker (architectural sequencing).
+    pub walker: Walker,
+    /// Speculative front-end state (history, RAS, stream path).
+    pub spec: SpecState,
+    /// Next block start the prediction stage will use.
+    pub next_fetch_pc: Addr,
+    /// Whether fetch has diverged from the oracle (wrong path).
+    pub diverged: bool,
+    /// Set while an I-cache miss blocks this thread's fetch.
+    pub iblock_until: Option<Cycle>,
+    /// Fetch target queue.
+    pub ftq: VecDeque<FtqEntry>,
+    /// In-flight instructions in fetch order (front = oldest).
+    pub window: VecDeque<InFlight>,
+    /// Sequence number for the next fetched instruction.
+    pub next_seq: u64,
+    /// Rename map: architectural flat index → physical register.
+    pub rename_map: Vec<PhysReg>,
+    /// Sequence number of the oldest unresolved mispredicted correct-path
+    /// branch (at most one can exist: fetch diverges at the first one).
+    pub pending_redirect: Option<u64>,
+    /// Commit-side stream tracking: path of committed streams.
+    pub cpath: StreamPath,
+    /// Start of the stream currently being committed.
+    pub commit_stream_start: Addr,
+    /// Committed instructions in the current stream so far.
+    pub commit_stream_len: u32,
+    /// Shadow architectural history of committed conditional outcomes
+    /// (validation/debugging aid).
+    pub commit_hist: u64,
+    /// Committed end-conditional history (mirrors the speculative history
+    /// discipline: only block-ending conditionals shift in).
+    pub commit_hist_end: u64,
+    /// Trace-cache fill unit state (unused by other engines).
+    pub trace_fill: TraceFillBuffer,
+    /// Under STALL/FLUSH policies: fetch is gated until this cycle because
+    /// a long-latency load is outstanding.
+    pub mem_stall_until: Option<Cycle>,
+    /// Completion times of outstanding long-latency data misses (the
+    /// MISSCOUNT metric); expired entries are drained lazily.
+    pub outstanding_misses: Vec<Cycle>,
+}
+
+impl ThreadState {
+    /// Creates thread state for `program`, with the rename map filled by the
+    /// caller.
+    pub fn new(id: ThreadId, program: Program, hist_bits: u32) -> Self {
+        let entry = program.entry();
+        ThreadState {
+            id,
+            walker: Walker::new(program, id),
+            spec: SpecState::new(hist_bits, entry),
+            next_fetch_pc: entry,
+            diverged: false,
+            iblock_until: None,
+            ftq: VecDeque::new(),
+            window: VecDeque::new(),
+            next_seq: 0,
+            rename_map: Vec::new(),
+            pending_redirect: None,
+            cpath: StreamPath::new(),
+            commit_stream_start: entry,
+            commit_stream_len: 0,
+            commit_hist: 0,
+            commit_hist_end: 0,
+            trace_fill: TraceFillBuffer::default(),
+            mem_stall_until: None,
+            outstanding_misses: Vec::new(),
+        }
+    }
+
+    /// Number of long-latency misses still outstanding at `now`.
+    pub fn misses_outstanding(&mut self, now: Cycle) -> usize {
+        self.outstanding_misses.retain(|&r| r > now);
+        self.outstanding_misses.len()
+    }
+
+    /// The program this thread runs.
+    pub fn program(&self) -> &Program {
+        self.walker.program()
+    }
+
+    /// Looks up an in-flight instruction by sequence number.
+    ///
+    /// The window is contiguous in `seq`, so this is O(1).
+    pub fn inst(&self, seq: u64) -> Option<&InFlight> {
+        let head = self.window.front()?.seq;
+        self.window.get((seq.checked_sub(head)?) as usize)
+    }
+
+    /// Mutable variant of [`ThreadState::inst`].
+    pub fn inst_mut(&mut self, seq: u64) -> Option<&mut InFlight> {
+        let head = self.window.front()?.seq;
+        self.window.get_mut((seq.checked_sub(head)?) as usize)
+    }
+
+    /// Whether fetch can serve this thread at `now`.
+    pub fn fetch_eligible(&self, now: Cycle) -> bool {
+        !self.ftq.is_empty() && self.iblock_until.is_none_or(|r| r <= now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::Addr;
+    use smt_workloads::{BenchmarkProfile, ProgramBuilder};
+
+    fn thread() -> ThreadState {
+        let prog = ProgramBuilder::new(BenchmarkProfile::gzip())
+            .base(Addr::new(0x40_0000))
+            .seed(1)
+            .build();
+        ThreadState::new(0, prog, 16)
+    }
+
+    #[test]
+    fn fresh_thread_starts_at_entry() {
+        let t = thread();
+        assert_eq!(t.next_fetch_pc, t.program().entry());
+        assert!(!t.diverged);
+        assert!(!t.fetch_eligible(0), "empty FTQ is not eligible");
+    }
+
+    #[test]
+    fn window_lookup_by_seq() {
+        let mut t = thread();
+        for s in 0..5u64 {
+            let di = t.walker.next_inst();
+            t.window.push_back(InFlight {
+                seq: s,
+                di,
+                binfo: None,
+                fetched_at: 0,
+                dispatched: false,
+                issued: false,
+                done_at: 0,
+                phys_dest: None,
+                prev_phys: None,
+                src_phys: [None, None],
+            });
+        }
+        assert_eq!(t.inst(3).unwrap().seq, 3);
+        assert!(t.inst(9).is_none());
+        // After popping the front, lookups still work.
+        t.window.pop_front();
+        assert_eq!(t.inst(3).unwrap().seq, 3);
+        assert!(t.inst(0).is_none());
+        t.inst_mut(4).unwrap().issued = true;
+        assert!(t.inst(4).unwrap().issued);
+    }
+
+    #[test]
+    fn iblock_gates_eligibility() {
+        let mut t = thread();
+        t.ftq.push_back(FtqEntry {
+            pb: crate::engine::PredictedBlock {
+                block: smt_isa::FetchBlock {
+                    thread: 0,
+                    start: t.program().entry(),
+                    len: 4,
+                    embedded_branches: 0,
+                    end_branch: None,
+                    next_fetch: t.program().entry().add_insts(4),
+                },
+                meta: crate::engine::BlockMeta {
+                    hist: t.spec.hist,
+                    ras: t.spec.ras.checkpoint(),
+                    path: t.spec.path,
+                    stream_start: t.spec.stream_start,
+                },
+                trace_group: None,
+            },
+            consumed: 1,
+        });
+        assert_eq!(t.ftq.front().unwrap().remaining(), 3);
+        assert!(t.fetch_eligible(0));
+        t.iblock_until = Some(10);
+        assert!(!t.fetch_eligible(5));
+        assert!(t.fetch_eligible(10));
+    }
+}

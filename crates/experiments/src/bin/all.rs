@@ -1,0 +1,22 @@
+//! Regenerates every table and figure, printing the full report and writing
+//! a markdown fragment (pass a path argument to choose where; default
+//! `target/experiments.md`).
+use smt_experiments::{figures, RunLength};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/experiments.md".to_string());
+    let len = RunLength::from_env();
+    let mut md = String::from("# Regenerated evaluation artifacts\n\n");
+    for e in figures::all(len) {
+        println!("==== {} — {}\n", e.id, e.caption);
+        println!("{}", e.text);
+        md.push_str(&format!("## {} — {}\n\n{}\n", e.id, e.caption, e.markdown));
+    }
+    if let Err(err) = std::fs::write(&out_path, md) {
+        eprintln!("could not write {out_path}: {err}");
+    } else {
+        println!("markdown report written to {out_path}");
+    }
+}

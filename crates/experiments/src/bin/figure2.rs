@@ -1,0 +1,7 @@
+//! Regenerates the paper's figure2.
+use smt_experiments::{figures, RunLength};
+
+fn main() {
+    let e = figures::figure2(RunLength::from_env());
+    println!("{}", e.text);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's figure4.
+use smt_experiments::{figures, RunLength};
+
+fn main() {
+    let e = figures::figure4(RunLength::from_env());
+    println!("{}", e.text);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's superscalar.
+use smt_experiments::{figures, RunLength};
+
+fn main() {
+    let e = figures::superscalar(RunLength::from_env());
+    println!("{}", e.text);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1.
+use smt_experiments::figures;
+
+fn main() {
+    let e = figures::table1();
+    println!("{}", e.text);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table2.
+use smt_experiments::figures;
+
+fn main() {
+    let e = figures::table2();
+    println!("{}", e.text);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table3.
+use smt_experiments::figures;
+
+fn main() {
+    let e = figures::table3();
+    println!("{}", e.text);
+}

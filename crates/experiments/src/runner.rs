@@ -1,0 +1,227 @@
+//! Running simulator configurations and collecting results.
+
+use serde::{Deserialize, Serialize};
+use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, SimStats};
+use smt_workloads::Workload;
+
+/// How long to simulate each configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLength {
+    /// Cycles simulated before statistics start (predictor/cache warmup).
+    pub warmup_cycles: u64,
+    /// Cycles measured after warmup.
+    pub measure_cycles: u64,
+}
+
+impl RunLength {
+    /// The default evaluation length: 30k warmup + 120k measured cycles.
+    pub const DEFAULT: RunLength = RunLength {
+        warmup_cycles: 30_000,
+        measure_cycles: 120_000,
+    };
+
+    /// A short length for smoke tests.
+    pub const SMOKE: RunLength = RunLength {
+        warmup_cycles: 2_000,
+        measure_cycles: 10_000,
+    };
+
+    /// Reads an override from `SMT_EXP_CYCLES` (measured cycles; warmup is
+    /// a quarter of it), falling back to [`RunLength::DEFAULT`].
+    pub fn from_env() -> RunLength {
+        match std::env::var("SMT_EXP_CYCLES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(c) if c > 0 => RunLength {
+                warmup_cycles: c / 4,
+                measure_cycles: c,
+            },
+            _ => RunLength::DEFAULT,
+        }
+    }
+}
+
+/// The outcome of one simulated configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name (e.g. `"4_MIX"`).
+    pub workload: String,
+    /// Fetch engine name.
+    pub engine: String,
+    /// Fetch policy name (e.g. `"ICOUNT.1.16"`).
+    pub policy: String,
+    /// Fetch throughput (instructions per fetch cycle).
+    pub ipfc: f64,
+    /// Commit throughput (instructions per cycle).
+    pub ipc: f64,
+    /// Conditional direction-prediction accuracy.
+    pub branch_accuracy: f64,
+    /// Fraction of fetched instructions on the wrong path.
+    pub wrong_path: f64,
+    /// Fraction of fetch cycles delivering ≥ 4 instructions.
+    pub frac_ge4: f64,
+    /// Fraction of fetch cycles delivering ≥ 8 instructions.
+    pub frac_ge8: f64,
+    /// Fraction of fetch cycles delivering exactly 8 instructions.
+    pub frac_eq8: f64,
+    /// Fraction of fetch cycles delivering ≥ 16 instructions.
+    pub frac_ge16: f64,
+    /// Per-thread IPC, in workload thread order.
+    pub per_thread_ipc: Vec<f64>,
+    /// Fairness: min over max of per-thread IPC (1 = perfectly balanced,
+    /// → 0 when some thread starves).
+    pub fairness: f64,
+}
+
+impl RunResult {
+    fn from_stats(workload: &Workload, engine: FetchEngineKind, policy: FetchPolicy, s: &SimStats) -> Self {
+        RunResult {
+            workload: workload.name().to_string(),
+            engine: engine.to_string(),
+            policy: policy.to_string(),
+            ipfc: s.ipfc(),
+            ipc: s.ipc(),
+            branch_accuracy: s.branch_accuracy(),
+            wrong_path: s.wrong_path_fraction(),
+            frac_ge4: s.distribution.frac_at_least(4),
+            frac_ge8: s.distribution.frac_at_least(8),
+            frac_eq8: s.distribution.frac_exactly(8),
+            frac_ge16: s.distribution.frac_at_least(16),
+            per_thread_ipc: (0..workload.num_threads())
+                .map(|t| s.committed[t] as f64 / s.cycles.max(1) as f64)
+                .collect(),
+            fairness: {
+                let per: Vec<f64> = (0..workload.num_threads())
+                    .map(|t| s.committed[t] as f64 / s.cycles.max(1) as f64)
+                    .collect();
+                let max = per.iter().cloned().fold(0.0, f64::max);
+                let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+                if max > 0.0 { min / max } else { 0.0 }
+            },
+        }
+    }
+}
+
+/// The seed every experiment uses (reproducibility).
+pub const EXP_SEED: u64 = 2004;
+
+/// Runs one `(workload, engine, policy)` configuration.
+///
+/// # Panics
+///
+/// Panics if the workload's programs cannot be built (impossible for the
+/// built-in Table 2 workloads).
+pub fn run(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    policy: FetchPolicy,
+    len: RunLength,
+) -> RunResult {
+    let programs = workload
+        .programs(EXP_SEED)
+        .expect("table 2 workloads always build");
+    let mut sim = SimBuilder::new(programs)
+        .fetch_engine(engine)
+        .fetch_policy(policy)
+        .build()
+        .expect("1..=8 threads");
+    sim.run_cycles(len.warmup_cycles);
+    sim.reset_stats();
+    let stats = sim.run_cycles(len.measure_cycles);
+    RunResult::from_stats(workload, engine, policy, &stats)
+}
+
+/// Runs one configuration with a fully custom [`smt_core::SimConfig`].
+///
+/// # Panics
+///
+/// Panics if the workload's programs cannot be built.
+pub fn run_with_config(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: smt_core::SimConfig,
+    len: RunLength,
+) -> RunResult {
+    let policy = cfg.fetch_policy;
+    let programs = workload
+        .programs(EXP_SEED)
+        .expect("table 2 workloads always build");
+    let mut sim = SimBuilder::new(programs)
+        .fetch_engine(engine)
+        .config(cfg)
+        .build()
+        .expect("1..=8 threads");
+    sim.run_cycles(len.warmup_cycles);
+    sim.reset_stats();
+    let stats = sim.run_cycles(len.measure_cycles);
+    RunResult::from_stats(workload, engine, policy, &stats)
+}
+
+/// Runs the full cross product `workloads × engines × policies`.
+pub fn run_matrix(
+    workloads: &[Workload],
+    engines: &[FetchEngineKind],
+    policies: &[FetchPolicy],
+    len: RunLength,
+) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for w in workloads {
+        for &p in policies {
+            for &e in engines {
+                out.push(run(w, e, p, len));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_sane_metrics() {
+        let r = run(
+            &Workload::mix2(),
+            FetchEngineKind::GshareBtb,
+            FetchPolicy::icount(1, 8),
+            RunLength::SMOKE,
+        );
+        assert!(r.ipc > 0.0 && r.ipc <= 8.0, "ipc {}", r.ipc);
+        assert!(r.ipfc > 0.0 && r.ipfc <= 8.0, "ipfc {}", r.ipfc);
+        assert!(r.branch_accuracy > 0.5);
+        assert_eq!(r.workload, "2_MIX");
+        assert_eq!(r.policy, "ICOUNT.1.8");
+    }
+
+    #[test]
+    fn matrix_covers_cross_product() {
+        let rs = run_matrix(
+            &[Workload::mix2()],
+            &[FetchEngineKind::GshareBtb, FetchEngineKind::Stream],
+            &[FetchPolicy::icount(1, 8)],
+            RunLength::SMOKE,
+        );
+        assert_eq!(rs.len(), 2);
+        assert_ne!(rs[0].engine, rs[1].engine);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(
+            &Workload::ilp2(),
+            FetchEngineKind::Stream,
+            FetchPolicy::icount(2, 8),
+            RunLength::SMOKE,
+        );
+        let b = run(
+            &Workload::ilp2(),
+            FetchEngineKind::Stream,
+            FetchPolicy::icount(2, 8),
+            RunLength::SMOKE,
+        );
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.ipfc, b.ipfc);
+    }
+}

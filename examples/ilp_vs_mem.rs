@@ -1,0 +1,62 @@
+//! The paper's central contrast: fetching from two threads helps ILP
+//! workloads but *hurts* memory-bounded ones.
+//!
+//! Sweeps `ICOUNT.1.8` vs `ICOUNT.2.8` over an ILP workload (`4_ILP`) and a
+//! mixed one (`4_MIX`, half memory-bounded) and shows the crossover of §5.2:
+//! a stalled
+//! memory-bound thread that keeps receiving fetch slots monopolizes the
+//! shared issue queues and reorder buffer, starving the healthy threads.
+//!
+//! ```bash
+//! cargo run --release --example ilp_vs_mem
+//! ```
+
+use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder};
+use smtfetch::workloads::Workload;
+
+fn measure(
+    workload: &Workload,
+    policy: FetchPolicy,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let mut sim = SimBuilder::new(workload.programs(2004)?)
+        .fetch_engine(FetchEngineKind::GskewFtb)
+        .fetch_policy(policy)
+        .build()?;
+    sim.run_cycles(30_000);
+    sim.reset_stats();
+    let stats = sim.run_cycles(120_000);
+    Ok((stats.ipfc(), stats.ipc()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("gskew+FTB front-end, one vs two threads fetched per cycle\n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "workload", "policy", "IPFC", "IPC"
+    );
+    for workload in [Workload::ilp4(), Workload::mix4()] {
+        let mut per_policy = Vec::new();
+        for policy in [FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)] {
+            let (ipfc, ipc) = measure(&workload, policy)?;
+            println!(
+                "{:<8} {:>12} {:>10.2} {:>10.2}",
+                workload.name(),
+                policy.to_string(),
+                ipfc,
+                ipc
+            );
+            per_policy.push(ipc);
+        }
+        let delta = (per_policy[1] / per_policy[0] - 1.0) * 100.0;
+        println!(
+            "         -> fetching from two threads changes IPC by {delta:+.1}%\n"
+        );
+    }
+    println!(
+        "ILP workloads gain from dual-thread fetch (more fetch slots filled);\n\
+         memory-bounded workloads lose (a stalled thread clogs shared queues).\n\
+         This asymmetry is why the paper fetches many instructions from ONE\n\
+         good thread instead of a few from two."
+    );
+    Ok(())
+}

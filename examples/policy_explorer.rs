@@ -1,0 +1,62 @@
+//! Sweep every fetch policy × front-end combination on one workload —
+//! a miniature version of the paper's full evaluation, for interactive use.
+//!
+//! ```bash
+//! cargo run --release --example policy_explorer            # default 2_MIX
+//! cargo run --release --example policy_explorer 8_ILP
+//! cargo run --release --example policy_explorer 4_MEM rr   # round-robin
+//! ```
+
+use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder};
+use smtfetch::workloads::Workload;
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    Workload::all_table2().into_iter().find(|w| w.name() == name)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .get(1)
+        .map(|n| workload_by_name(n).unwrap_or_else(|| {
+            eprintln!("unknown workload `{n}`; available:");
+            for w in Workload::all_table2() {
+                eprintln!("  {}", w.name());
+            }
+            std::process::exit(2);
+        }))
+        .unwrap_or_else(Workload::mix2);
+    let round_robin = args.get(2).map(|s| s == "rr").unwrap_or(false);
+
+    println!("{workload}\n");
+    println!(
+        "{:<12} {:>12} {:>8} {:>8} {:>10} {:>11}",
+        "engine", "policy", "IPFC", "IPC", "br-acc", "wrong-path"
+    );
+    for engine in FetchEngineKind::all() {
+        for (n, x) in [(1, 8), (2, 8), (1, 16), (2, 16)] {
+            let policy = if round_robin {
+                FetchPolicy::round_robin(n, x)
+            } else {
+                FetchPolicy::icount(n, x)
+            };
+            let mut sim = SimBuilder::new(workload.programs(2004)?)
+                .fetch_engine(engine)
+                .fetch_policy(policy)
+                .build()?;
+            sim.run_cycles(30_000);
+            sim.reset_stats();
+            let s = sim.run_cycles(120_000);
+            println!(
+                "{:<12} {:>12} {:>8.2} {:>8.2} {:>9.1}% {:>10.1}%",
+                engine.to_string(),
+                policy.to_string(),
+                s.ipfc(),
+                s.ipc(),
+                s.branch_accuracy() * 100.0,
+                s.wrong_path_fraction() * 100.0
+            );
+        }
+    }
+    Ok(())
+}

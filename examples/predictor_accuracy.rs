@@ -1,0 +1,69 @@
+//! Drive the branch-prediction substrates directly (no pipeline): feed every
+//! benchmark clone's oracle stream to gshare and gskew and report accuracy,
+//! the way predictor papers tabulate it.
+//!
+//! ```bash
+//! cargo run --release --example predictor_accuracy
+//! ```
+
+use smtfetch::bpred::{GlobalHistory, Gshare, Gskew};
+use smtfetch::isa::{Addr, BranchKind, InstClass};
+use smtfetch::workloads::{BenchmarkProfile, ProgramBuilder, Walker};
+
+fn main() {
+    const INSTS: u64 = 300_000;
+    println!(
+        "{:<9} {:>9} {:>9} {:>9}",
+        "benchmark", "branches", "gshare", "gskew"
+    );
+    let (mut tot_n, mut tot_g, mut tot_k) = (0u64, 0u64, 0u64);
+    for profile in BenchmarkProfile::all() {
+        let program = ProgramBuilder::new(profile.clone())
+            .base(Addr::new(0x40_0000))
+            .seed(2004)
+            .build();
+        let mut walker = Walker::new(program, 0);
+        let mut gshare = Gshare::hpca2004();
+        let mut gskew = Gskew::hpca2004();
+        let mut h16 = GlobalHistory::new(16);
+        let mut h15 = GlobalHistory::new(15);
+        let (mut n, mut ok_g, mut ok_k) = (0u64, 0u64, 0u64);
+        for _ in 0..INSTS {
+            let d = walker.next_inst();
+            if d.class == InstClass::Branch(BranchKind::Cond) {
+                if gshare.predict(d.pc, h16) == d.taken {
+                    ok_g += 1;
+                }
+                if gskew.predict(d.pc, h15) == d.taken {
+                    ok_k += 1;
+                }
+                gshare.update(d.pc, h16, d.taken);
+                gskew.update(d.pc, h15, d.taken);
+                h16.push(d.taken);
+                h15.push(d.taken);
+                n += 1;
+            }
+        }
+        println!(
+            "{:<9} {:>9} {:>8.1}% {:>8.1}%",
+            profile.name,
+            n,
+            100.0 * ok_g as f64 / n as f64,
+            100.0 * ok_k as f64 / n as f64
+        );
+        tot_n += n;
+        tot_g += ok_g;
+        tot_k += ok_k;
+    }
+    println!(
+        "{:<9} {:>9} {:>8.1}% {:>8.1}%",
+        "TOTAL",
+        tot_n,
+        100.0 * tot_g as f64 / tot_n as f64,
+        100.0 * tot_k as f64 / tot_n as f64
+    );
+    println!(
+        "\ngskew's skewed banks + majority vote remove conflict aliasing, so it\n\
+         edges out gshare at the same ~45KB hardware budget (paper §3.3)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: simulate the paper's headline configuration.
+//!
+//! Runs the gzip–twolf `2_MIX` workload on the stream front-end with
+//! `ICOUNT.1.16` — the paper's proposed low-complexity fetch unit — and on
+//! the conventional gshare+BTB front-end with `ICOUNT.2.8`, then compares.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder};
+use smtfetch::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::mix2();
+    println!("workload: {workload}");
+
+    for (label, engine, policy) in [
+        (
+            "conventional SMT fetch (gshare+BTB, ICOUNT.2.8)",
+            FetchEngineKind::GshareBtb,
+            FetchPolicy::icount(2, 8),
+        ),
+        (
+            "paper's proposal (stream fetch, ICOUNT.1.16)",
+            FetchEngineKind::Stream,
+            FetchPolicy::icount(1, 16),
+        ),
+    ] {
+        let mut sim = SimBuilder::new(workload.programs(2004)?)
+            .fetch_engine(engine)
+            .fetch_policy(policy)
+            .build()?;
+
+        // Warm predictors and caches, then measure.
+        sim.run_cycles(30_000);
+        sim.reset_stats();
+        let stats = sim.run_cycles(120_000);
+
+        println!("\n{label}");
+        println!("  fetch throughput  : {:5.2} instructions/fetch-cycle", stats.ipfc());
+        println!("  commit throughput : {:5.2} instructions/cycle", stats.ipc());
+        println!(
+            "  branch accuracy   : {:5.1}%  wrong-path fetches: {:4.1}%",
+            stats.branch_accuracy() * 100.0,
+            stats.wrong_path_fraction() * 100.0
+        );
+        println!(
+            "  per-thread commits: gzip {} / twolf {}",
+            stats.committed[0], stats.committed[1]
+        );
+    }
+    println!(
+        "\nThe single-thread-per-cycle stream front-end keeps up with (or beats)\n\
+         dual-thread fetch while needing one I-cache port and no merge network —\n\
+         the paper's low-complexity, high-performance result."
+    );
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! `smtfetch` — command-line driver for the SMT fetch-unit simulator.
+//!
+//! ```text
+//! smtfetch [OPTIONS]
+//!
+//!   --workload <NAME>     Table 2 workload (2_ILP … 8_MIX) or a comma list
+//!                         of benchmark names (e.g. gzip,twolf)   [2_MIX]
+//!   --engine <ENGINE>     gshare | ftb | stream | tc             [stream]
+//!   --policy <POLICY>     icount | rr | brcount | misscount      [icount]
+//!   --threads-per-cycle N 1 or 2                                 [1]
+//!   --width N             fetch width (e.g. 8, 16)               [16]
+//!   --stall / --flush     long-latency-load gating (Tullsen & Brown)
+//!   --cycles N            measured cycles                        [120000]
+//!   --warmup N            warmup cycles                          [30000]
+//!   --seed N              workload generation seed               [2004]
+//!   --all-engines         run every engine and compare
+//! ```
+
+use std::process::ExitCode;
+
+use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder, SimStats};
+use smtfetch::workloads::{Workload, WorkloadClass};
+
+#[derive(Debug)]
+struct Options {
+    workload: String,
+    engine: FetchEngineKind,
+    policy_kind: String,
+    threads_per_cycle: u32,
+    width: u32,
+    stall: bool,
+    flush: bool,
+    cycles: u64,
+    warmup: u64,
+    seed: u64,
+    all_engines: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: "2_MIX".to_string(),
+            engine: FetchEngineKind::Stream,
+            policy_kind: "icount".to_string(),
+            threads_per_cycle: 1,
+            width: 16,
+            stall: false,
+            flush: false,
+            cycles: 120_000,
+            warmup: 30_000,
+            seed: 2004,
+            all_engines: false,
+        }
+    }
+}
+
+fn parse_engine(s: &str) -> Result<FetchEngineKind, String> {
+    match s {
+        "gshare" | "gshare+btb" => Ok(FetchEngineKind::GshareBtb),
+        "ftb" | "gskew" | "gskew+ftb" => Ok(FetchEngineKind::GskewFtb),
+        "stream" => Ok(FetchEngineKind::Stream),
+        "tc" | "trace" | "tracecache" => Ok(FetchEngineKind::TraceCache),
+        other => Err(format!("unknown engine `{other}` (gshare|ftb|stream|tc)")),
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" | "-w" => o.workload = value("--workload")?,
+            "--engine" | "-e" => o.engine = parse_engine(&value("--engine")?)?,
+            "--policy" | "-p" => o.policy_kind = value("--policy")?,
+            "--threads-per-cycle" | "-n" => {
+                o.threads_per_cycle = value("-n")?.parse().map_err(|e| format!("-n: {e}"))?
+            }
+            "--width" | "-x" => o.width = value("--width")?.parse().map_err(|e| format!("--width: {e}"))?,
+            "--stall" => o.stall = true,
+            "--flush" => o.flush = true,
+            "--cycles" | "-c" => o.cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
+            "--warmup" => o.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?,
+            "--seed" | "-s" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--all-engines" => o.all_engines = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+    Ok(o)
+}
+
+fn print_help() {
+    println!(
+        "smtfetch — SMT fetch-unit simulator (HPCA 2004 reproduction)\n\n\
+         USAGE: smtfetch [OPTIONS]\n\n\
+         OPTIONS:\n\
+         \x20 -w, --workload <NAME>       2_ILP…8_MIX or benchmarks: gzip,twolf [2_MIX]\n\
+         \x20 -e, --engine <ENGINE>       gshare | ftb | stream | tc            [stream]\n\
+         \x20 -p, --policy <POLICY>       icount | rr | brcount | misscount     [icount]\n\
+         \x20 -n, --threads-per-cycle <N> 1 or 2                                [1]\n\
+         \x20 -x, --width <N>             fetch width                           [16]\n\
+         \x20     --stall | --flush       long-latency-load gating\n\
+         \x20 -c, --cycles <N>            measured cycles                       [120000]\n\
+         \x20     --warmup <N>            warmup cycles                         [30000]\n\
+         \x20 -s, --seed <N>              workload seed                         [2004]\n\
+         \x20     --all-engines           compare all four engines\n\n\
+         EXAMPLES:\n\
+         \x20 smtfetch -w 4_ILP -e ftb -n 1 -x 16\n\
+         \x20 smtfetch -w gzip,twolf,mcf --all-engines\n\
+         \x20 smtfetch -w 4_MIX -e ftb -n 2 -x 8 --flush"
+    );
+}
+
+fn resolve_workload(name: &str) -> Result<Workload, String> {
+    if let Some(w) = Workload::all_table2().into_iter().find(|w| w.name() == name) {
+        return Ok(w);
+    }
+    // Comma-separated benchmark list.
+    let names: Vec<&str> = name.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        return Err("empty workload".into());
+    }
+    let leaked: Vec<&'static str> = names
+        .iter()
+        .map(|n| Box::leak(n.to_string().into_boxed_str()) as &'static str)
+        .collect();
+    Workload::custom(name.to_string(), WorkloadClass::Mix, &leaked)
+        .map_err(|e| format!("{e} (Table 2 names: 2_ILP, 2_MEM, 2_MIX, 4_ILP, 4_MEM, 4_MIX, 6_ILP, 6_MIX, 8_ILP, 8_MIX)"))
+}
+
+fn build_policy(o: &Options) -> Result<FetchPolicy, String> {
+    let mut p = match o.policy_kind.as_str() {
+        "icount" => FetchPolicy::icount(o.threads_per_cycle, o.width),
+        "rr" | "roundrobin" => FetchPolicy::round_robin(o.threads_per_cycle, o.width),
+        "brcount" => FetchPolicy::br_count(o.threads_per_cycle, o.width),
+        "misscount" => FetchPolicy::miss_count(o.threads_per_cycle, o.width),
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    if o.stall {
+        p = p.with_stall();
+    }
+    if o.flush {
+        p = p.with_flush();
+    }
+    Ok(p)
+}
+
+fn simulate(w: &Workload, engine: FetchEngineKind, policy: FetchPolicy, o: &Options) -> Result<SimStats, String> {
+    let mut sim = SimBuilder::new(w.programs(o.seed).map_err(|e| e.to_string())?)
+        .fetch_engine(engine)
+        .fetch_policy(policy)
+        .build()
+        .map_err(|e| e.to_string())?;
+    sim.run_cycles(o.warmup);
+    sim.reset_stats();
+    Ok(sim.run_cycles(o.cycles))
+}
+
+fn report(engine: FetchEngineKind, policy: FetchPolicy, w: &Workload, s: &SimStats) {
+    println!("\n{engine} with {policy}");
+    println!("  fetch throughput   {:>7.2} IPFC", s.ipfc());
+    println!("  commit throughput  {:>7.2} IPC", s.ipc());
+    println!(
+        "  branch accuracy    {:>6.1}%   wrong-path fetch {:>5.1}%",
+        s.branch_accuracy() * 100.0,
+        s.wrong_path_fraction() * 100.0
+    );
+    let per: Vec<String> = (0..w.num_threads())
+        .map(|t| format!("{}={:.2}", w.benchmarks().get(t).copied().unwrap_or("?"), s.committed[t] as f64 / s.cycles.max(1) as f64))
+        .collect();
+    println!("  per-thread IPC     {}", per.join("  "));
+    if s.flushes > 0 {
+        println!("  long-latency flushes {}", s.flushes);
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let w = match resolve_workload(&o.workload) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match build_policy(&o) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{w}");
+    println!("seed {}  warmup {}  measured {} cycles", o.seed, o.warmup, o.cycles);
+    let engines: Vec<FetchEngineKind> = if o.all_engines {
+        FetchEngineKind::all_with_trace_cache().to_vec()
+    } else {
+        vec![o.engine]
+    };
+    for e in engines {
+        match simulate(&w, e, policy, &o) {
+            Ok(s) => report(e, policy, &w, &s),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

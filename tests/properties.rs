@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the substrates' invariants.
+
+use proptest::prelude::*;
+
+use smtfetch::bpred::{Btb, Ftb, GlobalHistory, Gskew, ObservedEnd, ReturnStack, SetAssoc};
+use smtfetch::isa::{Addr, BranchKind};
+use smtfetch::mem::{Cache, CacheConfig, MshrFile, MshrOutcome};
+use smtfetch::workloads::{BenchmarkProfile, ProgramBuilder, Walker, Workload};
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        name: "P",
+        size_bytes: 2048,
+        ways: 2,
+        line_bytes: 64,
+        banks: 2,
+        hit_latency: 0,
+    })
+}
+
+proptest! {
+    /// A cache access immediately after filling the same line always hits,
+    /// no matter what other fills happened before.
+    #[test]
+    fn cache_fill_then_access_hits(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+        let mut c = small_cache();
+        for &a in &addrs {
+            c.fill(Addr::new(a), false);
+            prop_assert!(c.access(Addr::new(a), false), "just-filled line missed");
+        }
+    }
+
+    /// LRU never evicts the line touched most recently.
+    #[test]
+    fn cache_mru_line_survives_one_fill(base in 0u64..1u64 << 18, probe in 0u64..1u64 << 18) {
+        let mut c = small_cache();
+        let probe = Addr::new(probe & !63);
+        c.fill(probe, false);
+        c.access(probe, false); // make it MRU
+        c.fill(Addr::new(base & !63), false);
+        prop_assert!(c.probe(probe), "MRU line evicted by a single fill");
+    }
+
+    /// The RAS checkpoint/restore round-trips a push-pop speculation window.
+    #[test]
+    fn ras_checkpoint_roundtrip(
+        depth in 1usize..40,
+        spec_ops in proptest::collection::vec(any::<bool>(), 0..8),
+        addrs in proptest::collection::vec(4u64..1u64 << 30, 40),
+    ) {
+        let mut ras = ReturnStack::new(64);
+        for &a in addrs.iter().take(depth) {
+            ras.push(Addr::new(a & !3));
+        }
+        let top_before = ras.peek();
+        let depth_before = ras.depth();
+        let ckpt = ras.checkpoint();
+        // A short wrong-path burst of pushes and pops.
+        for (i, &push) in spec_ops.iter().enumerate() {
+            if push {
+                ras.push(Addr::new(0xdead_0000 + i as u64 * 4));
+            } else {
+                let _ = ras.pop();
+            }
+        }
+        ras.restore(ckpt);
+        prop_assert_eq!(ras.depth(), depth_before);
+        prop_assert_eq!(ras.peek(), top_before);
+    }
+
+    /// gskew's majority vote equals at least two of its bank votes.
+    #[test]
+    fn gskew_majority_is_consistent(
+        pcs in proptest::collection::vec(0u64..1u64 << 22, 1..60),
+        outcomes in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut g = Gskew::new(1024);
+        let mut h = GlobalHistory::new(15);
+        for (i, &pc) in pcs.iter().enumerate() {
+            let pc = Addr::new(pc & !3);
+            let votes = g.votes(pc, h);
+            let pred = g.predict(pc, h);
+            let agreeing = votes.iter().filter(|&&v| v == pred).count();
+            prop_assert!(agreeing >= 2, "prediction disagrees with majority");
+            g.update(pc, h, outcomes[i]);
+            h.push(outcomes[i]);
+        }
+    }
+
+    /// A generic set-associative table never reports a tag that was not
+    /// inserted, and always finds one of the last `ways` tags of a set.
+    #[test]
+    fn set_assoc_finds_recent_inserts(tags in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut t: SetAssoc<u64> = SetAssoc::new(16, 4);
+        for (i, &tag) in tags.iter().enumerate() {
+            t.insert(0, tag, i as u64);
+            prop_assert_eq!(t.peek(0, tag), Some(&(i as u64)));
+        }
+        // A tag never inserted is never found.
+        prop_assert!(t.peek(0, 10_000).is_none());
+    }
+
+    /// The BTB only ever returns targets that were recorded for that PC.
+    #[test]
+    fn btb_returns_recorded_targets(
+        records in proptest::collection::vec((0u64..1u64 << 16, 4u64..1u64 << 20), 1..100)
+    ) {
+        let mut btb = Btb::new(256, 4);
+        let mut last = std::collections::HashMap::new();
+        for &(pc, tgt) in &records {
+            let pc = Addr::new(pc & !3);
+            let tgt = Addr::new(tgt & !3);
+            btb.record_taken(pc, tgt, BranchKind::Jump);
+            last.insert(pc, tgt);
+        }
+        for (&pc, &tgt) in &last {
+            if let Some(e) = btb.peek(pc) {
+                prop_assert_eq!(e.target, tgt, "stale target for {}", pc);
+            }
+        }
+    }
+
+    /// FTB blocks never exceed the configured maximum length and never have
+    /// zero length.
+    #[test]
+    fn ftb_blocks_bounded(
+        dists in proptest::collection::vec(0u64..100, 1..60),
+        start in 0u64..1u64 << 20,
+    ) {
+        let mut ftb = Ftb::new(64, 4, 16);
+        let start = Addr::new(start & !3);
+        for &d in &dists {
+            ftb.record_taken(start, ObservedEnd {
+                branch_pc: start.add_insts(d),
+                kind: BranchKind::Cond,
+                target: Addr::new(0x9000),
+            });
+            if let Some(p) = ftb.lookup(start) {
+                prop_assert!(p.len >= 1 && p.len <= 16, "block length {}", p.len);
+            }
+        }
+    }
+
+    /// MSHR occupancy never exceeds capacity and always drains by the last
+    /// completion time.
+    #[test]
+    fn mshr_occupancy_bounded(
+        reqs in proptest::collection::vec((0u64..1u64 << 14, 1u64..300), 1..80)
+    ) {
+        let mut m = MshrFile::new(4, 64);
+        let mut horizon = 0;
+        for (i, &(addr, lat)) in reqs.iter().enumerate() {
+            let now = i as u64;
+            let ready = now + lat;
+            match m.allocate(Addr::new(addr), now, ready) {
+                MshrOutcome::Allocated | MshrOutcome::Merged(_) => {}
+                MshrOutcome::Full => {}
+            }
+            prop_assert!(m.outstanding(now) <= 4);
+            horizon = horizon.max(ready);
+        }
+        prop_assert_eq!(m.outstanding(horizon), 0);
+    }
+
+    /// Walkers are deterministic for every benchmark and seed, and the
+    /// instruction stream is contiguous (each next_pc is the next pc).
+    #[test]
+    fn walker_streams_are_contiguous(seed in 0u64..500, bench in 0usize..12) {
+        let profile = BenchmarkProfile::all()[bench].clone();
+        let prog = ProgramBuilder::new(profile).seed(seed).build();
+        let mut w = Walker::new(prog, 0);
+        let mut expected = w.pc();
+        for _ in 0..2_000 {
+            let d = w.next_inst();
+            prop_assert_eq!(d.pc, expected);
+            expected = d.next_pc;
+        }
+    }
+
+    /// Workload programs never overlap in the address space.
+    #[test]
+    fn workload_programs_disjoint(seed in 0u64..64) {
+        let progs = Workload::mix4().programs(seed).unwrap();
+        for (i, a) in progs.iter().enumerate() {
+            for b in progs.iter().skip(i + 1) {
+                let disjoint = a.end() <= b.base() || b.end() <= a.base();
+                prop_assert!(disjoint, "code overlap: {} and {}", a.name(), b.name());
+            }
+        }
+    }
+}
