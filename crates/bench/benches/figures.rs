@@ -1,37 +1,26 @@
-//! One Criterion benchmark per paper table/figure: each bench runs a
-//! (shortened) version of the corresponding experiment, so `cargo bench`
-//! exercises every artifact-regeneration path and tracks its cost.
+//! One benchmark per paper table/figure: each runs a (shortened) version
+//! of the corresponding experiment, so `cargo bench` exercises every
+//! artifact-regeneration path and tracks its cost.
 //!
 //! Full-length regeneration is `cargo run --release -p smt-experiments
 //! --bin all`; these benches use [`RunLength::SMOKE`] so the whole suite
 //! stays minutes, not hours.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::bench;
 use smt_experiments::{figures, RunLength};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1_characteristics", |b| {
-        b.iter(|| figures::table1().text.len())
-    });
-    g.bench_function("table2_workloads", |b| b.iter(|| figures::table2().text.len()));
-    g.bench_function("table3_parameters", |b| b.iter(|| figures::table3().text.len()));
-    g.finish();
-}
+fn main() {
+    println!("tables");
+    bench("table1_characteristics", || figures::table1().text.len());
+    bench("table2_workloads", || figures::table2().text.len());
+    bench("table3_parameters", || figures::table3().text.len());
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_smoke");
-    g.sample_size(10);
+    println!("\nfigures_smoke");
     let len = RunLength::SMOKE;
-    g.bench_function("figure2_ipfc_1x", |b| b.iter(|| figures::figure2(len).results.len()));
-    g.bench_function("figure4_ipfc_2x", |b| b.iter(|| figures::figure4(len).results.len()));
-    g.bench_function("figure5_ilp_18_28", |b| b.iter(|| figures::figure5(len).results.len()));
-    g.bench_function("figure6_ilp_wide", |b| b.iter(|| figures::figure6(len).results.len()));
-    g.bench_function("figure7_mem_18_28", |b| b.iter(|| figures::figure7(len).results.len()));
-    g.bench_function("figure8_mem_wide", |b| b.iter(|| figures::figure8(len).results.len()));
-    g.finish();
+    bench("figure2_ipfc_1x", || figures::figure2(len).results.len());
+    bench("figure4_ipfc_2x", || figures::figure4(len).results.len());
+    bench("figure5_ilp_18_28", || figures::figure5(len).results.len());
+    bench("figure6_ilp_wide", || figures::figure6(len).results.len());
+    bench("figure7_mem_18_28", || figures::figure7(len).results.len());
+    bench("figure8_mem_wide", || figures::figure8(len).results.len());
 }
-
-criterion_group!(benches, bench_tables, bench_figures);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the branch-prediction substrates: lookup/update
+//! Benchmarks of the branch-prediction substrates: lookup/update
 //! throughput of the structures the front-ends are built from.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smt_bench::bench_with_elements;
 use smt_bpred::{
     Btb, Dolc, Ftb, GlobalHistory, Gshare, Gskew, ObservedEnd, ObservedStream, ReturnStack,
     StreamPath, StreamPredictor,
@@ -15,56 +15,48 @@ fn pcs(n: usize) -> Vec<Addr> {
         .collect()
 }
 
-fn bench_direction_predictors(c: &mut Criterion) {
+fn main() {
     let pcs = pcs(4096);
-    let mut g = c.benchmark_group("direction_predict_update");
-    g.throughput(Throughput::Elements(pcs.len() as u64));
+    let elems = pcs.len() as u64;
 
-    g.bench_function("gshare_64k", |b| {
+    println!("direction_predict_update (elements = predict+update pairs)");
+    {
         let mut p = Gshare::hpca2004();
         let mut h = GlobalHistory::new(16);
-        b.iter(|| {
+        bench_with_elements("gshare_64k", elems, || {
             for &pc in &pcs {
                 let t = p.predict(pc, h);
                 p.update(pc, h, t);
                 h.push(t);
             }
         });
-    });
-
-    g.bench_function("gskew_3x32k", |b| {
+    }
+    {
         let mut p = Gskew::hpca2004();
         let mut h = GlobalHistory::new(15);
-        b.iter(|| {
+        bench_with_elements("gskew_3x32k", elems, || {
             for &pc in &pcs {
                 let t = p.predict(pc, h);
                 p.update(pc, h, t);
                 h.push(t);
             }
         });
-    });
-    g.finish();
-}
+    }
 
-fn bench_target_structures(c: &mut Criterion) {
-    let pcs = pcs(4096);
-    let mut g = c.benchmark_group("target_structures");
-    g.throughput(Throughput::Elements(pcs.len() as u64));
-
-    g.bench_function("btb_2k4w", |b| {
+    println!("\ntarget_structures (elements = lookups)");
+    {
         let mut btb = Btb::hpca2004();
-        b.iter(|| {
+        bench_with_elements("btb_2k4w", elems, || {
             for &pc in &pcs {
                 if btb.lookup(pc).is_none() {
                     btb.record_taken(pc, pc + 64, BranchKind::Jump);
                 }
             }
         });
-    });
-
-    g.bench_function("ftb_2k4w", |b| {
+    }
+    {
         let mut ftb = Ftb::hpca2004();
-        b.iter(|| {
+        bench_with_elements("ftb_2k4w", elems, || {
             for &pc in &pcs {
                 if ftb.lookup(pc).is_none() {
                     ftb.record_taken(
@@ -78,12 +70,11 @@ fn bench_target_structures(c: &mut Criterion) {
                 }
             }
         });
-    });
-
-    g.bench_function("stream_1k_4k_dolc", |b| {
-        let mut sp = StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64);
+    }
+    {
+        let mut sp = StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64).expect("geometry");
         let mut path = StreamPath::new();
-        b.iter(|| {
+        bench_with_elements("stream_1k_4k_dolc", elems, || {
             for &pc in &pcs {
                 if sp.predict(pc, &path).is_none() {
                     sp.train(
@@ -99,19 +90,14 @@ fn bench_target_structures(c: &mut Criterion) {
                 path.push(pc);
             }
         });
-    });
-
-    g.bench_function("ras_push_pop", |b| {
+    }
+    {
         let mut ras = ReturnStack::hpca2004();
-        b.iter(|| {
+        bench_with_elements("ras_push_pop", elems, || {
             for &pc in &pcs {
                 ras.push(pc);
                 let _ = ras.pop();
             }
         });
-    });
-    g.finish();
+    }
 }
-
-criterion_group!(benches, bench_direction_predictors, bench_target_structures);
-criterion_main!(benches);

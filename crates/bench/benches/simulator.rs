@@ -1,10 +1,12 @@
-//! Criterion benchmarks of the simulator's own throughput: how many cycles
-//! and instructions per second the model simulates under each fetch
-//! architecture (useful when extending the model).
+//! Benchmarks of the simulator's own throughput: how fast the model
+//! simulates cycles under each fetch architecture (useful when extending
+//! the model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_bench::bench_with_elements;
 use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, Simulator};
 use smt_workloads::Workload;
+
+const CYCLES: u64 = 10_000;
 
 fn build(engine: FetchEngineKind, policy: FetchPolicy) -> Simulator {
     let mut sim = SimBuilder::new(Workload::mix4().programs(2004).expect("programs"))
@@ -12,49 +14,26 @@ fn build(engine: FetchEngineKind, policy: FetchPolicy) -> Simulator {
         .fetch_policy(policy)
         .build()
         .expect("build");
-    sim.run_cycles(10_000); // warm state so the steady state is measured
+    sim.run_cycles(CYCLES); // warm state so the steady state is measured
     sim
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_4mix_10k_cycles");
-    g.throughput(Throughput::Elements(10_000));
-    g.sample_size(10);
+fn main() {
+    println!("simulate_4mix_{CYCLES}_cycles (elements = simulated cycles)");
     for engine in FetchEngineKind::all() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(engine.to_string().replace('+', "_")),
-            &engine,
-            |b, &engine| {
-                let mut sim = build(engine, FetchPolicy::icount(1, 8));
-                b.iter(|| {
-                    sim.run_cycles(10_000);
-                    sim.stats().total_committed()
-                });
-            },
-        );
+        let mut sim = build(engine, FetchPolicy::icount(1, 8));
+        let name = engine.to_string().replace('+', "_");
+        bench_with_elements(&name, CYCLES, || {
+            sim.run_cycles(CYCLES);
+            sim.stats().total_committed()
+        });
     }
-    g.finish();
-}
-
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_policy_10k_cycles");
-    g.throughput(Throughput::Elements(10_000));
-    g.sample_size(10);
+    println!("\nsimulate_policy_{CYCLES}_cycles (gskew+FTB)");
     for policy in FetchPolicy::paper_sweep() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(policy.to_string()),
-            &policy,
-            |b, &policy| {
-                let mut sim = build(FetchEngineKind::GskewFtb, policy);
-                b.iter(|| {
-                    sim.run_cycles(10_000);
-                    sim.stats().total_committed()
-                });
-            },
-        );
+        let mut sim = build(FetchEngineKind::GskewFtb, policy);
+        bench_with_elements(&policy.to_string(), CYCLES, || {
+            sim.run_cycles(CYCLES);
+            sim.stats().total_committed()
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engines, bench_policies);
-criterion_main!(benches);

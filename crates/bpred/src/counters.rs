@@ -1,5 +1,7 @@
 //! Saturating counters — the basic state element of direction predictors.
 
+use smt_isa::Diagnostic;
+
 /// A 2-bit saturating counter.
 ///
 /// States 0–1 predict not-taken, 2–3 predict taken. New counters start
@@ -64,15 +66,22 @@ pub struct CounterTable {
 impl CounterTable {
     /// Creates a table with `entries` counters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries` is not a power of two.
-    pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
-        CounterTable {
+    /// `E0001` if `entries` is not a power of two (zero included).
+    pub fn new(entries: usize) -> Result<Self, Diagnostic> {
+        if !entries.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "E0001",
+                "entries",
+                format!("counter-table size must be a power of two (got {entries})"),
+                "round the table size to a power of two",
+            ));
+        }
+        Ok(CounterTable {
             counters: vec![TwoBit::default(); entries],
             mask: entries as u64 - 1,
-        }
+        })
     }
 
     /// Number of counters.
@@ -144,7 +153,7 @@ mod tests {
 
     #[test]
     fn table_wraps_indices() {
-        let mut t = CounterTable::new(16);
+        let mut t = CounterTable::new(16).unwrap();
         assert_eq!(t.len(), 16);
         t.update(3, false);
         t.update(3 + 16, false);
@@ -153,8 +162,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn table_size_validated() {
-        let _ = CounterTable::new(12);
+        let d = CounterTable::new(12).unwrap_err();
+        assert_eq!(d.code, "E0001");
+        assert!(d.message.contains("power of two"));
+        assert_eq!(CounterTable::new(0).unwrap_err().code, "E0001");
     }
 }

@@ -1,6 +1,6 @@
 //! The gshare conditional-branch direction predictor (McFarling, 1993).
 
-use smt_isa::Addr;
+use smt_isa::{Addr, Diagnostic};
 
 use crate::counters::{CounterTable, TwoBit};
 use crate::history::GlobalHistory;
@@ -20,20 +20,20 @@ pub struct Gshare {
 impl Gshare {
     /// Creates a gshare predictor with `entries` 2-bit counters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries` is not a power of two.
-    pub fn new(entries: usize) -> Self {
-        Gshare {
-            table: CounterTable::new(entries),
+    /// `E0001` if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Result<Self, Diagnostic> {
+        Ok(Gshare {
+            table: CounterTable::new(entries).map_err(|d| d.in_field("gshare_entries"))?,
             predictions: 0,
             correct: 0,
-        }
+        })
     }
 
     /// The paper's configuration: 64K entries (16-bit index), 16-bit history.
     pub fn hpca2004() -> Self {
-        Gshare::new(64 * 1024)
+        Gshare::new(64 * 1024).expect("preset geometry is valid") // lint:allow(no-panic)
     }
 
     fn index(&self, pc: Addr, history: GlobalHistory) -> u64 {
@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn learns_a_biased_branch() {
-        let mut g = Gshare::new(1024);
+        let mut g = Gshare::new(1024).unwrap();
         let pc = Addr::new(0x4000);
         let h = GlobalHistory::new(10);
         for _ in 0..10 {
@@ -106,7 +106,7 @@ mod tests {
     fn learns_an_alternating_pattern_through_history() {
         // Outcome = last outcome inverted: gshare keys on history, so the two
         // history values map to different counters and both learn perfectly.
-        let mut g = Gshare::new(1 << 14);
+        let mut g = Gshare::new(1 << 14).unwrap();
         let pc = Addr::new(0x1234_5678);
         let mut h = GlobalHistory::new(8);
         let mut correct = 0;
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn different_histories_use_different_counters() {
-        let g = Gshare::new(1024);
+        let g = Gshare::new(1024).unwrap();
         let pc = Addr::new(0x4000);
         let c1 = g.counter(pc, hist(0b1010, 10));
         let c2 = g.counter(pc, hist(0b0101, 10));
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn stats_track_accuracy() {
-        let mut g = Gshare::new(256);
+        let mut g = Gshare::new(256).unwrap();
         let pc = Addr::new(0x100);
         let h = GlobalHistory::new(8);
         for _ in 0..8 {

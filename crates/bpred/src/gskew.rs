@@ -1,7 +1,7 @@
 //! The gskew conditional-branch direction predictor
 //! (Michaud, Seznec & Uhlig, ISCA 1997).
 
-use smt_isa::Addr;
+use smt_isa::{Addr, Diagnostic};
 
 use crate::counters::CounterTable;
 use crate::history::GlobalHistory;
@@ -41,24 +41,23 @@ pub struct Gskew {
 impl Gskew {
     /// Creates a gskew predictor with `entries_per_bank` counters per bank.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries_per_bank` is not a power of two.
-    pub fn new(entries_per_bank: usize) -> Self {
-        Gskew {
-            banks: [
-                CounterTable::new(entries_per_bank),
-                CounterTable::new(entries_per_bank),
-                CounterTable::new(entries_per_bank),
-            ],
+    /// `E0001` if `entries_per_bank` is not a power of two.
+    pub fn new(entries_per_bank: usize) -> Result<Self, Diagnostic> {
+        let bank = || {
+            CounterTable::new(entries_per_bank).map_err(|d| d.in_field("gskew_entries_per_bank"))
+        };
+        Ok(Gskew {
+            banks: [bank()?, bank()?, bank()?],
             predictions: 0,
             correct: 0,
-        }
+        })
     }
 
     /// The paper's configuration: 3 banks of 32K entries, 15-bit history.
     pub fn hpca2004() -> Self {
-        Gskew::new(32 * 1024)
+        Gskew::new(32 * 1024).expect("preset geometry is valid") // lint:allow(no-panic)
     }
 
     fn index(&self, bank: usize, pc: Addr, history: GlobalHistory) -> u64 {
@@ -133,7 +132,7 @@ mod tests {
 
     #[test]
     fn learns_biased_branches() {
-        let mut g = Gskew::new(1024);
+        let mut g = Gskew::new(1024).unwrap();
         let pc = Addr::new(0x8000);
         let h = GlobalHistory::new(15);
         for _ in 0..10 {
@@ -144,7 +143,7 @@ mod tests {
 
     #[test]
     fn majority_vote_outvotes_a_poisoned_bank() {
-        let mut g = Gskew::new(1 << 12);
+        let mut g = Gskew::new(1 << 12).unwrap();
         let h = GlobalHistory::new(15);
         let victim = Addr::new(0x4000);
         // Train the victim taken.
@@ -183,7 +182,10 @@ mod tests {
             g.banks[0].get(idx0_full).state() < 3,
             "alias never touched the shared counter"
         );
-        assert!(g.predict(victim, h), "majority vote failed to outvote alias");
+        assert!(
+            g.predict(victim, h),
+            "majority vote failed to outvote alias"
+        );
         // The victim's own banks 1 and 2 are untouched.
         let votes = g.votes(victim, h);
         assert!(votes[1] && votes[2]);
@@ -191,7 +193,7 @@ mod tests {
 
     #[test]
     fn partial_update_leaves_disagreeing_bank_for_its_own_branch() {
-        let mut g = Gskew::new(1024);
+        let mut g = Gskew::new(1024).unwrap();
         let pc = Addr::new(0xc000);
         let h = GlobalHistory::new(15);
         // All banks default to weak-taken; a taken outcome with the partial
@@ -214,7 +216,7 @@ mod tests {
 
     #[test]
     fn indices_are_decorrelated_across_banks() {
-        let g = Gskew::new(1 << 15);
+        let g = Gskew::new(1 << 15).unwrap();
         let h = GlobalHistory::new(15);
         let mask = g.banks[0].mask();
         let mut collisions = [0u32; 3];

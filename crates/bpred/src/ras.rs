@@ -1,6 +1,6 @@
 //! Return address stack with low-cost misspeculation repair.
 
-use smt_isa::Addr;
+use smt_isa::{Addr, Diagnostic};
 
 /// A circular return-address stack, one per hardware thread (Table 3 marks
 /// the 64-entry RAS as replicated per thread).
@@ -33,23 +33,30 @@ pub struct RasCheckpoint {
 impl ReturnStack {
     /// Creates a stack with `capacity` entries.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "RAS capacity must be positive");
-        ReturnStack {
+    /// `E0013` if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, Diagnostic> {
+        if capacity == 0 {
+            return Err(Diagnostic::error(
+                "E0013",
+                "ras_depth",
+                "return-address stack capacity must be positive",
+                "the paper uses a 64-entry RAS per thread",
+            ));
+        }
+        Ok(ReturnStack {
             entries: vec![Addr::NULL; capacity],
             top: capacity - 1,
             depth: 0,
             pushes: 0,
             pops: 0,
-        }
+        })
     }
 
     /// The paper's configuration: 64 entries.
     pub fn hpca2004() -> Self {
-        ReturnStack::new(64)
+        ReturnStack::new(64).expect("preset geometry is valid") // lint:allow(no-panic)
     }
 
     /// Capacity in entries.
@@ -123,7 +130,7 @@ mod tests {
 
     #[test]
     fn lifo_order() {
-        let mut s = ReturnStack::new(8);
+        let mut s = ReturnStack::new(8).unwrap();
         s.push(Addr::new(0x10));
         s.push(Addr::new(0x20));
         s.push(Addr::new(0x30));
@@ -135,14 +142,14 @@ mod tests {
 
     #[test]
     fn empty_pop_returns_null() {
-        let mut s = ReturnStack::new(4);
+        let mut s = ReturnStack::new(4).unwrap();
         assert_eq!(s.pop(), Addr::NULL);
         assert!(s.peek().is_none());
     }
 
     #[test]
     fn circular_overwrite_keeps_recent_entries() {
-        let mut s = ReturnStack::new(4);
+        let mut s = ReturnStack::new(4).unwrap();
         for i in 1..=6u64 {
             s.push(Addr::new(i * 0x10));
         }
@@ -157,7 +164,7 @@ mod tests {
 
     #[test]
     fn checkpoint_repairs_push_pop_speculation() {
-        let mut s = ReturnStack::new(8);
+        let mut s = ReturnStack::new(8).unwrap();
         s.push(Addr::new(0x100));
         s.push(Addr::new(0x200));
         let ckpt = s.checkpoint();
@@ -173,7 +180,7 @@ mod tests {
 
     #[test]
     fn checkpoint_repairs_wrong_path_pop_of_top() {
-        let mut s = ReturnStack::new(8);
+        let mut s = ReturnStack::new(8).unwrap();
         s.push(Addr::new(0x42));
         let ckpt = s.checkpoint();
         let _ = s.pop();
@@ -184,8 +191,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
-        let _ = ReturnStack::new(0);
+        let d = ReturnStack::new(0).unwrap_err();
+        assert_eq!(d.code, "E0013");
+        assert!(d.is_error());
     }
 }

@@ -14,7 +14,7 @@
 //! (Depth-Older-Last-Current = 16-2-4-10). The second level is allocated
 //! only when the first level mispredicts, and wins on a hit.
 
-use smt_isa::{Addr, BranchKind};
+use smt_isa::{Addr, BranchKind, Diagnostic};
 
 use crate::assoc::SetAssoc;
 use crate::counters::TwoBit;
@@ -161,23 +161,30 @@ pub struct StreamPredictor {
 impl StreamPredictor {
     /// Creates a cascaded stream predictor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics under the same conditions as [`SetAssoc::new`], or if
-    /// `max_stream` is zero.
+    /// Fails under the same conditions as [`SetAssoc::new`]
+    /// (`E0001`/`E0002`), or with `E0012` if `max_stream` is zero.
     pub fn new(
         l1_entries: usize,
         l2_entries: usize,
         ways: usize,
         dolc: Dolc,
         max_stream: u32,
-    ) -> Self {
-        assert!(max_stream > 0, "max stream length must be positive");
-        let l1 = SetAssoc::new(l1_entries, ways);
-        let l2 = SetAssoc::new(l2_entries, ways);
+    ) -> Result<Self, Diagnostic> {
+        if max_stream == 0 {
+            return Err(Diagnostic::error(
+                "E0012",
+                "max_stream",
+                "maximum stream length must be positive",
+                "the paper caps streams at 64 instructions",
+            ));
+        }
+        let l1 = SetAssoc::new(l1_entries, ways).map_err(|d| d.in_field("stream_l1_entries"))?;
+        let l2 = SetAssoc::new(l2_entries, ways).map_err(|d| d.in_field("stream_l2_entries"))?;
         let l1_set_bits = l1.num_sets().trailing_zeros();
         let l2_set_bits = l2.num_sets().trailing_zeros();
-        StreamPredictor {
+        Ok(StreamPredictor {
             l1,
             l2,
             l1_set_bits,
@@ -185,13 +192,14 @@ impl StreamPredictor {
             dolc,
             max_stream,
             l2_allocs: 0,
-        }
+        })
     }
 
     /// The paper's configuration: 1K-entry + 4K-entry, both 4-way,
     /// DOLC 16-2-4-10, with streams capped at 64 instructions.
     pub fn hpca2004() -> Self {
-        StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64)
+        // lint:allow(no-panic)
+        StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64).expect("preset geometry is valid")
     }
 
     /// Maximum stream length in instructions.
@@ -343,7 +351,7 @@ mod tests {
 
     #[test]
     fn learns_a_stable_stream() {
-        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64);
+        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64).unwrap();
         let start = Addr::new(0x1000);
         let path = StreamPath::new();
         assert!(sp.predict(start, &path).is_none());
@@ -356,7 +364,7 @@ mod tests {
 
     #[test]
     fn long_streams_are_capped() {
-        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64);
+        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64).unwrap();
         let start = Addr::new(0x1000);
         let path = StreamPath::new();
         sp.train(start, &path, obs(200, 0x2000));
@@ -367,7 +375,7 @@ mod tests {
 
     #[test]
     fn path_correlated_streams_move_to_l2() {
-        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64);
+        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64).unwrap();
         let start = Addr::new(0x1000);
         let mut path_a = StreamPath::new();
         path_a.push(Addr::new(0x5014));
@@ -396,7 +404,7 @@ mod tests {
 
     #[test]
     fn hysteresis_resists_one_off_noise() {
-        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64);
+        let mut sp = StreamPredictor::new(64, 256, 4, Dolc::HPCA2004, 64).unwrap();
         let start = Addr::new(0x1000);
         let path = StreamPath::new();
         sp.train(start, &path, obs(12, 0x2000));
@@ -416,8 +424,10 @@ mod tests {
         path.push(Addr::new(0x104));
         let ckpt = path;
         path.push(Addr::new(0x20c));
-        assert_ne!(path.dolc_hash(Addr::new(0x1000), Dolc::HPCA2004),
-                   ckpt.dolc_hash(Addr::new(0x1000), Dolc::HPCA2004));
+        assert_ne!(
+            path.dolc_hash(Addr::new(0x1000), Dolc::HPCA2004),
+            ckpt.dolc_hash(Addr::new(0x1000), Dolc::HPCA2004)
+        );
         path = ckpt;
         assert_eq!(path, ckpt);
     }
@@ -431,7 +441,10 @@ mod tests {
             p1.push(Addr::new(0x1000 + i * 68));
             p2.push(Addr::new(0x1000 + i * 68));
         }
-        assert_eq!(p1.dolc_hash(Addr::new(0x4000), dolc), p2.dolc_hash(Addr::new(0x4000), dolc));
+        assert_eq!(
+            p1.dolc_hash(Addr::new(0x4000), dolc),
+            p2.dolc_hash(Addr::new(0x4000), dolc)
+        );
         // Different current.
         assert_ne!(
             p1.dolc_hash(Addr::new(0x4000), dolc),

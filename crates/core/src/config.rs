@@ -1,6 +1,19 @@
-//! Simulator configuration (Table 3 of the paper).
+//! Simulator configuration (Table 3 of the paper) and its semantic
+//! validator.
+//!
+//! [`SimConfig::validate`] checks every structural invariant the simulator
+//! relies on — predictor table geometry, memory-hierarchy shapes,
+//! fetch-policy × hardware compatibility, resource bounds — and reports
+//! problems as [`Diagnostic`]s with stable codes (the table lives in the
+//! repository README). [`Simulator`](crate::Simulator) construction and
+//! every experiment binary run the validator before simulating.
 
 use std::fmt;
+
+use smt_isa::{Diagnostic, NUM_ARCH_FP, NUM_ARCH_INT};
+use smt_mem::{MemoryConfig, MemoryHierarchy};
+
+use crate::engine::{Engine, LINE_BYTES};
 
 /// Which high-performance fetch engine drives the front-end (paper §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -229,6 +242,71 @@ impl fmt::Display for FetchPolicy {
     }
 }
 
+/// Branch-predictor and fetch-engine table geometry (Table 3).
+///
+/// Passive configuration record (public fields by design). Structural
+/// legality (power-of-two tables, associativity dividing entries, positive
+/// depths) is checked by [`SimConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// gshare pattern-history table entries (64K).
+    pub gshare_entries: usize,
+    /// gshare global-history length in bits (16).
+    pub gshare_hist_bits: u32,
+    /// gskew entries per bank, three banks (32K).
+    pub gskew_entries_per_bank: usize,
+    /// gskew global-history length in bits (15).
+    pub gskew_hist_bits: u32,
+    /// Branch target buffer entries (2K).
+    pub btb_entries: usize,
+    /// BTB associativity (4).
+    pub btb_ways: usize,
+    /// Fetch target buffer entries (2K).
+    pub ftb_entries: usize,
+    /// FTB associativity (4).
+    pub ftb_ways: usize,
+    /// Return-address-stack depth, replicated per thread (64).
+    pub ras_depth: usize,
+    /// First-level stream-predictor entries (1K).
+    pub stream_l1_entries: usize,
+    /// Second-level (DOLC-indexed) stream-predictor entries (4K).
+    pub stream_l2_entries: usize,
+    /// Stream-table associativity, both levels (4).
+    pub stream_ways: usize,
+    /// Trace-cache lines (512), for the related-work comparator.
+    pub tc_entries: usize,
+    /// Trace-cache associativity (4).
+    pub tc_ways: usize,
+}
+
+impl PredictorConfig {
+    /// The paper's Table 3 predictor geometry.
+    pub fn hpca2004() -> Self {
+        PredictorConfig {
+            gshare_entries: 64 * 1024,
+            gshare_hist_bits: 16,
+            gskew_entries_per_bank: 32 * 1024,
+            gskew_hist_bits: 15,
+            btb_entries: 2048,
+            btb_ways: 4,
+            ftb_entries: 2048,
+            ftb_ways: 4,
+            ras_depth: 64,
+            stream_l1_entries: 1024,
+            stream_l2_entries: 4096,
+            stream_ways: 4,
+            tc_entries: 512,
+            tc_ways: 4,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::hpca2004()
+    }
+}
+
 /// Processor resources (Table 3).
 ///
 /// Passive configuration record (public fields by design).
@@ -266,6 +344,12 @@ pub struct SimConfig {
     pub max_stream: u32,
     /// Maximum FTB fetch-block length (16).
     pub max_ftb_block: u32,
+    /// Branch-predictor and fetch-engine table geometry.
+    pub predictor: PredictorConfig,
+    /// Memory-hierarchy geometry (caches, MSHRs, TLBs). `mem.i_mshrs` is a
+    /// floor: the simulator raises it to one MSHR per hardware thread, the
+    /// paper's requirement.
+    pub mem: MemoryConfig,
 }
 
 impl SimConfig {
@@ -289,7 +373,274 @@ impl SimConfig {
             fu_fp: 3,
             max_stream: 64,
             max_ftb_block: 16,
+            predictor: PredictorConfig::hpca2004(),
+            mem: MemoryConfig::hpca2004(1),
         }
+    }
+
+    /// Semantically validates the configuration for a single-thread run.
+    ///
+    /// Returns every problem found (not just the first): `E`-codes are
+    /// structural errors — the configuration must not be simulated —
+    /// `W`-codes are legal-but-suspicious warnings. An empty vector means
+    /// the configuration is clean. See [`SimConfig::validate_for_threads`]
+    /// for thread-count-dependent resource checks.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        self.validate_for_threads(1)
+    }
+
+    /// Semantically validates the configuration for `threads` hardware
+    /// contexts (adds the register-file sufficiency checks `E0007`/`W0102`).
+    pub fn validate_for_threads(&self, threads: usize) -> Vec<Diagnostic> {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        let push = |diags: &mut Vec<Diagnostic>, d: Diagnostic| {
+            // Engines share substrates (e.g. the BTB), so construction can
+            // report the same finding twice; keep the first of each.
+            if !diags
+                .iter()
+                .any(|x| x.code == d.code && x.field == d.field && x.message == d.message)
+            {
+                diags.push(d);
+            }
+        };
+
+        // --- Fetch policy shape (E0004) and compatibility (E0003). ---
+        let p = &self.fetch_policy;
+        if !(1..=2).contains(&p.threads_per_cycle) {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0004",
+                    "fetch_policy.threads_per_cycle",
+                    format!(
+                        "n.X policies fetch from 1 or 2 threads per cycle (got n = {})",
+                        p.threads_per_cycle
+                    ),
+                    "use the paper's 1.X or 2.X architectures",
+                ),
+            );
+        }
+        if p.width == 0 {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0004",
+                    "fetch_policy.width",
+                    "fetch width X must be positive".to_string(),
+                    "the paper sweeps X in {8, 16}",
+                ),
+            );
+        }
+        if p.threads_per_cycle == 2 && self.mem.l1i.banks < 2 {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0003",
+                    "fetch_policy.threads_per_cycle",
+                    format!(
+                        "a 2.X fetch architecture needs a multi-banked I-cache \
+                     (got {} bank)",
+                        self.mem.l1i.banks
+                    ),
+                    "give mem.l1i at least 2 banks (Table 3 uses 8) or use a 1.X policy",
+                ),
+            );
+        }
+
+        // --- Front-end buffering (E0005, E0006). ---
+        if self.fetch_buffer < p.width {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0005",
+                    "fetch_buffer",
+                    format!(
+                        "fetch buffer ({} entries) cannot hold one fetch of width {}",
+                        self.fetch_buffer, p.width
+                    ),
+                    "make fetch_buffer at least the fetch width (Table 3: 32)",
+                ),
+            );
+        }
+        if self.ftq_depth == 0 {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0006",
+                    "ftq_depth",
+                    "decoupled fetch needs at least one FTQ entry per thread".to_string(),
+                    "the paper uses 4-deep fetch target queues",
+                ),
+            );
+        }
+
+        // --- Back-end resources (E0008). ---
+        for (field, v) in [
+            ("decode_width", self.decode_width),
+            ("commit_width", self.commit_width),
+            ("rob_size", self.rob_size),
+            ("iq_int", self.iq_int),
+            ("iq_ls", self.iq_ls),
+            ("iq_fp", self.iq_fp),
+            ("fu_int", self.fu_int),
+            ("fu_ls", self.fu_ls),
+            ("fu_fp", self.fu_fp),
+        ] {
+            if v == 0 {
+                push(
+                    &mut diags,
+                    Diagnostic::error(
+                        "E0008",
+                        field,
+                        "pipeline resource must be positive".to_string(),
+                        "see Table 3 for the paper's sizes",
+                    ),
+                );
+            }
+        }
+
+        // --- Register files vs. thread count (E0007, W0102). ---
+        let threads = threads.max(1) as u32;
+        let (need_int, need_fp) = (
+            threads * u32::from(NUM_ARCH_INT),
+            threads * u32::from(NUM_ARCH_FP),
+        );
+        for (field, have, need) in [
+            ("regs_int", self.regs_int, need_int),
+            ("regs_fp", self.regs_fp, need_fp),
+        ] {
+            if have < need {
+                push(
+                    &mut diags,
+                    Diagnostic::error(
+                        "E0007",
+                        field,
+                        format!(
+                            "{have} physical registers cannot architect {threads} \
+                         thread(s) × 32 architectural registers"
+                        ),
+                        "Table 3 provides 384 of each class for 8 contexts",
+                    ),
+                );
+            } else if have < need + self.decode_width {
+                push(
+                    &mut diags,
+                    Diagnostic::warning(
+                        "W0102",
+                        field,
+                        format!(
+                            "{have} physical registers leave fewer than \
+                         decode_width ({}) free after architecting {threads} \
+                         thread(s); rename will stall immediately",
+                            self.decode_width
+                        ),
+                        "provide headroom beyond 32 per thread",
+                    ),
+                );
+            }
+        }
+
+        // --- Predictor geometry: validate by construction (E0001, E0002,
+        // E0012, E0014), exactly the checks the real constructors apply. ---
+        for kind in FetchEngineKind::all_with_trace_cache() {
+            if let Err(d) = Engine::build(kind, self) {
+                push(&mut diags, d);
+            }
+        }
+        if let Err(d) = smt_bpred::ReturnStack::new(self.predictor.ras_depth) {
+            push(&mut diags, d.in_field("predictor.ras_depth"));
+        }
+        for (field, bits) in [
+            (
+                "predictor.gshare_hist_bits",
+                self.predictor.gshare_hist_bits,
+            ),
+            ("predictor.gskew_hist_bits", self.predictor.gskew_hist_bits),
+        ] {
+            if !(1..=64).contains(&bits) {
+                push(
+                    &mut diags,
+                    Diagnostic::error(
+                        "E0014",
+                        field,
+                        format!("global history must be 1..=64 bits (got {bits})"),
+                        "the paper uses 16 (gshare) and 15 (gskew)",
+                    ),
+                );
+            }
+        }
+
+        // --- History length vs. table index bits (W0101). ---
+        for (field, bits, entries) in [
+            (
+                "predictor.gshare_hist_bits",
+                self.predictor.gshare_hist_bits,
+                self.predictor.gshare_entries,
+            ),
+            (
+                "predictor.gskew_hist_bits",
+                self.predictor.gskew_hist_bits,
+                self.predictor.gskew_entries_per_bank,
+            ),
+        ] {
+            if entries.is_power_of_two() && u64::from(bits) > entries.trailing_zeros() as u64 {
+                push(
+                    &mut diags,
+                    Diagnostic::warning(
+                        "W0101",
+                        field,
+                        format!(
+                            "{bits}-bit history exceeds the {} index bits of a \
+                         {entries}-entry table; distinct histories will alias",
+                            entries.trailing_zeros()
+                        ),
+                        "grow the table or shorten the history",
+                    ),
+                );
+            }
+        }
+
+        // --- Memory hierarchy: validate by construction (E0009, E0010,
+        // E0011), with the same per-thread I-MSHR floor the simulator
+        // applies. ---
+        let mut mem_cfg = self.mem.clone();
+        mem_cfg.i_mshrs = mem_cfg.i_mshrs.max(threads as usize);
+        if let Err(d) = MemoryHierarchy::new(mem_cfg) {
+            push(&mut diags, d);
+        }
+        if self.mem.l1i.line_bytes != LINE_BYTES {
+            push(
+                &mut diags,
+                Diagnostic::error(
+                    "E0015",
+                    "mem.l1i.line_bytes",
+                    format!(
+                        "the fetch unit's block-building assumes {LINE_BYTES} B \
+                     I-cache lines (got {})",
+                        self.mem.l1i.line_bytes
+                    ),
+                    "use the 64 B line size of Table 3",
+                ),
+            );
+        }
+        if self.mem.l2.size_bytes < self.mem.l1i.size_bytes + self.mem.l1d.size_bytes {
+            push(
+                &mut diags,
+                Diagnostic::warning(
+                    "W0103",
+                    "mem.l2.size_bytes",
+                    format!(
+                        "L2 ({} B) is smaller than L1I + L1D ({} B); inclusion \
+                     thrashing will dominate",
+                        self.mem.l2.size_bytes,
+                        self.mem.l1i.size_bytes + self.mem.l1d.size_bytes
+                    ),
+                    "Table 3 uses a 1 MB L2 over 32 KB + 32 KB L1s",
+                ),
+            );
+        }
+
+        diags
     }
 }
 
@@ -300,6 +651,9 @@ impl Default for SimConfig {
 }
 
 #[cfg(test)]
+// The validator tests mutate one field of the Table 3 default at a
+// time; reassignment after `default()` is the point.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 
@@ -316,7 +670,10 @@ mod tests {
             .iter()
             .map(|p| p.to_string())
             .collect();
-        assert_eq!(names, ["ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16"]);
+        assert_eq!(
+            names,
+            ["ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16"]
+        );
     }
 
     #[test]
@@ -342,5 +699,198 @@ mod tests {
         assert_eq!(FetchEngineKind::GskewFtb.to_string(), "gskew+FTB");
         assert_eq!(FetchEngineKind::Stream.to_string(), "stream");
         assert_eq!(FetchEngineKind::all().len(), 3);
+    }
+
+    // ----- validator -----------------------------------------------------
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn assert_rejects(cfg: &SimConfig, threads: usize, code: &str) {
+        let diags = cfg.validate_for_threads(threads);
+        assert!(
+            codes(&diags).contains(&code),
+            "expected {code}, got {:?}",
+            codes(&diags)
+        );
+        assert!(smt_isa::has_errors(&diags), "{code} should be an error");
+    }
+
+    #[test]
+    fn table3_config_validates_clean_for_all_thread_counts() {
+        for policy in FetchPolicy::paper_sweep() {
+            let cfg = SimConfig::hpca2004(policy);
+            for threads in 1..=smt_isa::MAX_THREADS {
+                let diags = cfg.validate_for_threads(threads);
+                assert!(diags.is_empty(), "{policy}: {diags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e0001_non_power_of_two_table_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.predictor.gshare_entries = 3000;
+        assert_rejects(&cfg, 1, "E0001");
+    }
+
+    #[test]
+    fn e0002_entries_not_multiple_of_ways_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.predictor.btb_entries = 2048;
+        cfg.predictor.btb_ways = 5;
+        assert_rejects(&cfg, 1, "E0002");
+    }
+
+    #[test]
+    fn e0003_two_ported_fetch_needs_banked_icache() {
+        let mut cfg = SimConfig::hpca2004(FetchPolicy::icount(2, 8));
+        cfg.mem.l1i.banks = 1;
+        assert_rejects(&cfg, 2, "E0003");
+        // The 1.X architecture never needs the second port.
+        let mut one = SimConfig::hpca2004(FetchPolicy::icount(1, 8));
+        one.mem.l1i.banks = 1;
+        assert!(!codes(&one.validate()).contains(&"E0003"));
+    }
+
+    #[test]
+    fn e0004_malformed_policy_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.fetch_policy.threads_per_cycle = 3;
+        assert_rejects(&cfg, 1, "E0004");
+        let mut cfg = SimConfig::default();
+        cfg.fetch_policy.width = 0;
+        assert_rejects(&cfg, 1, "E0004");
+    }
+
+    #[test]
+    fn e0005_fetch_buffer_smaller_than_width_rejected() {
+        let mut cfg = SimConfig::hpca2004(FetchPolicy::icount(1, 16));
+        cfg.fetch_buffer = 8;
+        assert_rejects(&cfg, 1, "E0005");
+    }
+
+    #[test]
+    fn e0006_zero_ftq_depth_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.ftq_depth = 0;
+        assert_rejects(&cfg, 1, "E0006");
+    }
+
+    #[test]
+    fn e0007_insufficient_registers_depends_on_thread_count() {
+        let mut cfg = SimConfig::default();
+        cfg.regs_int = 100; // < 4 threads × 32
+        assert_rejects(&cfg, 4, "E0007");
+        // But three threads fit (96 ≤ 100), modulo a headroom warning.
+        let diags = cfg.validate_for_threads(3);
+        assert!(!smt_isa::has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn e0008_zero_pipeline_resource_rejected() {
+        for field in 0..3 {
+            let mut cfg = SimConfig::default();
+            match field {
+                0 => cfg.rob_size = 0,
+                1 => cfg.decode_width = 0,
+                _ => cfg.fu_ls = 0,
+            }
+            assert_rejects(&cfg, 1, "E0008");
+        }
+    }
+
+    #[test]
+    fn e0009_bad_cache_geometry_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.mem.l1d.size_bytes = 48 * 1024; // 384 sets: not a power of two
+        assert_rejects(&cfg, 1, "E0009");
+    }
+
+    #[test]
+    fn e0010_zero_mshrs_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.mem.d_mshrs = 0;
+        assert_rejects(&cfg, 1, "E0010");
+    }
+
+    #[test]
+    fn e0011_bad_tlb_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.mem.itlb.entries = 0;
+        assert_rejects(&cfg, 1, "E0011");
+    }
+
+    #[test]
+    fn e0012_zero_block_limits_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.max_stream = 0;
+        assert_rejects(&cfg, 1, "E0012");
+        let mut cfg = SimConfig::default();
+        cfg.max_ftb_block = 0;
+        assert_rejects(&cfg, 1, "E0012");
+    }
+
+    #[test]
+    fn e0013_zero_ras_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.predictor.ras_depth = 0;
+        assert_rejects(&cfg, 1, "E0013");
+    }
+
+    #[test]
+    fn e0014_history_out_of_range_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.predictor.gskew_hist_bits = 0;
+        assert_rejects(&cfg, 1, "E0014");
+        let mut cfg = SimConfig::default();
+        cfg.predictor.gshare_hist_bits = 65;
+        assert_rejects(&cfg, 1, "E0014");
+    }
+
+    #[test]
+    fn e0015_foreign_line_size_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.mem.l1i.line_bytes = 32;
+        assert_rejects(&cfg, 1, "E0015");
+    }
+
+    #[test]
+    fn w0101_history_longer_than_index_warns() {
+        let mut cfg = SimConfig::default();
+        cfg.predictor.gshare_entries = 1024; // 10 index bits < 16-bit history
+        let diags = cfg.validate();
+        assert!(codes(&diags).contains(&"W0101"), "{diags:?}");
+        assert!(!smt_isa::has_errors(&diags), "warning must not block");
+    }
+
+    #[test]
+    fn w0102_no_rename_headroom_warns() {
+        let mut cfg = SimConfig::default();
+        cfg.regs_int = 8 * 32 + 4; // enough to architect, < decode_width spare
+        let diags = cfg.validate_for_threads(8);
+        assert!(codes(&diags).contains(&"W0102"), "{diags:?}");
+        assert!(!smt_isa::has_errors(&diags));
+    }
+
+    #[test]
+    fn w0103_undersized_l2_warns() {
+        let mut cfg = SimConfig::default();
+        cfg.mem.l2.size_bytes = 32 * 1024;
+        let diags = cfg.validate();
+        assert!(codes(&diags).contains(&"W0103"), "{diags:?}");
+        assert!(!smt_isa::has_errors(&diags));
+    }
+
+    #[test]
+    fn diagnostics_deduplicate_shared_substrates() {
+        // The BTB backs both the gshare engine and the trace-cache engine;
+        // one broken BTB must surface once, not once per engine.
+        let mut cfg = SimConfig::default();
+        cfg.predictor.btb_entries = 3000;
+        let diags = cfg.validate();
+        let hits = diags.iter().filter(|d| d.field.contains("btb")).count();
+        assert_eq!(hits, 1, "{diags:?}");
     }
 }

@@ -17,7 +17,7 @@ use smt_bpred::{
     Btb, Ftb, GlobalHistory, Gshare, Gskew, ObservedEnd, ObservedStream, RasCheckpoint,
     ReturnStack, StreamPath, StreamPredictor, Trace, TraceCache, TraceSegment,
 };
-use smt_isa::{Addr, BranchKind, DynInst, EndBranch, FetchBlock, ThreadId};
+use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, ThreadId};
 use smt_workloads::Program;
 
 use crate::config::{FetchEngineKind, SimConfig};
@@ -141,34 +141,58 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Builds the engine in the paper's Table 3 configuration.
-    pub fn hpca2004(kind: FetchEngineKind, cfg: &SimConfig) -> Self {
-        match kind {
+    /// Builds the engine from the configuration's predictor geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found in the requested tables
+    /// (`E0001`/`E0002` geometry, `E0012` block/stream caps). Use
+    /// [`SimConfig::validate`] to collect *all* problems at once.
+    pub fn build(kind: FetchEngineKind, cfg: &SimConfig) -> Result<Self, Diagnostic> {
+        let p = &cfg.predictor;
+        let scoped = |d: Diagnostic| {
+            let field = format!("predictor.{}", d.field);
+            d.in_field(field)
+        };
+        Ok(match kind {
             FetchEngineKind::GshareBtb => Engine::GshareBtb {
-                gshare: Gshare::hpca2004(),
-                btb: Btb::hpca2004(),
+                gshare: Gshare::new(p.gshare_entries).map_err(scoped)?,
+                btb: Btb::new(p.btb_entries, p.btb_ways).map_err(scoped)?,
             },
             FetchEngineKind::GskewFtb => Engine::GskewFtb {
-                gskew: Gskew::hpca2004(),
-                ftb: Ftb::new(2048, 4, cfg.max_ftb_block),
+                gskew: Gskew::new(p.gskew_entries_per_bank).map_err(scoped)?,
+                ftb: Ftb::new(p.ftb_entries, p.ftb_ways, cfg.max_ftb_block).map_err(scoped)?,
             },
             FetchEngineKind::Stream => Engine::Stream {
                 predictor: StreamPredictor::new(
-                    1024,
-                    4096,
-                    4,
+                    p.stream_l1_entries,
+                    p.stream_l2_entries,
+                    p.stream_ways,
                     smt_bpred::Dolc::HPCA2004,
                     cfg.max_stream,
-                ),
+                )
+                .map_err(scoped)?,
             },
             FetchEngineKind::TraceCache => Engine::TraceCache {
-                tc: TraceCache::typical(),
-                multi: Gshare::new(32 * 1024),
-                gshare: Gshare::new(32 * 1024),
-                btb: Btb::hpca2004(),
+                tc: TraceCache::new(p.tc_entries, p.tc_ways).map_err(scoped)?,
+                // The core fetch unit backing the trace cache uses a halved
+                // gshare so the comparator's total budget stays paper-like.
+                multi: Gshare::new(32 * 1024).map_err(scoped)?,
+                gshare: Gshare::new(32 * 1024).map_err(scoped)?,
+                btb: Btb::new(p.btb_entries, p.btb_ways).map_err(scoped)?,
                 next_group: 1,
             },
-        }
+        })
+    }
+
+    /// Builds the engine in the paper's Table 3 configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has invalid predictor geometry; prefer
+    /// [`Engine::build`] for configurations that are not known-good.
+    pub fn hpca2004(kind: FetchEngineKind, cfg: &SimConfig) -> Self {
+        Engine::build(kind, cfg).expect("Table 3 geometry is valid") // lint:allow(no-panic)
     }
 
     /// Which engine this is.
@@ -238,8 +262,11 @@ impl Engine {
                                 BranchKind::Return => (true, spec.ras.pop()),
                             };
                             let fall = pc.add_insts(len as u64);
-                            let next =
-                                if taken && !target.is_null() { target } else { fall };
+                            let next = if taken && !target.is_null() {
+                                target
+                            } else {
+                                fall
+                            };
                             FetchBlock {
                                 thread,
                                 start: pc,
@@ -390,10 +417,9 @@ impl Engine {
                         match kind {
                             BranchKind::Cond => spec.hist.push(taken),
                             BranchKind::Call => spec.ras.push(end_pc.add_insts(1)),
-                            BranchKind::Return
-                                if taken => {
-                                    let _ = spec.ras.pop();
-                                }
+                            BranchKind::Return if taken => {
+                                let _ = spec.ras.pop();
+                            }
                             _ => {}
                         }
                         EndBranch {
@@ -441,7 +467,7 @@ impl Engine {
                     gshare.update(di.pc, info.meta.hist, di.taken);
                 }
                 if di.taken {
-                    let kind = di.class.branch_kind().expect("branch");
+                    let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
                     btb.record_taken(di.pc, di.next_pc, kind);
                 }
             }
@@ -450,7 +476,7 @@ impl Engine {
                     gskew.update(di.pc, info.meta.hist, di.taken);
                 }
                 if di.taken {
-                    let kind = di.class.branch_kind().expect("branch");
+                    let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
                     ftb.record_taken(
                         info.block_start,
                         ObservedEnd {
@@ -474,7 +500,7 @@ impl Engine {
                     gshare.update(di.pc, info.meta.hist, di.taken);
                 }
                 if di.taken {
-                    let kind = di.class.branch_kind().expect("branch");
+                    let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
                     btb.record_taken(di.pc, di.next_pc, kind);
                 }
             }
@@ -596,7 +622,7 @@ impl Engine {
                 debug_assert_eq!(next_pc, pc.add_insts(1), "trace segment contiguity");
             }
         }
-        let next_pc = fill.entries.last().expect("non-empty").3;
+        let next_pc = fill.entries.last().expect("non-empty").3; // lint:allow(no-panic)
         let start = fill.entries[0].0;
         let start_hist = fill.start_hist;
         fill.entries.clear();
@@ -637,7 +663,7 @@ fn classic_block(
     match program.first_branch_at_or_after(pc, max) {
         Some((dist, inst)) => {
             let end_pc = inst.addr;
-            let kind = inst.class.branch_kind().expect("scan returns branches");
+            let kind = inst.class.branch_kind().expect("scan returns branches"); // lint:allow(no-panic)
             let (taken, target) = match kind {
                 BranchKind::Cond => {
                     let t = gshare.predict(end_pc, spec.hist);
@@ -668,7 +694,11 @@ fn classic_block(
             };
             let len = (dist + 1) as u32;
             let fall = pc.add_insts(len as u64);
-            let next = if taken && !target.is_null() { target } else { fall };
+            let next = if taken && !target.is_null() {
+                target
+            } else {
+                fall
+            };
             FetchBlock {
                 thread,
                 start: pc,
@@ -873,7 +903,11 @@ mod tests {
         };
         for i in 0..5u64 {
             let pc = base.add_insts(i);
-            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
         }
         let br = base.add_insts(5);
         let tgt = base.add_insts(40);
@@ -884,7 +918,11 @@ mod tests {
         );
         for i in 0..4u64 {
             let pc = tgt.add_insts(i);
-            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
         }
         let br2 = tgt.add_insts(4);
         let tgt2 = base.add_insts(80);
@@ -897,7 +935,11 @@ mod tests {
         // total, under the 16-instruction line limit).
         for i in 0..3u64 {
             let pc = tgt2.add_insts(i);
-            e.trace_fill_commit(&mut fill, &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)), 0);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
         }
         let br3 = tgt2.add_insts(3);
         e.trace_fill_commit(

@@ -41,8 +41,13 @@ mod metrics;
 mod sim;
 mod thread;
 
-pub use config::{FetchEngineKind, FetchPolicy, PolicyKind, SimConfig};
-pub use engine::{BlockMeta, BranchInfo, Engine, PredictedBlock, SpecState, TraceFillBuffer, LINE_BYTES};
+pub use config::{
+    FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, PredictorConfig, SimConfig,
+};
+pub use engine::{
+    BlockMeta, BranchInfo, Engine, PredictedBlock, SpecState, TraceFillBuffer, LINE_BYTES,
+};
 pub use metrics::{FetchDistribution, SimStats};
 pub use sim::{BuildError, SimBuilder, Simulator};
+pub use smt_isa::{has_errors, Diagnostic, Severity};
 pub use thread::{FtqEntry, InFlight, PhysReg, ThreadState};

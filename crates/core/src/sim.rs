@@ -15,10 +15,16 @@
 //! **1.X** (Figure 1: one thread per cycle, single I-cache port) and **2.X**
 //! (Figure 3: two threads, two ports, bank-conflict logic, merge).
 
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
 use std::collections::VecDeque;
 
-use smt_bpred::ObservedStream;
-use smt_isa::{ArchReg, Cycle, InstClass, RegClass, MAX_THREADS};
+use smt_bpred::{ObservedStream, ReturnStack};
+use smt_isa::{ArchReg, Cycle, Diagnostic, InstClass, RegClass, MAX_THREADS};
 use smt_mem::{DataOutcome, FetchOutcome, MemoryHierarchy};
 use smt_workloads::Program;
 
@@ -37,6 +43,10 @@ pub enum BuildError {
         /// Programs supplied.
         got: usize,
     },
+    /// The configuration failed semantic validation
+    /// ([`SimConfig::validate_for_threads`]); the diagnostics describe
+    /// every error found.
+    InvalidConfig(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for BuildError {
@@ -44,7 +54,17 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::NoThreads => write!(f, "workload has no programs"),
             BuildError::TooManyThreads { got } => {
-                write!(f, "workload has {got} programs but at most {MAX_THREADS} contexts")
+                write!(
+                    f,
+                    "workload has {got} programs but at most {MAX_THREADS} contexts"
+                )
+            }
+            BuildError::InvalidConfig(diags) => {
+                write!(f, "configuration failed validation:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -177,15 +197,22 @@ impl Simulator {
                 got: programs.len(),
             });
         }
-        let engine = Engine::hpca2004(engine_kind, &cfg);
-        let hist_bits = engine.history_bits();
         let n = programs.len();
+        let diags = cfg.validate_for_threads(n);
+        if smt_isa::has_errors(&diags) {
+            return Err(BuildError::InvalidConfig(diags));
+        }
+        let engine =
+            Engine::build(engine_kind, &cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
+        let hist_bits = engine.history_bits();
 
         let total_regs = (cfg.regs_int + cfg.regs_fp) as usize;
         let mut free_int: Vec<PhysReg> = (0..cfg.regs_int).rev().collect();
         let mut free_fp: Vec<PhysReg> = (cfg.regs_int..cfg.regs_int + cfg.regs_fp).rev().collect();
         let ready_at = vec![0u64; total_regs];
 
+        let ras = ReturnStack::new(cfg.predictor.ras_depth)
+            .map_err(|d| BuildError::InvalidConfig(vec![d.in_field("predictor.ras_depth")]))?;
         let mut threads: Vec<ThreadState> = programs
             .into_iter()
             .enumerate()
@@ -193,10 +220,13 @@ impl Simulator {
             .collect();
         // Architect the initial register mappings.
         for th in &mut threads {
+            th.spec.ras = ras.clone();
             th.rename_map = (0..ArchReg::flat_count())
                 .map(|flat| {
                     if flat < smt_isa::NUM_ARCH_INT as usize {
-                        free_int.pop().expect("enough int registers for initial maps")
+                        free_int
+                            .pop()
+                            .expect("enough int registers for initial maps")
                     } else {
                         free_fp.pop().expect("enough fp registers for initial maps")
                     }
@@ -204,10 +234,16 @@ impl Simulator {
                 .collect();
         }
 
+        // The configured per-thread I-MSHR count is a floor: the Table 3
+        // machine provisions one outstanding fetch miss per context.
+        let mut mem_cfg = cfg.mem.clone();
+        mem_cfg.i_mshrs = mem_cfg.i_mshrs.max(n);
+        let mem = MemoryHierarchy::new(mem_cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
+
         let width = cfg.fetch_policy.width;
         Ok(Simulator {
             engine,
-            mem: MemoryHierarchy::hpca2004(n),
+            mem,
             threads,
             cycle: 0,
             fetch_buffer: VecDeque::new(),
@@ -313,7 +349,12 @@ impl Simulator {
         {
             c[e.tid] += 1;
         }
-        for e in self.iq_int.iter().chain(self.iq_ls.iter()).chain(self.iq_fp.iter()) {
+        for e in self
+            .iq_int
+            .iter()
+            .chain(self.iq_ls.iter())
+            .chain(self.iq_fp.iter())
+        {
             c[e.tid] += 1;
         }
         c
@@ -337,7 +378,12 @@ impl Simulator {
         {
             count(e.tid, e.seq);
         }
-        for e in self.iq_int.iter().chain(self.iq_ls.iter()).chain(self.iq_fp.iter()) {
+        for e in self
+            .iq_int
+            .iter()
+            .chain(self.iq_ls.iter())
+            .chain(self.iq_fp.iter())
+        {
             count(e.tid, e.seq);
         }
         c
@@ -659,10 +705,7 @@ impl Simulator {
         let mut moved = 0;
         while moved < width
             && self.decode_latch.len() < width
-            && self
-                .fetch_buffer
-                .front()
-                .is_some_and(|e| e.entered < now)
+            && self.fetch_buffer.front().is_some_and(|e| e.entered < now)
         {
             let mut e = self.fetch_buffer.pop_front().expect("checked");
             e.entered = now;
@@ -677,10 +720,7 @@ impl Simulator {
         let mut moved = 0;
         while moved < width
             && self.rename_latch.len() < width
-            && self
-                .decode_latch
-                .front()
-                .is_some_and(|e| e.entered < now)
+            && self.decode_latch.front().is_some_and(|e| e.entered < now)
         {
             let mut e = self.decode_latch.pop_front().expect("checked");
             e.entered = now;
@@ -856,10 +896,14 @@ impl Simulator {
             return;
         }
         self.rob_occ -= freed_rob;
-        self.fetch_buffer.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.decode_latch.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.rename_latch.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.iq_int.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+        self.fetch_buffer
+            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+        self.decode_latch
+            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+        self.rename_latch
+            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+        self.iq_int
+            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
         self.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
         self.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
 
@@ -934,15 +978,13 @@ impl Simulator {
                                     LongLatencyAction::None => {}
                                     LongLatencyAction::Stall => {
                                         let th = &mut self.threads[e.tid];
-                                        th.mem_stall_until = Some(
-                                            th.mem_stall_until.unwrap_or(0).max(done),
-                                        );
+                                        th.mem_stall_until =
+                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
                                     }
                                     LongLatencyAction::Flush => {
                                         let th = &mut self.threads[e.tid];
-                                        th.mem_stall_until = Some(
-                                            th.mem_stall_until.unwrap_or(0).max(done),
-                                        );
+                                        th.mem_stall_until =
+                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
                                         self.pending_flushes.push((e.tid, e.seq));
                                     }
                                 }
@@ -984,11 +1026,7 @@ impl Simulator {
                     // Decode-detectable misfetches redirect as soon as the
                     // instruction reaches decode (one stage after fetch);
                     // everything else waits for execution.
-                    let decode_ok = i
-                        .binfo
-                        .as_ref()
-                        .map(|b| b.decode_redirect)
-                        .unwrap_or(false)
+                    let decode_ok = i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false)
                         && now >= i.fetched_at + 2;
                     decode_ok || i.completed(now)
                 })
@@ -1007,7 +1045,10 @@ impl Simulator {
             let inst = self.threads[tid].inst(seq).expect("redirect target alive");
             (
                 inst.di.clone(),
-                inst.binfo.as_ref().expect("diverging inst carries info").clone(),
+                inst.binfo
+                    .as_ref()
+                    .expect("diverging inst carries info")
+                    .clone(),
             )
         };
         // Roll the window back, youngest first, undoing renames.
@@ -1040,8 +1081,7 @@ impl Simulator {
         self.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
 
         // Repair the speculative front-end state and redirect.
-        self.engine
-            .repair(&mut self.threads[tid].spec, &binfo, &di);
+        self.engine.repair(&mut self.threads[tid].spec, &binfo, &di);
         let th = &mut self.threads[tid];
         th.ftq.clear();
         th.diverged = false;
@@ -1176,22 +1216,35 @@ impl Simulator {
     /// and interactive debugging, not part of the stable API).
     #[doc(hidden)]
     pub fn dump_state(&self) {
-        println!("cycle {} rob_occ {} fb {} dl {} rl {} iq {}/{}/{} free {}/{}",
-            self.cycle, self.rob_occ, self.fetch_buffer.len(), self.decode_latch.len(),
-            self.rename_latch.len(), self.iq_int.len(), self.iq_ls.len(), self.iq_fp.len(),
-            self.free_int.len(), self.free_fp.len());
+        println!(
+            "cycle {} rob_occ {} fb {} dl {} rl {} iq {}/{}/{} free {}/{}",
+            self.cycle,
+            self.rob_occ,
+            self.fetch_buffer.len(),
+            self.decode_latch.len(),
+            self.rename_latch.len(),
+            self.iq_int.len(),
+            self.iq_ls.len(),
+            self.iq_fp.len(),
+            self.free_int.len(),
+            self.free_fp.len()
+        );
         for th in &self.threads {
             println!("t{}: window {} pending {:?} diverged {} iblock {:?} ftq {} next_pc {} walker_pc {}",
                 th.id, th.window.len(), th.pending_redirect, th.diverged, th.iblock_until,
                 th.ftq.len(), th.next_fetch_pc, th.walker.pc());
             if let Some(h) = th.window.front() {
-                println!("   head: seq {} {} dispatched {} issued {} done {} wp {}",
-                    h.seq, h.di, h.dispatched, h.issued, h.done_at, h.di.wrong_path);
+                println!(
+                    "   head: seq {} {} dispatched {} issued {} done {} wp {}",
+                    h.seq, h.di, h.dispatched, h.issued, h.done_at, h.di.wrong_path
+                );
             }
             if let Some(seq) = th.pending_redirect {
                 if let Some(i) = th.inst(seq) {
-                    println!("   redirect: seq {} {} dispatched {} issued {} done {} srcs {:?}",
-                        i.seq, i.di, i.dispatched, i.issued, i.done_at, i.src_phys);
+                    println!(
+                        "   redirect: seq {} {} dispatched {} issued {} done {} srcs {:?}",
+                        i.seq, i.di, i.dispatched, i.issued, i.done_at, i.src_phys
+                    );
                 } else {
                     println!("   redirect inst MISSING");
                 }

@@ -9,6 +9,7 @@ use smt_experiments::{render_table, runner::run_with_config, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
+    smt_experiments::preflight_default();
     let len = RunLength::from_env();
     let w = Workload::ilp4();
     let policy = FetchPolicy::icount(1, 16);

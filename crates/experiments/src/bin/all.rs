@@ -4,6 +4,7 @@
 use smt_experiments::{figures, RunLength};
 
 fn main() {
+    smt_experiments::preflight_default();
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/experiments.md".to_string());

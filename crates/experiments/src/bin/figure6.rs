@@ -2,6 +2,7 @@
 use smt_experiments::{figures, RunLength};
 
 fn main() {
+    smt_experiments::preflight_default();
     let e = figures::figure6(RunLength::from_env());
     println!("{}", e.text);
 }

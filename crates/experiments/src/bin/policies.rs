@@ -15,6 +15,7 @@ use smt_experiments::{render_table, run, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
+    smt_experiments::preflight_default();
     let len = RunLength::from_env();
     let engine = FetchEngineKind::GskewFtb;
     let policies: Vec<FetchPolicy> = vec![
@@ -32,8 +33,7 @@ fn main() {
         let mut rows = Vec::new();
         for &p in &policies {
             let r = run(&w, engine, p, len);
-            let per: Vec<String> =
-                r.per_thread_ipc.iter().map(|v| format!("{v:.2}")).collect();
+            let per: Vec<String> = r.per_thread_ipc.iter().map(|v| format!("{v:.2}")).collect();
             rows.push(vec![
                 p.to_string(),
                 format!("{:.2}", r.ipc),

@@ -2,6 +2,7 @@
 use smt_experiments::figures;
 
 fn main() {
+    smt_experiments::preflight_default();
     let e = figures::table2();
     println!("{}", e.text);
 }

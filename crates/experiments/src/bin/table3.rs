@@ -2,6 +2,7 @@
 use smt_experiments::figures;
 
 fn main() {
+    smt_experiments::preflight_default();
     let e = figures::table3();
     println!("{}", e.text);
 }

@@ -11,6 +11,7 @@ use smt_experiments::{render_table, run, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
+    smt_experiments::preflight_default();
     let len = RunLength::from_env();
     let policy = FetchPolicy::icount(1, 16);
     println!("trace-cache comparison, ICOUNT.1.16 on ILP workloads\n");

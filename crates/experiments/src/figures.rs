@@ -60,9 +60,9 @@ pub fn table1() -> Experiment {
     );
     for p in BenchmarkProfile::all() {
         let progs = Workload::custom("solo", WorkloadClass::Ilp, &[p.name])
-            .expect("valid name")
+            .expect("valid name") // lint:allow(no-panic)
             .programs(EXP_SEED)
-            .expect("valid");
+            .expect("valid"); // lint:allow(no-panic)
         let mut w = Walker::new(progs[0].clone(), 0);
         let _ = w.measure(20_000);
         let s = w.measure(300_000);
@@ -84,9 +84,16 @@ pub fn table1() -> Experiment {
     }
     Experiment {
         id: "table1",
-        caption: "SPECint2000 characteristics: paper's avg basic-block size vs the synthetic clones",
+        caption:
+            "SPECint2000 characteristics: paper's avg basic-block size vs the synthetic clones",
         text: render_table(
-            &["benchmark", "paper avg BB", "clone avg BB", "taken rate", "avg stream"],
+            &[
+                "benchmark",
+                "paper avg BB",
+                "clone avg BB",
+                "taken rate",
+                "avg stream",
+            ],
             &rows,
         ),
         markdown: md,
@@ -126,19 +133,40 @@ pub fn table3() -> Experiment {
         vec!["Fetch width".into(), "8/16 instr.".into()],
         vec!["Fetch policy".into(), "ICOUNT".into()],
         vec!["Fetch buffer".into(), format!("{} instr.", c.fetch_buffer)],
-        vec!["Dec. & Ren. width".into(), format!("{} instr.", c.decode_width)],
+        vec![
+            "Dec. & Ren. width".into(),
+            format!("{} instr.", c.decode_width),
+        ],
         vec!["Gshare".into(), "64K-entry, 16 bits history".into()],
         vec!["Gskew".into(), "3 x 32K-entry, 15 bits history".into()],
         vec!["BTB/FTB".into(), "2K-entry, 4-way".into()],
-        vec!["Stream predictor".into(), "1K-entry,4w + 4K-entry,4w; DOLC 16-2-4-10".into()],
+        vec![
+            "Stream predictor".into(),
+            "1K-entry,4w + 4K-entry,4w; DOLC 16-2-4-10".into(),
+        ],
         vec!["RAS (per thread)".into(), "64-entry".into()],
         vec!["FTQ (per thread)".into(), format!("{}-entry", c.ftq_depth)],
-        vec!["Functional units".into(), format!("{} int, {} ld/st, {} fp", c.fu_int, c.fu_ls, c.fu_fp)],
-        vec!["Instruction queues".into(), format!("{}-entry int/ld-st/fp", c.iq_int)],
+        vec![
+            "Functional units".into(),
+            format!("{} int, {} ld/st, {} fp", c.fu_int, c.fu_ls, c.fu_fp),
+        ],
+        vec![
+            "Instruction queues".into(),
+            format!("{}-entry int/ld-st/fp", c.iq_int),
+        ],
         vec!["Reorder buffer".into(), format!("{}-entry", c.rob_size)],
-        vec!["Physical registers".into(), format!("{} int + {} fp", c.regs_int, c.regs_fp)],
-        vec!["L1 I-cache".into(), "32KB, 2-way, 8 banks, 64B lines".into()],
-        vec!["L1 D-cache".into(), "32KB, 2-way, 8 banks, 64B lines".into()],
+        vec![
+            "Physical registers".into(),
+            format!("{} int + {} fp", c.regs_int, c.regs_fp),
+        ],
+        vec![
+            "L1 I-cache".into(),
+            "32KB, 2-way, 8 banks, 64B lines".into(),
+        ],
+        vec![
+            "L1 D-cache".into(),
+            "32KB, 2-way, 8 banks, 64B lines".into(),
+        ],
         vec!["L2 cache".into(), "1MB, 2-way, 8 banks, 10 cyc.".into()],
         vec!["TLB".into(), "48-entry I + 128-entry D".into()],
         vec!["Main memory".into(), "100 cycles".into()],
@@ -295,7 +323,7 @@ pub fn superscalar(len: RunLength) -> Experiment {
     let mut results = Vec::new();
     for p in BenchmarkProfile::all() {
         let w = Workload::custom("1_".to_string() + p.name, WorkloadClass::Ilp, &[p.name])
-            .expect("valid");
+            .expect("valid"); // lint:allow(no-panic)
         for e in engines() {
             let mut r = run(&w, e, FetchPolicy::icount(1, 16), len);
             r.workload = p.name.to_string();
@@ -381,7 +409,7 @@ mod tests {
         let e = figure5(RunLength::SMOKE);
         // 4 workloads × 2 policies × 3 engines.
         assert_eq!(e.results.len(), 24);
-        let names: std::collections::HashSet<_> =
+        let names: std::collections::BTreeSet<_> =
             e.results.iter().map(|r| r.workload.clone()).collect();
         assert_eq!(names.len(), 4);
         assert!(e.text.contains("(IPFC)"));

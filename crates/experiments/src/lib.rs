@@ -43,4 +43,4 @@ pub mod runner;
 
 pub use figures::{all, Experiment};
 pub use report::{render_grouped_bars, render_markdown, render_table, Metric};
-pub use runner::{run, run_matrix, RunLength, RunResult, EXP_SEED};
+pub use runner::{preflight, preflight_default, run, run_matrix, RunLength, RunResult, EXP_SEED};

@@ -1,11 +1,10 @@
 //! Running simulator configurations and collecting results.
 
-use serde::{Deserialize, Serialize};
-use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, SimStats};
+use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats};
 use smt_workloads::Workload;
 
 /// How long to simulate each configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunLength {
     /// Cycles simulated before statistics start (predictor/cache warmup).
     pub warmup_cycles: u64,
@@ -43,7 +42,7 @@ impl RunLength {
 }
 
 /// The outcome of one simulated configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Workload name (e.g. `"4_MIX"`).
     pub workload: String,
@@ -75,7 +74,12 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn from_stats(workload: &Workload, engine: FetchEngineKind, policy: FetchPolicy, s: &SimStats) -> Self {
+    fn from_stats(
+        workload: &Workload,
+        engine: FetchEngineKind,
+        policy: FetchPolicy,
+        s: &SimStats,
+    ) -> Self {
         RunResult {
             workload: workload.name().to_string(),
             engine: engine.to_string(),
@@ -97,7 +101,11 @@ impl RunResult {
                     .collect();
                 let max = per.iter().cloned().fold(0.0, f64::max);
                 let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
-                if max > 0.0 { min / max } else { 0.0 }
+                if max > 0.0 {
+                    min / max
+                } else {
+                    0.0
+                }
             },
         }
     }
@@ -105,6 +113,34 @@ impl RunResult {
 
 /// The seed every experiment uses (reproducibility).
 pub const EXP_SEED: u64 = 2004;
+
+/// Validates `cfg` for `threads` hardware contexts, printing every
+/// diagnostic (warnings included) to stderr.
+///
+/// Exits the process with status 2 when the configuration has errors:
+/// experiment binaries run this — directly and through [`run`] /
+/// [`run_with_config`] — before any cycle is simulated, so a bad
+/// configuration fails fast with stable diagnostic codes instead of
+/// producing garbage numbers.
+pub fn preflight(cfg: &SimConfig, threads: usize) {
+    let diags = cfg.validate_for_threads(threads);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if smt_core::has_errors(&diags) {
+        eprintln!("smt-experiments: configuration rejected by validator");
+        std::process::exit(2);
+    }
+}
+
+/// [`preflight`] for the Table 3 default configuration at every hardware
+/// thread count — the one-line sanity gate each experiment binary runs
+/// first.
+pub fn preflight_default() {
+    for threads in 1..=smt_isa::MAX_THREADS {
+        preflight(&SimConfig::default(), threads);
+    }
+}
 
 /// Runs one `(workload, engine, policy)` configuration.
 ///
@@ -118,14 +154,19 @@ pub fn run(
     policy: FetchPolicy,
     len: RunLength,
 ) -> RunResult {
+    let cfg = SimConfig {
+        fetch_policy: policy,
+        ..SimConfig::default()
+    };
+    preflight(&cfg, workload.num_threads());
     let programs = workload
         .programs(EXP_SEED)
-        .expect("table 2 workloads always build");
+        .expect("table 2 workloads always build"); // lint:allow(no-panic)
     let mut sim = SimBuilder::new(programs)
         .fetch_engine(engine)
         .fetch_policy(policy)
         .build()
-        .expect("1..=8 threads");
+        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic)
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     let stats = sim.run_cycles(len.measure_cycles);
@@ -144,14 +185,15 @@ pub fn run_with_config(
     len: RunLength,
 ) -> RunResult {
     let policy = cfg.fetch_policy;
+    preflight(&cfg, workload.num_threads());
     let programs = workload
         .programs(EXP_SEED)
-        .expect("table 2 workloads always build");
+        .expect("table 2 workloads always build"); // lint:allow(no-panic)
     let mut sim = SimBuilder::new(programs)
         .fetch_engine(engine)
         .config(cfg)
         .build()
-        .expect("1..=8 threads");
+        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic)
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     let stats = sim.run_cycles(len.measure_cycles);

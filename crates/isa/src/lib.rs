@@ -35,11 +35,13 @@
 
 mod addr;
 mod block;
+mod diag;
 mod inst;
 mod reg;
 
 pub use addr::{Addr, INST_BYTES};
 pub use block::{EndBranch, FetchBlock};
+pub use diag::{has_errors, Diagnostic, Severity};
 pub use inst::{BranchKind, DynInst, InstClass, MemAccess, StaticInst, StaticInstId};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_FP, NUM_ARCH_INT};
 

@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn flat_index_is_dense_and_unique() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..NUM_ARCH_INT {
             assert!(seen.insert(ArchReg::int(i).flat_index()));
         }

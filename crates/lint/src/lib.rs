@@ -1,0 +1,496 @@
+//! # smt-lint — determinism and robustness linter for the smtfetch workspace
+//!
+//! A zero-dependency source scanner enforcing the project's invariants:
+//!
+//! * **`no-hash-collections`** — `HashMap`/`HashSet` are banned everywhere in
+//!   the simulator (iteration order is nondeterministic; seeded runs must be
+//!   bit-reproducible). Use `BTreeMap`/`BTreeSet`/`Vec` instead.
+//! * **`no-wall-clock`** — `SystemTime::now`, `Instant::now` and `thread_rng`
+//!   are banned in the simulation crates (`isa`, `workloads`, `bpred`, `mem`,
+//!   `core`): all time comes from the simulated clock, all randomness from the
+//!   seeded [`Srng`](https://docs.rs) stream.
+//! * **`no-panic`** — `.unwrap()`, `.expect(…)` and `panic!` are banned in
+//!   library code outside tests; fallible constructors return
+//!   `Result<_, Diagnostic>`. (`assert!` of internal invariants is allowed.)
+//! * **`deny-unsafe`** — every crate root must carry
+//!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
+//!
+//! Escape hatches, for the rare deliberate exception:
+//!
+//! * `// lint:allow(<rule>)` on the offending line or the line above;
+//! * `// lint:allow-file(<rule>)` anywhere in a file to waive a rule for the
+//!   whole file (used by the cycle-accurate pipeline in `sim.rs`, whose
+//!   internal invariant violations *should* abort the simulation).
+//!
+//! Run it with `cargo run -p smt-lint` (exit code 1 on any violation), or use
+//! [`check_workspace`] / [`check_file`] from tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose behaviour must be a pure function of the seed: wall-clock
+/// reads and ambient randomness are banned here.
+pub const SIM_CRATES: [&str; 5] = ["isa", "workloads", "bpred", "mem", "core"];
+
+/// The lint rules, as stable machine-readable names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` banned (nondeterministic iteration order).
+    NoHashCollections,
+    /// `SystemTime::now`/`Instant::now`/`thread_rng` banned in sim crates.
+    NoWallClock,
+    /// `.unwrap()`/`.expect(`/`panic!` banned in library code outside tests.
+    NoPanic,
+    /// Crate roots must carry `#![forbid(unsafe_code)]` (or `deny`).
+    DenyUnsafe,
+}
+
+impl Rule {
+    /// The rule's name, as used in `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoHashCollections => "no-hash-collections",
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoPanic => "no-panic",
+            Rule::DenyUnsafe => "deny-unsafe",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The offending token or a short description.
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.what
+        )
+    }
+}
+
+/// Which crate (by directory name) a workspace-relative path belongs to, if
+/// it is under `crates/<name>/`.
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// Whether `path` contains a path segment equal to `seg`.
+fn has_segment(path: &str, seg: &str) -> bool {
+    path.split('/').any(|s| s == seg)
+}
+
+/// Whether `path` is library source subject to the `no-panic` rule:
+/// `crates/<c>/src/**` or the workspace facade `src/lib.rs`, excluding
+/// binaries, benches, examples and the linter itself.
+fn is_library_source(path: &str) -> bool {
+    if has_segment(path, "bin")
+        || has_segment(path, "tests")
+        || has_segment(path, "benches")
+        || has_segment(path, "examples")
+        || path.ends_with("/main.rs")
+        || path == "src/main.rs"
+    {
+        return false;
+    }
+    match crate_of(path) {
+        Some("lint") => false,
+        Some(_) => has_segment(path, "src"),
+        None => path == "src/lib.rs",
+    }
+}
+
+/// Whether `path` is a crate root that must declare `unsafe_code` denial.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && path.ends_with("/src/lib.rs")
+            && path.matches('/').count() == 3)
+}
+
+/// Strips comments and blanks out string-literal contents from one line,
+/// carrying block-comment state across lines. The returned string has the
+/// same length-ish shape but only *code* tokens survive, so token searches
+/// cannot be fooled by comments or string contents.
+fn strip_code(line: &str, in_block_comment: &mut bool) -> String {
+    let b = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < b.len() {
+        if *in_block_comment {
+            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_string {
+            match b[i] {
+                b'\\' => i += 2, // skip escape pair
+                b'"' => {
+                    in_string = false;
+                    out.push('"');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                in_string = true;
+                out.push('"');
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within 4 bytes.
+                if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    out.push_str("' '");
+                    i += 4;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    out.push_str("' '");
+                    i += 3;
+                } else {
+                    out.push('\''); // lifetime
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Per-line flags marking `#[cfg(test)]`-gated regions (modules or items),
+/// found by brace counting on comment/string-stripped code.
+fn test_region_flags(raw_lines: &[&str]) -> Vec<bool> {
+    let mut in_block = false;
+    let stripped: Vec<String> = raw_lines
+        .iter()
+        .map(|l| strip_code(l, &mut in_block))
+        .collect();
+    let mut flags = vec![false; raw_lines.len()];
+    let mut i = 0;
+    while i < stripped.len() {
+        if stripped[i].trim_start().starts_with("#[cfg(test)]") {
+            // Mark from the attribute until the gated item's braces balance.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < stripped.len() {
+                flags[j] = true;
+                for ch in stripped[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened && depth == 0 => opened = true, // braceless item
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Whether line `idx` (0-based) is covered by a `lint:allow(<rule>)` marker
+/// on the same or the previous raw line.
+fn allowed(raw_lines: &[&str], idx: usize, rule: Rule) -> bool {
+    let marker = format!("lint:allow({})", rule.name());
+    if raw_lines[idx].contains(&marker) {
+        return true;
+    }
+    idx > 0 && raw_lines[idx - 1].contains(&marker)
+}
+
+/// Checks one file's contents against every rule applicable to its path.
+///
+/// `path` must be workspace-relative with forward slashes
+/// (e.g. `crates/core/src/sim.rs`).
+pub fn check_file(path: &str, contents: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let raw_lines: Vec<&str> = contents.lines().collect();
+
+    let file_allows = |rule: Rule| {
+        let marker = format!("lint:allow-file({})", rule.name());
+        raw_lines.iter().any(|l| l.contains(&marker))
+    };
+
+    // deny-unsafe: whole-file property of crate roots.
+    if is_crate_root(path)
+        && !file_allows(Rule::DenyUnsafe)
+        && !contents.contains("#![forbid(unsafe_code)]")
+        && !contents.contains("#![deny(unsafe_code)]")
+    {
+        violations.push(Violation {
+            rule: Rule::DenyUnsafe,
+            path: path.to_string(),
+            line: 0,
+            what: "crate root lacks #![forbid(unsafe_code)] (or deny)".to_string(),
+        });
+    }
+
+    let hash_applies = crate_of(path) != Some("lint") && !file_allows(Rule::NoHashCollections);
+    let clock_applies =
+        crate_of(path).is_some_and(|c| SIM_CRATES.contains(&c)) && !file_allows(Rule::NoWallClock);
+    let panic_applies = is_library_source(path) && !file_allows(Rule::NoPanic);
+
+    if !(hash_applies || clock_applies || panic_applies) {
+        return violations;
+    }
+
+    let test_flags = test_region_flags(&raw_lines);
+    let mut in_block = false;
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let code = strip_code(raw, &mut in_block);
+        if code.trim().is_empty() {
+            continue;
+        }
+        let mut push = |rule: Rule, what: &str| {
+            if !allowed(&raw_lines, idx, rule) {
+                violations.push(Violation {
+                    rule,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    what: what.to_string(),
+                });
+            }
+        };
+        if hash_applies {
+            for tok in ["HashMap", "HashSet"] {
+                if code.contains(tok) {
+                    push(Rule::NoHashCollections, tok);
+                }
+            }
+        }
+        if clock_applies {
+            for tok in ["SystemTime::now", "Instant::now", "thread_rng"] {
+                if code.contains(tok) {
+                    push(Rule::NoWallClock, tok);
+                }
+            }
+        }
+        if panic_applies && !test_flags[idx] {
+            for tok in [".unwrap()", ".expect(", "panic!"] {
+                if code.contains(tok) {
+                    push(Rule::NoPanic, tok);
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Recursively collects `.rs` files under `dir`, in sorted (deterministic)
+/// order, skipping build output and VCS internals.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file of the workspace rooted at `root` and returns all
+/// violations, sorted by path and line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("workspace root {} is not a directory", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    for top in ["src", "tests", "benches", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .rs files found under {} — wrong root?", root.display()),
+        ));
+    }
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let contents = fs::read_to_string(&file)?;
+        violations.extend(check_file(&rel, &contents));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_collections_flagged_in_sim_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n";
+        let v = check_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::NoHashCollections));
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn hash_collections_flagged_even_in_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let v = check_file("crates/experiments/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoHashCollections);
+    }
+
+    #[test]
+    fn hash_in_comments_and_strings_ignored() {
+        let src = "// HashMap is banned\nfn f() { let s = \"HashMap\"; }\n/* HashSet */\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_only_flagged_in_sim_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(check_file("crates/mem/src/x.rs", src).len(), 1);
+        assert!(check_file("crates/bench/src/lib.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::NoWallClock));
+    }
+
+    #[test]
+    fn panics_flagged_in_library_code_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(check_file("crates/bpred/src/x.rs", src).len(), 1);
+        assert!(check_file("crates/bpred/tests/x.rs", src).is_empty());
+        assert!(check_file("crates/experiments/src/bin/all.rs", src).is_empty());
+        assert!(check_file("tests/end_to_end.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panics_in_cfg_test_modules_ignored() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_after_cfg_test_module_closes_is_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn f() { panic!(\"x\") }\n";
+        let v = check_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn line_allow_waives_that_line_and_rule_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-panic)\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+        let src = "// lint:allow(no-panic)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+        // The wrong rule name does not waive.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-wall-clock)\n";
+        assert_eq!(check_file("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn file_allow_waives_the_whole_file() {
+        let src = "// lint:allow-file(no-panic)\nfn f() { panic!() }\nfn g() { panic!() }\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_roots_require_unsafe_denial() {
+        let v = check_file("crates/core/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DenyUnsafe);
+        assert_eq!(v[0].line, 0);
+        assert!(check_file("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+        assert!(check_file("crates/core/src/lib.rs", "#![deny(unsafe_code)]\n").is_empty());
+        // Non-root files are not subject to the rule.
+        assert!(check_file("crates/core/src/sim.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn assert_is_not_flagged() {
+        let src = "fn f(n: usize) { assert!(n > 0, \"positive\"); }\n";
+        assert!(check_file("crates/bpred/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violation_display_is_greppable() {
+        let v = Violation {
+            rule: Rule::NoPanic,
+            path: "crates/core/src/x.rs".into(),
+            line: 7,
+            what: ".unwrap()".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "crates/core/src/x.rs:7: [no-panic] .unwrap()"
+        );
+    }
+}

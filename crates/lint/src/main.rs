@@ -1,0 +1,45 @@
+//! Command-line entry point: `cargo run -p smt-lint [workspace-root]`.
+//!
+//! Scans the workspace's `.rs` files against the project lint rules and
+//! prints one line per violation. Exit code 0 means clean, 1 means at least
+//! one violation, 2 means the scan itself failed (I/O error).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // When run via `cargo run -p smt-lint`, the manifest dir is
+    // crates/lint; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    match smt_lint::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("smt-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("smt-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("smt-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

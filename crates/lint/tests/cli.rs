@@ -1,0 +1,84 @@
+//! End-to-end tests of the `smt-lint` binary: exit codes and output against
+//! fixture workspaces materialized under `CARGO_TARGET_TMPDIR`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, contents).unwrap();
+}
+
+fn run_lint(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_smt-lint"))
+        .arg(root)
+        .output()
+        .expect("spawn smt-lint")
+}
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+    std::fs::create_dir_all(&root).unwrap();
+    root
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = fixture("clean");
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() -> u32 { 1 }\n",
+    );
+    write(&root, "src/lib.rs", "#![forbid(unsafe_code)]\n");
+    let out = run_lint(&root);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn seeded_violation_exits_nonzero() {
+    let root = fixture("dirty");
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n\
+         pub fn f() { let _: HashMap<u32, u32> = HashMap::new(); }\n",
+    );
+    let out = run_lint(&root);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-hash-collections"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn allow_escape_silences_the_line() {
+    let root = fixture("allowed");
+    write(
+        &root,
+        "crates/mem/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn f(x: Option<u32>) -> u32 {\n\
+             x.expect(\"checked by caller\") // lint:allow(no-panic)\n\
+         }\n",
+    );
+    let out = run_lint(&root);
+    assert!(
+        out.status.success(),
+        "allowed line still flagged: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,6 +1,6 @@
 //! A set-associative cache tag model with LRU replacement and banking.
 
-use smt_isa::Addr;
+use smt_isa::{Addr, Diagnostic};
 
 /// Configuration of one cache level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,16 +111,41 @@ pub struct Cache {
 impl Cache {
     /// Creates a cache from its configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if geometry values are zero or the set count is not a power
-    /// of two.
-    pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.ways > 0 && cfg.line_bytes > 0 && cfg.size_bytes > 0);
+    /// `E0009` if geometry values are zero, the set count is not a power of
+    /// two, or the bank count is zero or not a power of two.
+    pub fn new(cfg: CacheConfig) -> Result<Self, Diagnostic> {
+        let field = |suffix: &str| format!("mem.{}.{}", cfg.name.to_lowercase(), suffix);
+        if cfg.ways == 0 || cfg.line_bytes == 0 || cfg.size_bytes == 0 {
+            return Err(Diagnostic::error(
+                "E0009",
+                field("geometry"),
+                format!(
+                    "cache geometry must be positive (size {} B, {} ways, {} B lines)",
+                    cfg.size_bytes, cfg.ways, cfg.line_bytes
+                ),
+                "use positive size, associativity and line size",
+            ));
+        }
         let num_sets = cfg.num_sets();
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.banks.is_power_of_two(), "bank count must be a power of two");
-        Cache {
+        if num_sets == 0 || !num_sets.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "E0009",
+                field("size_bytes"),
+                format!("set count must be a power of two (got {num_sets})"),
+                "choose size / line / ways so the set count is a power of two",
+            ));
+        }
+        if !cfg.banks.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "E0009",
+                field("banks"),
+                format!("bank count must be a power of two (got {})", cfg.banks),
+                "the paper uses 8 banks",
+            ));
+        }
+        Ok(Cache {
             lines: vec![
                 Line {
                     tag: 0,
@@ -134,7 +159,7 @@ impl Cache {
             cfg,
             tick: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The configuration.
@@ -211,7 +236,10 @@ impl Cache {
             let victim = if let Some(inv) = ways.iter_mut().find(|l| !l.valid) {
                 inv
             } else {
-                ways.iter_mut().min_by_key(|l| l.lru).expect("ways nonempty")
+                ways.iter_mut()
+                    .min_by_key(|l| l.lru)
+                    // lint:allow(no-panic)
+                    .expect("ways nonempty")
             };
             if victim.valid && victim.dirty {
                 let vline = (victim.tag << set_bits) | set;
@@ -254,13 +282,14 @@ mod tests {
             banks: 2,
             hit_latency: 0,
         })
+        .unwrap()
     }
 
     #[test]
     fn geometry_matches_table3() {
-        let l1 = Cache::new(CacheConfig::l1i_hpca2004());
+        let l1 = Cache::new(CacheConfig::l1i_hpca2004()).unwrap();
         assert_eq!(l1.config().num_sets(), 256);
-        let l2 = Cache::new(CacheConfig::l2_hpca2004());
+        let l2 = Cache::new(CacheConfig::l2_hpca2004()).unwrap();
         assert_eq!(l2.config().num_sets(), 8192);
         assert_eq!(l2.config().hit_latency, 10);
     }
@@ -341,7 +370,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = tiny(); // 1 KB
-        // Stream over 8 KB twice: second pass still misses everywhere.
+                            // Stream over 8 KB twice: second pass still misses everywhere.
         let lines: Vec<Addr> = (0..128).map(|i| Addr::new(i * 64)).collect();
         for &a in &lines {
             c.access(a, false);

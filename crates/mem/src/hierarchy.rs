@@ -1,14 +1,14 @@
 //! The full memory hierarchy of Table 3: split 32 KB L1s, unified 1 MB L2,
 //! 100-cycle main memory, TLBs and per-cache MSHR files.
 
-use smt_isa::{Addr, Cycle};
+use smt_isa::{Addr, Cycle, Diagnostic};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::mshr::{MshrFile, MshrOutcome};
-use crate::tlb::Tlb;
+use crate::tlb::{Tlb, TlbConfig};
 
 /// Configuration of the whole hierarchy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemoryConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,
@@ -22,6 +22,10 @@ pub struct MemoryConfig {
     pub i_mshrs: usize,
     /// MSHR entries on the data side.
     pub d_mshrs: usize,
+    /// Instruction TLB geometry.
+    pub itlb: TlbConfig,
+    /// Data TLB geometry.
+    pub dtlb: TlbConfig,
 }
 
 impl MemoryConfig {
@@ -34,6 +38,8 @@ impl MemoryConfig {
             memory_latency: 100,
             i_mshrs: threads.max(1),
             d_mshrs: 16,
+            itlb: TlbConfig::itlb_hpca2004(),
+            dtlb: TlbConfig::dtlb_hpca2004(),
         }
     }
 }
@@ -84,24 +90,30 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Builds the hierarchy from a configuration.
-    pub fn new(cfg: MemoryConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first structural problem found in any component:
+    /// `E0009` (cache geometry), `E0010` (MSHR file), `E0011` (TLB).
+    pub fn new(cfg: MemoryConfig) -> Result<Self, Diagnostic> {
         let line = cfg.l1i.line_bytes;
         let dline = cfg.l1d.line_bytes;
-        MemoryHierarchy {
-            imshr: MshrFile::new(cfg.i_mshrs, line),
-            dmshr: MshrFile::new(cfg.d_mshrs, dline),
-            l1i: Cache::new(cfg.l1i),
-            l1d: Cache::new(cfg.l1d),
-            l2: Cache::new(cfg.l2),
-            itlb: Tlb::itlb_hpca2004(),
-            dtlb: Tlb::dtlb_hpca2004(),
+        Ok(MemoryHierarchy {
+            imshr: MshrFile::new(cfg.i_mshrs, line).map_err(|d| d.in_field("mem.i_mshrs"))?,
+            dmshr: MshrFile::new(cfg.d_mshrs, dline).map_err(|d| d.in_field("mem.d_mshrs"))?,
+            l1i: Cache::new(cfg.l1i)?,
+            l1d: Cache::new(cfg.l1d)?,
+            l2: Cache::new(cfg.l2)?,
+            itlb: Tlb::from_config(&cfg.itlb).map_err(|d| d.in_field("mem.itlb"))?,
+            dtlb: Tlb::from_config(&cfg.dtlb).map_err(|d| d.in_field("mem.dtlb"))?,
             memory_latency: cfg.memory_latency,
-        }
+        })
     }
 
     /// The paper's hierarchy for `threads` contexts.
     pub fn hpca2004(threads: usize) -> Self {
-        MemoryHierarchy::new(MemoryConfig::hpca2004(threads))
+        // lint:allow(no-panic)
+        MemoryHierarchy::new(MemoryConfig::hpca2004(threads)).expect("preset geometry is valid")
     }
 
     /// Latency of an L2-and-beyond access for a line, filling as it goes.
@@ -255,7 +267,8 @@ mod tests {
         let mut h = MemoryHierarchy::new(MemoryConfig {
             i_mshrs: 1,
             ..MemoryConfig::hpca2004(1)
-        });
+        })
+        .unwrap();
         let a = Addr::new(0x10_0000);
         let b = Addr::new(0x20_0000);
         let FetchOutcome::Miss { ready } = h.fetch(a, 0) else {

@@ -34,4 +34,4 @@ mod tlb;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{DataOutcome, FetchOutcome, MemoryConfig, MemoryHierarchy};
 pub use mshr::{MshrFile, MshrOutcome};
-pub use tlb::Tlb;
+pub use tlb::{Tlb, TlbConfig};

@@ -1,6 +1,6 @@
 //! Miss status holding registers: bounded outstanding-miss tracking.
 
-use smt_isa::{Addr, Cycle};
+use smt_isa::{Addr, Cycle, Diagnostic};
 
 /// A file of MSHRs for one cache.
 ///
@@ -35,20 +35,34 @@ pub enum MshrOutcome {
 impl MshrFile {
     /// Creates a file with `capacity` entries for lines of `line_bytes`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is zero or `line_bytes` is not a power of two.
-    pub fn new(capacity: usize, line_bytes: u64) -> Self {
-        assert!(capacity > 0, "MSHR capacity must be positive");
-        assert!(line_bytes.is_power_of_two());
-        MshrFile {
+    /// `E0010` if `capacity` is zero or `line_bytes` is not a power of two.
+    pub fn new(capacity: usize, line_bytes: u64) -> Result<Self, Diagnostic> {
+        if capacity == 0 {
+            return Err(Diagnostic::error(
+                "E0010",
+                "mshrs",
+                "MSHR capacity must be positive",
+                "the paper requires an I-MSHR per thread and 16 D-MSHRs",
+            ));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "E0010",
+                "mshrs.line_bytes",
+                format!("line size must be a power of two (got {line_bytes})"),
+                "use the 64 B line size of Table 3",
+            ));
+        }
+        Ok(MshrFile {
             slots: Vec::with_capacity(capacity),
             capacity,
             line_bytes,
             merges: 0,
             allocs: 0,
             full_stalls: 0,
-        }
+        })
     }
 
     /// Number of outstanding misses at `now` (expired entries are retired).
@@ -67,7 +81,10 @@ impl MshrFile {
     pub fn pending(&mut self, addr: Addr, now: Cycle) -> Option<Cycle> {
         self.retire(now);
         let line = addr.line(self.line_bytes);
-        self.slots.iter().find(|&&(l, _)| l == line).map(|&(_, r)| r)
+        self.slots
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
     }
 
     /// Tries to track a miss of `addr`'s line completing at `ready`.
@@ -104,8 +121,11 @@ mod tests {
 
     #[test]
     fn allocate_then_merge_same_line() {
-        let mut m = MshrFile::new(4, 64);
-        assert_eq!(m.allocate(Addr::new(0x1000), 0, 100), MshrOutcome::Allocated);
+        let mut m = MshrFile::new(4, 64).unwrap();
+        assert_eq!(
+            m.allocate(Addr::new(0x1000), 0, 100),
+            MshrOutcome::Allocated
+        );
         assert_eq!(
             m.allocate(Addr::new(0x1020), 5, 100),
             MshrOutcome::Merged(100),
@@ -116,7 +136,7 @@ mod tests {
 
     #[test]
     fn full_file_stalls() {
-        let mut m = MshrFile::new(2, 64);
+        let mut m = MshrFile::new(2, 64).unwrap();
         m.allocate(Addr::new(0x0), 0, 50);
         m.allocate(Addr::new(0x40), 0, 50);
         assert_eq!(m.allocate(Addr::new(0x80), 0, 50), MshrOutcome::Full);
@@ -126,7 +146,7 @@ mod tests {
 
     #[test]
     fn entries_retire_when_fill_completes() {
-        let mut m = MshrFile::new(1, 64);
+        let mut m = MshrFile::new(1, 64).unwrap();
         m.allocate(Addr::new(0x0), 0, 10);
         assert_eq!(m.allocate(Addr::new(0x40), 5, 60), MshrOutcome::Full);
         // At cycle 10 the first fill is done: slot frees.
@@ -137,7 +157,7 @@ mod tests {
 
     #[test]
     fn pending_reports_completion_cycle() {
-        let mut m = MshrFile::new(2, 64);
+        let mut m = MshrFile::new(2, 64).unwrap();
         m.allocate(Addr::new(0x100), 0, 42);
         assert_eq!(m.pending(Addr::new(0x13c), 1), Some(42));
         assert_eq!(m.pending(Addr::new(0x140), 1), None);
@@ -145,8 +165,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
-        let _ = MshrFile::new(0, 64);
+        let d = MshrFile::new(0, 64).unwrap_err();
+        assert_eq!(d.code, "E0010");
+        assert_eq!(MshrFile::new(4, 48).unwrap_err().code, "E0010");
     }
 }

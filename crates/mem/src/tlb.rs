@@ -1,6 +1,37 @@
 //! Translation lookaside buffers.
 
-use smt_isa::Addr;
+use smt_isa::{Addr, Diagnostic};
+
+/// Configuration of one TLB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of (fully-associative) entries.
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Page-walk penalty in cycles, charged per miss.
+    pub miss_penalty: u64,
+}
+
+impl TlbConfig {
+    /// Table 3's 48-entry instruction TLB (8 KB pages, 30-cycle walk).
+    pub fn itlb_hpca2004() -> Self {
+        TlbConfig {
+            entries: 48,
+            page_bytes: 8192,
+            miss_penalty: 30,
+        }
+    }
+
+    /// Table 3's 128-entry data TLB (8 KB pages, 30-cycle walk).
+    pub fn dtlb_hpca2004() -> Self {
+        TlbConfig {
+            entries: 128,
+            page_bytes: 8192,
+            miss_penalty: 30,
+        }
+    }
+}
 
 /// A fully-associative, LRU TLB over fixed-size pages.
 ///
@@ -18,16 +49,39 @@ pub struct Tlb {
 }
 
 impl Tlb {
+    /// Builds a TLB from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tlb::new`] (`E0011`).
+    pub fn from_config(cfg: &TlbConfig) -> Result<Self, Diagnostic> {
+        Tlb::new(cfg.entries, cfg.page_bytes, cfg.miss_penalty)
+    }
+
     /// Creates a TLB with `capacity` entries over `page_bytes` pages,
     /// charging `miss_penalty` cycles per miss.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
-    pub fn new(capacity: usize, page_bytes: u64, miss_penalty: u64) -> Self {
-        assert!(capacity > 0, "TLB capacity must be positive");
-        assert!(page_bytes.is_power_of_two());
-        Tlb {
+    /// `E0011` if `capacity` is zero or `page_bytes` is not a power of two.
+    pub fn new(capacity: usize, page_bytes: u64, miss_penalty: u64) -> Result<Self, Diagnostic> {
+        if capacity == 0 {
+            return Err(Diagnostic::error(
+                "E0011",
+                "tlb.entries",
+                "TLB capacity must be positive",
+                "Table 3 uses 48 I-TLB / 128 D-TLB entries",
+            ));
+        }
+        if !page_bytes.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "E0011",
+                "tlb.page_bytes",
+                format!("page size must be a power of two (got {page_bytes})"),
+                "the paper uses 8 KB pages",
+            ));
+        }
+        Ok(Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,
             page_bytes,
@@ -35,17 +89,19 @@ impl Tlb {
             tick: 0,
             accesses: 0,
             misses: 0,
-        }
+        })
     }
 
     /// The paper's 48-entry instruction TLB (8 KB pages, 30-cycle walk).
     pub fn itlb_hpca2004() -> Self {
-        Tlb::new(48, 8192, 30)
+        // lint:allow(no-panic)
+        Tlb::from_config(&TlbConfig::itlb_hpca2004()).expect("preset geometry is valid")
     }
 
     /// The paper's 128-entry data TLB (8 KB pages, 30-cycle walk).
     pub fn dtlb_hpca2004() -> Self {
-        Tlb::new(128, 8192, 30)
+        // lint:allow(no-panic)
+        Tlb::from_config(&TlbConfig::dtlb_hpca2004()).expect("preset geometry is valid")
     }
 
     /// Translates `addr`, returning the added latency (0 on a hit, the walk
@@ -67,7 +123,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, (_, l))| *l)
                 .map(|(i, _)| i)
-                .expect("nonempty");
+                .expect("nonempty"); // lint:allow(no-panic)
             self.entries.swap_remove(lru);
         }
         self.entries.push((page, tick));
@@ -86,7 +142,7 @@ mod tests {
 
     #[test]
     fn hit_after_fill() {
-        let mut t = Tlb::new(4, 8192, 30);
+        let mut t = Tlb::new(4, 8192, 30).unwrap();
         assert_eq!(t.access(Addr::new(0x1_0000)), 30);
         assert_eq!(t.access(Addr::new(0x1_1fff)), 0, "same page hits");
         assert_eq!(t.access(Addr::new(0x1_2000)), 30, "next page misses");
@@ -94,7 +150,7 @@ mod tests {
 
     #[test]
     fn lru_eviction() {
-        let mut t = Tlb::new(2, 8192, 30);
+        let mut t = Tlb::new(2, 8192, 30).unwrap();
         t.access(Addr::new(0x0000)); // page 0
         t.access(Addr::new(0x2000)); // page 1
         t.access(Addr::new(0x0000)); // touch page 0 → page 1 is LRU
@@ -105,7 +161,7 @@ mod tests {
 
     #[test]
     fn huge_working_set_thrashes() {
-        let mut t = Tlb::new(16, 8192, 30);
+        let mut t = Tlb::new(16, 8192, 30).unwrap();
         for i in 0..64u64 {
             t.access(Addr::new(i * 8192));
         }

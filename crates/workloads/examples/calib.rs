@@ -1,15 +1,23 @@
-use smt_workloads::{BenchmarkProfile, ProgramBuilder, Walker};
 use smt_isa::Addr;
+use smt_workloads::{BenchmarkProfile, ProgramBuilder, Walker};
 
 fn main() {
     for p in BenchmarkProfile::all() {
         print!("{:10} target {:5.2} |", p.name, p.avg_bb_size);
         for seed in [1u64, 4, 9] {
-            let prog = ProgramBuilder::new(p.clone()).base(Addr::new(0x40_0000)).seed(seed).build();
+            let prog = ProgramBuilder::new(p.clone())
+                .base(Addr::new(0x40_0000))
+                .seed(seed)
+                .build();
             let mut w = Walker::new(prog, 0);
             let _ = w.measure(20_000);
             let s = w.measure(300_000);
-            print!(" {:5.2}/tk{:4.2}/st{:5.1}", s.avg_bb_size(), s.taken_rate(), s.avg_stream_len());
+            print!(
+                " {:5.2}/tk{:4.2}/st{:5.1}",
+                s.avg_bb_size(),
+                s.taken_rate(),
+                s.avg_stream_len()
+            );
         }
         println!();
     }

@@ -104,7 +104,11 @@ impl BranchBehavior {
                 depth,
                 salt,
             } => {
-                let mask = if depth >= 64 { u64::MAX } else { (1u64 << depth) - 1 };
+                let mask = if depth >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << depth) - 1
+                };
                 (mix64(salt ^ (path_hist & mask)) % 1000) < p_taken_milli as u64
             }
         }
@@ -116,7 +120,11 @@ impl BranchBehavior {
         match *self {
             BranchBehavior::Loop { period } => (period as f64 - 1.0) / period as f64,
             BranchBehavior::Pattern { bits, len } => {
-                let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+                let mask = if len == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
                 (bits & mask).count_ones() as f64 / len as f64
             }
             BranchBehavior::Biased { p_taken_milli, .. }
@@ -204,8 +212,7 @@ impl MemBehavior {
                 stride,
                 period,
             } => base + (n % period.max(1) as u64) * stride as u64,
-            MemBehavior::Region { base, size, salt }
-            | MemBehavior::Chase { base, size, salt } => {
+            MemBehavior::Region { base, size, salt } | MemBehavior::Chase { base, size, salt } => {
                 let slots = (size / ACCESS_ALIGN).max(1);
                 base + (mix64(salt ^ n) % slots) * ACCESS_ALIGN
             }
@@ -258,10 +265,7 @@ mod tests {
             len: 4,
         };
         let dirs: Vec<bool> = (0..8).map(|n| b.taken(n, 0)).collect();
-        assert_eq!(
-            dirs,
-            [false, true, true, false, false, true, true, false]
-        );
+        assert_eq!(dirs, [false, true, true, false, false, true, true, false]);
         assert!((b.taken_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -355,10 +359,14 @@ mod tests {
             size: 1024,
             salt: 5,
         };
-        let distinct: std::collections::HashSet<u64> =
+        let distinct: std::collections::BTreeSet<u64> =
             (0..10_000).map(|n| m.address(n).raw()).collect();
         // 128 slots of 8 bytes; nearly all should be touched.
-        assert!(distinct.len() > 120, "only {} distinct slots", distinct.len());
+        assert!(
+            distinct.len() > 120,
+            "only {} distinct slots",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ enum Pending {
     /// Entry of function `func`.
     Func(usize),
     /// Indirect target set: starts of the listed runs of `func`.
-    IndirectRuns { func: usize, runs: Vec<usize>, salt: u64, sticky: u32 },
+    IndirectRuns {
+        func: usize,
+        runs: Vec<usize>,
+        salt: u64,
+        sticky: u32,
+    },
 }
 
 /// One instruction during generation, before addresses exist.
@@ -152,7 +157,12 @@ impl ProgramBuilder {
                         Some(self.base.add_insts(func_base[*tf] as u64)),
                         gi.behavior.clone(),
                     ),
-                    Pending::IndirectRuns { func: tf, runs, salt, sticky } => {
+                    Pending::IndirectRuns {
+                        func: tf,
+                        runs,
+                        salt,
+                        sticky,
+                    } => {
                         let targets = runs.iter().map(|&r| run_addr(*tf, r)).collect();
                         (
                             None,
@@ -195,10 +205,9 @@ impl GenFunc {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
 }
 
 /// Generates the straight-line portion of a run (everything but the ending
@@ -292,7 +301,11 @@ fn gen_straight(
                 target: Pending::None,
             });
         } else if is_fp {
-            let src2 = if rng.chance(0.5) { Some(pick_fp(rng)) } else { None };
+            let src2 = if rng.chance(0.5) {
+                Some(pick_fp(rng))
+            } else {
+                None
+            };
             out.push(GenInst {
                 class,
                 dest: Some(pick_fp(rng)),
@@ -301,7 +314,11 @@ fn gen_straight(
                 target: Pending::None,
             });
         } else {
-            let src2 = if rng.chance(0.25) { Some(pick_int(rng)) } else { None };
+            let src2 = if rng.chance(0.25) {
+                Some(pick_int(rng))
+            } else {
+                None
+            };
             out.push(GenInst {
                 class,
                 dest: Some(pick_int(rng)),
@@ -320,7 +337,11 @@ fn forward_cond_behavior(p: &BenchmarkProfile, rng: &mut Srng) -> BranchBehavior
     // remaining mass splits between patterns, history-correlated branches
     // and Bernoulli branches.
     let rest = 1.0 - p.loop_frac;
-    let pattern_share = if rest > 0.0 { p.pattern_frac / rest } else { 0.0 };
+    let pattern_share = if rest > 0.0 {
+        p.pattern_frac / rest
+    } else {
+        0.0
+    };
     let corr_share = if rest > 0.0 { p.corr_frac / rest } else { 0.0 };
     if rng.chance(pattern_share) {
         // Short alternation-style patterns (the classic history-
@@ -513,7 +534,9 @@ fn gen_driver(p: &BenchmarkProfile, rng: &mut Srng, num_funcs: usize) -> GenFunc
         for _ in 0..glue {
             f.push(GenInst {
                 class: InstClass::IntAlu,
-                dest: Some(ArchReg::int(1 + (callee % p.dep_chains.max(1) as usize) as u16)),
+                dest: Some(ArchReg::int(
+                    1 + (callee % p.dep_chains.max(1) as usize) as u16,
+                )),
                 srcs: [Some(ArchReg::int(1)), None],
                 behavior: Behavior::None,
                 target: Pending::None,
@@ -567,8 +590,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = build("gzip", 1);
         let b = build("gzip", 2);
-        let same = a.len() == b.len()
-            && a.iter().zip(b.iter()).all(|(x, y)| x == y);
+        let same = a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x == y);
         assert!(!same);
     }
 
@@ -600,8 +622,7 @@ mod tests {
                     }
                     BranchKind::Return => assert!(inst.target.is_none()),
                     BranchKind::Indirect => {
-                        if let crate::behavior::Behavior::Indirect(ib) = prog.behavior(inst.id)
-                        {
+                        if let crate::behavior::Behavior::Indirect(ib) = prog.behavior(inst.id) {
                             assert!(!ib.targets.is_empty());
                             for &t in &ib.targets {
                                 assert!(prog.contains(t));

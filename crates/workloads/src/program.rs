@@ -150,11 +150,7 @@ impl Program {
     /// Returns `(distance_in_insts_from_pc, &inst)`. This is the static
     /// information a classical fetch unit obtains from predecode bits /
     /// BTB probes: where the current basic block ends.
-    pub fn first_branch_at_or_after(
-        &self,
-        pc: Addr,
-        max_insts: u64,
-    ) -> Option<(u64, &StaticInst)> {
+    pub fn first_branch_at_or_after(&self, pc: Addr, max_insts: u64) -> Option<(u64, &StaticInst)> {
         let start = self.inst_at(pc)?.id as u64;
         let limit = (start + max_insts).min(self.insts.len() as u64);
         for idx in start..limit {

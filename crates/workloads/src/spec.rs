@@ -352,8 +352,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap",
-                "vortex", "bzip2", "twolf"
+                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
+                "bzip2", "twolf"
             ]
         );
     }
@@ -395,7 +395,9 @@ mod tests {
         assert!(BenchmarkProfile::twolf().mem_class.is_mem());
         assert!(BenchmarkProfile::vpr().mem_class.is_mem());
         assert!(BenchmarkProfile::perlbmk().mem_class.is_mem());
-        for ilp in ["gzip", "gcc", "crafty", "parser", "eon", "gap", "vortex", "bzip2"] {
+        for ilp in [
+            "gzip", "gcc", "crafty", "parser", "eon", "gap", "vortex", "bzip2",
+        ] {
             assert!(
                 !BenchmarkProfile::by_name(ilp).unwrap().mem_class.is_mem(),
                 "{ilp} should be ILP"
@@ -432,7 +434,11 @@ mod tests {
                 assert!((0.0..=1.0).contains(&f), "{}: fraction {f}", p.name);
             }
             assert!(p.loop_frac + p.pattern_frac <= 1.0, "{}", p.name);
-            assert!(p.mix.load + p.mix.store + p.mix.fp + p.mix.mul < 1.0, "{}", p.name);
+            assert!(
+                p.mix.load + p.mix.store + p.mix.fp + p.mix.mul < 1.0,
+                "{}",
+                p.name
+            );
             assert!(p.loop_period.0 >= 2 && p.loop_period.1 > p.loop_period.0);
         }
     }

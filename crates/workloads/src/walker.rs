@@ -9,6 +9,11 @@
 //! ([`Walker::wrong_path`]) without touching the walker, so recovery after a
 //! squash is simply "resume fetching at [`Walker::pc`]".
 
+// The walker is the oracle: a wrong-path query that violates its
+// contract (e.g. resuming at a PC outside the program) is a simulator
+// bug, not an input error, so it panics loudly rather than guessing.
+// lint:allow-file(no-panic)
+
 use smt_isa::{Addr, BranchKind, DynInst, InstClass, MemAccess, ThreadId};
 
 use crate::behavior::Behavior;
@@ -245,7 +250,11 @@ impl Walker {
     /// they occupy memory pipelines and pollute caches realistically.
     pub fn wrong_path(&self, pc: Addr, spec_taken: bool, spec_target: Addr) -> DynInst {
         let pc = self.program.clamp(pc);
-        let inst = self.program.inst_at(pc).expect("clamp returns valid pc").clone();
+        let inst = self
+            .program
+            .inst_at(pc)
+            .expect("clamp returns valid pc")
+            .clone();
         let n = self.counters[inst.id as usize];
         let fall = inst.fall_through();
 
@@ -441,7 +450,11 @@ mod tests {
             ratio_sum += s.avg_stream_len() / s.avg_bb_size();
             assert!(s.taken_rate() > 0.3 && s.taken_rate() < 0.95);
         }
-        assert!(ratio_sum / 3.0 > 1.2, "mean stream/bb ratio {:.2}", ratio_sum / 3.0);
+        assert!(
+            ratio_sum / 3.0 > 1.2,
+            "mean stream/bb ratio {:.2}",
+            ratio_sum / 3.0
+        );
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl Workload {
     }
 
     fn table2(name: &str, class: WorkloadClass, benchmarks: &[&'static str]) -> Self {
+        // lint:allow(no-panic)
         Workload::custom(name, class, benchmarks).expect("table 2 names are valid")
     }
 
@@ -106,7 +107,11 @@ impl Workload {
 
     /// `4_ILP`: eon, gcc, gzip, bzip2.
     pub fn ilp4() -> Self {
-        Self::table2("4_ILP", WorkloadClass::Ilp, &["eon", "gcc", "gzip", "bzip2"])
+        Self::table2(
+            "4_ILP",
+            WorkloadClass::Ilp,
+            &["eon", "gcc", "gzip", "bzip2"],
+        )
     }
 
     /// `4_MEM`: mcf, twolf, vpr, perlbmk.
@@ -120,7 +125,11 @@ impl Workload {
 
     /// `4_MIX`: gzip, twolf, bzip2, mcf.
     pub fn mix4() -> Self {
-        Self::table2("4_MIX", WorkloadClass::Mix, &["gzip", "twolf", "bzip2", "mcf"])
+        Self::table2(
+            "4_MIX",
+            WorkloadClass::Mix,
+            &["gzip", "twolf", "bzip2", "mcf"],
+        )
     }
 
     /// `6_ILP`: eon, gcc, gzip, bzip2, crafty, vortex.
@@ -146,7 +155,9 @@ impl Workload {
         Self::table2(
             "8_ILP",
             WorkloadClass::Ilp,
-            &["eon", "gcc", "gzip", "bzip2", "crafty", "vortex", "gap", "parser"],
+            &[
+                "eon", "gcc", "gzip", "bzip2", "crafty", "vortex", "gap", "parser",
+            ],
         )
     }
 
@@ -155,7 +166,9 @@ impl Workload {
         Self::table2(
             "8_MIX",
             WorkloadClass::Mix,
-            &["gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "gap", "parser"],
+            &[
+                "gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "gap", "parser",
+            ],
         )
     }
 
@@ -248,7 +261,13 @@ impl Workload {
 
 impl std::fmt::Display for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} [{}]: {}", self.name, self.class, self.benchmarks.join(", "))
+        write!(
+            f,
+            "{} [{}]: {}",
+            self.name,
+            self.class,
+            self.benchmarks.join(", ")
+        )
     }
 }
 
@@ -264,7 +283,10 @@ mod tests {
         assert_eq!(w.benchmarks(), ["gzip", "twolf"]);
         assert_eq!(w.num_threads(), 2);
         assert_eq!(w.class(), WorkloadClass::Mix);
-        assert_eq!(Workload::mem4().benchmarks(), ["mcf", "twolf", "vpr", "perlbmk"]);
+        assert_eq!(
+            Workload::mem4().benchmarks(),
+            ["mcf", "twolf", "vpr", "perlbmk"]
+        );
         assert_eq!(
             Workload::ilp8().benchmarks(),
             ["eon", "gcc", "gzip", "bzip2", "crafty", "vortex", "gap", "parser"]

@@ -48,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             per_policy.push(ipc);
         }
         let delta = (per_policy[1] / per_policy[0] - 1.0) * 100.0;
-        println!(
-            "         -> fetching from two threads changes IPC by {delta:+.1}%\n"
-        );
+        println!("         -> fetching from two threads changes IPC by {delta:+.1}%\n");
     }
     println!(
         "ILP workloads gain from dual-thread fetch (more fetch slots filled);\n\

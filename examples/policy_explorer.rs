@@ -11,20 +11,24 @@ use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder};
 use smtfetch::workloads::Workload;
 
 fn workload_by_name(name: &str) -> Option<Workload> {
-    Workload::all_table2().into_iter().find(|w| w.name() == name)
+    Workload::all_table2()
+        .into_iter()
+        .find(|w| w.name() == name)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let workload = args
         .get(1)
-        .map(|n| workload_by_name(n).unwrap_or_else(|| {
-            eprintln!("unknown workload `{n}`; available:");
-            for w in Workload::all_table2() {
-                eprintln!("  {}", w.name());
-            }
-            std::process::exit(2);
-        }))
+        .map(|n| {
+            workload_by_name(n).unwrap_or_else(|| {
+                eprintln!("unknown workload `{n}`; available:");
+                for w in Workload::all_table2() {
+                    eprintln!("  {}", w.name());
+                }
+                std::process::exit(2);
+            })
+        })
         .unwrap_or_else(Workload::mix2);
     let round_robin = args.get(2).map(|s| s == "rr").unwrap_or(false);
 

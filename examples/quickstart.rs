@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stats = sim.run_cycles(120_000);
 
         println!("\n{label}");
-        println!("  fetch throughput  : {:5.2} instructions/fetch-cycle", stats.ipfc());
-        println!("  commit throughput : {:5.2} instructions/cycle", stats.ipc());
+        println!(
+            "  fetch throughput  : {:5.2} instructions/fetch-cycle",
+            stats.ipfc()
+        );
+        println!(
+            "  commit throughput : {:5.2} instructions/cycle",
+            stats.ipc()
+        );
         println!(
             "  branch accuracy   : {:5.1}%  wrong-path fetches: {:4.1}%",
             stats.branch_accuracy() * 100.0,

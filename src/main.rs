@@ -68,9 +68,7 @@ fn parse_args() -> Result<Options, String> {
     let mut o = Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--workload" | "-w" => o.workload = value("--workload")?,
             "--engine" | "-e" => o.engine = parse_engine(&value("--engine")?)?,
@@ -78,12 +76,28 @@ fn parse_args() -> Result<Options, String> {
             "--threads-per-cycle" | "-n" => {
                 o.threads_per_cycle = value("-n")?.parse().map_err(|e| format!("-n: {e}"))?
             }
-            "--width" | "-x" => o.width = value("--width")?.parse().map_err(|e| format!("--width: {e}"))?,
+            "--width" | "-x" => {
+                o.width = value("--width")?
+                    .parse()
+                    .map_err(|e| format!("--width: {e}"))?
+            }
             "--stall" => o.stall = true,
             "--flush" => o.flush = true,
-            "--cycles" | "-c" => o.cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
-            "--warmup" => o.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?,
-            "--seed" | "-s" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cycles" | "-c" => {
+                o.cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--warmup" => {
+                o.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--seed" | "-s" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--all-engines" => o.all_engines = true,
             "--help" | "-h" => {
                 print_help();
@@ -118,11 +132,18 @@ fn print_help() {
 }
 
 fn resolve_workload(name: &str) -> Result<Workload, String> {
-    if let Some(w) = Workload::all_table2().into_iter().find(|w| w.name() == name) {
+    if let Some(w) = Workload::all_table2()
+        .into_iter()
+        .find(|w| w.name() == name)
+    {
         return Ok(w);
     }
     // Comma-separated benchmark list.
-    let names: Vec<&str> = name.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let names: Vec<&str> = name
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if names.is_empty() {
         return Err("empty workload".into());
     }
@@ -151,7 +172,12 @@ fn build_policy(o: &Options) -> Result<FetchPolicy, String> {
     Ok(p)
 }
 
-fn simulate(w: &Workload, engine: FetchEngineKind, policy: FetchPolicy, o: &Options) -> Result<SimStats, String> {
+fn simulate(
+    w: &Workload,
+    engine: FetchEngineKind,
+    policy: FetchPolicy,
+    o: &Options,
+) -> Result<SimStats, String> {
     let mut sim = SimBuilder::new(w.programs(o.seed).map_err(|e| e.to_string())?)
         .fetch_engine(engine)
         .fetch_policy(policy)
@@ -172,7 +198,13 @@ fn report(engine: FetchEngineKind, policy: FetchPolicy, w: &Workload, s: &SimSta
         s.wrong_path_fraction() * 100.0
     );
     let per: Vec<String> = (0..w.num_threads())
-        .map(|t| format!("{}={:.2}", w.benchmarks().get(t).copied().unwrap_or("?"), s.committed[t] as f64 / s.cycles.max(1) as f64))
+        .map(|t| {
+            format!(
+                "{}={:.2}",
+                w.benchmarks().get(t).copied().unwrap_or("?"),
+                s.committed[t] as f64 / s.cycles.max(1) as f64
+            )
+        })
         .collect();
     println!("  per-thread IPC     {}", per.join("  "));
     if s.flushes > 0 {
@@ -203,7 +235,10 @@ fn main() -> ExitCode {
         }
     };
     println!("{w}");
-    println!("seed {}  warmup {}  measured {} cycles", o.seed, o.warmup, o.cycles);
+    println!(
+        "seed {}  warmup {}  measured {} cycles",
+        o.seed, o.warmup, o.cycles
+    );
     let engines: Vec<FetchEngineKind> = if o.all_engines {
         FetchEngineKind::all_with_trace_cache().to_vec()
     } else {

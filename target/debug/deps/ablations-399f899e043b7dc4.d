@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-399f899e043b7dc4.d: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-399f899e043b7dc4.rmeta: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+crates/experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6980bfe86204c247.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6980bfe86204c247: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-bd6006f26511708c.d: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-bd6006f26511708c.rmeta: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+crates/experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d93f29f522d0d9ab.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d93f29f522d0d9ab: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

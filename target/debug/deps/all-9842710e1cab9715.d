@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-9842710e1cab9715.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-9842710e1cab9715: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-a445c78b3e271bd2.d: crates/experiments/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-a445c78b3e271bd2.rmeta: crates/experiments/src/bin/all.rs Cargo.toml
+
+crates/experiments/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-ef0a74e3d1f673da.d: crates/experiments/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-ef0a74e3d1f673da.rmeta: crates/experiments/src/bin/all.rs Cargo.toml
+
+crates/experiments/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-fbe1b4a5779cb338.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-fbe1b4a5779cb338: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-0af5e7013159bb6e.d: crates/lint/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-0af5e7013159bb6e.rmeta: crates/lint/tests/cli.rs Cargo.toml
+
+crates/lint/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_smt-lint=placeholder:smt-lint
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-cc0f909d8c450d18.d: crates/lint/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-cc0f909d8c450d18: crates/lint/tests/cli.rs
+
+crates/lint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_smt-lint=/root/repo/target/debug/smt-lint
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

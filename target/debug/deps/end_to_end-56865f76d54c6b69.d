@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-56865f76d54c6b69.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-56865f76d54c6b69: tests/end_to_end.rs
+
+tests/end_to_end.rs:

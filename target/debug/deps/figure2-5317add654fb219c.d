@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-5317add654fb219c.d: crates/experiments/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-5317add654fb219c: crates/experiments/src/bin/figure2.rs
+
+crates/experiments/src/bin/figure2.rs:

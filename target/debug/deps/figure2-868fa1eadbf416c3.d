@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-868fa1eadbf416c3.d: crates/experiments/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-868fa1eadbf416c3.rmeta: crates/experiments/src/bin/figure2.rs Cargo.toml
+
+crates/experiments/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-e9ce545b1a67f6c7.d: crates/experiments/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-e9ce545b1a67f6c7.rmeta: crates/experiments/src/bin/figure2.rs Cargo.toml
+
+crates/experiments/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

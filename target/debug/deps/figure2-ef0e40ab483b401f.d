@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-ef0e40ab483b401f.d: crates/experiments/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-ef0e40ab483b401f: crates/experiments/src/bin/figure2.rs
+
+crates/experiments/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-0a609708c713b027.d: crates/experiments/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-0a609708c713b027: crates/experiments/src/bin/figure4.rs
+
+crates/experiments/src/bin/figure4.rs:

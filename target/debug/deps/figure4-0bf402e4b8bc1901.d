@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-0bf402e4b8bc1901.d: crates/experiments/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-0bf402e4b8bc1901.rmeta: crates/experiments/src/bin/figure4.rs Cargo.toml
+
+crates/experiments/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

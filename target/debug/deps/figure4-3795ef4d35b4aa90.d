@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-3795ef4d35b4aa90.d: crates/experiments/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-3795ef4d35b4aa90: crates/experiments/src/bin/figure4.rs
+
+crates/experiments/src/bin/figure4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-69b16031891abdd7.d: crates/experiments/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-69b16031891abdd7.rmeta: crates/experiments/src/bin/figure5.rs Cargo.toml
+
+crates/experiments/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-6aab22bf046e5e72.d: crates/experiments/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-6aab22bf046e5e72.rmeta: crates/experiments/src/bin/figure5.rs Cargo.toml
+
+crates/experiments/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

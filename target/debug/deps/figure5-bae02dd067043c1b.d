@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-bae02dd067043c1b.d: crates/experiments/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-bae02dd067043c1b: crates/experiments/src/bin/figure5.rs
+
+crates/experiments/src/bin/figure5.rs:

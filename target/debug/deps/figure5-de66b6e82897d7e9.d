@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-de66b6e82897d7e9.d: crates/experiments/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-de66b6e82897d7e9: crates/experiments/src/bin/figure5.rs
+
+crates/experiments/src/bin/figure5.rs:

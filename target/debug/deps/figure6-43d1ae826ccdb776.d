@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure6-43d1ae826ccdb776.d: crates/experiments/src/bin/figure6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure6-43d1ae826ccdb776.rmeta: crates/experiments/src/bin/figure6.rs Cargo.toml
+
+crates/experiments/src/bin/figure6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

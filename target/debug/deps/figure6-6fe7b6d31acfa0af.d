@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-6fe7b6d31acfa0af.d: crates/experiments/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-6fe7b6d31acfa0af: crates/experiments/src/bin/figure6.rs
+
+crates/experiments/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-809f92bc8f1a21af.d: crates/experiments/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-809f92bc8f1a21af: crates/experiments/src/bin/figure6.rs
+
+crates/experiments/src/bin/figure6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure6-aa6ffdfd104707d1.d: crates/experiments/src/bin/figure6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure6-aa6ffdfd104707d1.rmeta: crates/experiments/src/bin/figure6.rs Cargo.toml
+
+crates/experiments/src/bin/figure6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

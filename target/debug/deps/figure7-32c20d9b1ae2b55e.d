@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure7-32c20d9b1ae2b55e.d: crates/experiments/src/bin/figure7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure7-32c20d9b1ae2b55e.rmeta: crates/experiments/src/bin/figure7.rs Cargo.toml
+
+crates/experiments/src/bin/figure7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-4bfb69c6d76e3dc4.d: crates/experiments/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-4bfb69c6d76e3dc4: crates/experiments/src/bin/figure7.rs
+
+crates/experiments/src/bin/figure7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure7-7ec5a9528f43360f.d: crates/experiments/src/bin/figure7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure7-7ec5a9528f43360f.rmeta: crates/experiments/src/bin/figure7.rs Cargo.toml
+
+crates/experiments/src/bin/figure7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

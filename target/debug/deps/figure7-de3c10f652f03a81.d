@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-de3c10f652f03a81.d: crates/experiments/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-de3c10f652f03a81: crates/experiments/src/bin/figure7.rs
+
+crates/experiments/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-465545b799021c61.d: crates/experiments/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-465545b799021c61: crates/experiments/src/bin/figure8.rs
+
+crates/experiments/src/bin/figure8.rs:

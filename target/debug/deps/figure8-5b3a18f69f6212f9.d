@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-5b3a18f69f6212f9.d: crates/experiments/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-5b3a18f69f6212f9: crates/experiments/src/bin/figure8.rs
+
+crates/experiments/src/bin/figure8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure8-7c6bfd72eedf7d4b.d: crates/experiments/src/bin/figure8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure8-7c6bfd72eedf7d4b.rmeta: crates/experiments/src/bin/figure8.rs Cargo.toml
+
+crates/experiments/src/bin/figure8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure8-b85c65cd32e6aaa5.d: crates/experiments/src/bin/figure8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure8-b85c65cd32e6aaa5.rmeta: crates/experiments/src/bin/figure8.rs Cargo.toml
+
+crates/experiments/src/bin/figure8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2bd52abe158e7aea.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-2bd52abe158e7aea: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

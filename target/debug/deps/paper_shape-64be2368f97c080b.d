@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shape-64be2368f97c080b.d: tests/paper_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shape-64be2368f97c080b.rmeta: tests/paper_shape.rs Cargo.toml
+
+tests/paper_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

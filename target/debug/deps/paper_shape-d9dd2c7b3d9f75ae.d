@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-d9dd2c7b3d9f75ae.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-d9dd2c7b3d9f75ae: tests/paper_shape.rs
+
+tests/paper_shape.rs:

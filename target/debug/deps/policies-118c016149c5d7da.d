@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-118c016149c5d7da.d: crates/experiments/src/bin/policies.rs
+
+/root/repo/target/debug/deps/policies-118c016149c5d7da: crates/experiments/src/bin/policies.rs
+
+crates/experiments/src/bin/policies.rs:

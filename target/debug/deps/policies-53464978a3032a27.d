@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policies-53464978a3032a27.d: crates/experiments/src/bin/policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicies-53464978a3032a27.rmeta: crates/experiments/src/bin/policies.rs Cargo.toml
+
+crates/experiments/src/bin/policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-7f6d65bd1664cc89.d: crates/experiments/src/bin/policies.rs
+
+/root/repo/target/debug/deps/policies-7f6d65bd1664cc89: crates/experiments/src/bin/policies.rs
+
+crates/experiments/src/bin/policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policies-939828ee647ba45a.d: crates/experiments/src/bin/policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicies-939828ee647ba45a.rmeta: crates/experiments/src/bin/policies.rs Cargo.toml
+
+crates/experiments/src/bin/policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictors-d0297d2f7de57fd3.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/debug/deps/predictors-d0297d2f7de57fd3: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

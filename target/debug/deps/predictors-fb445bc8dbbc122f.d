@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictors-fb445bc8dbbc122f.d: crates/bench/benches/predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictors-fb445bc8dbbc122f.rmeta: crates/bench/benches/predictors.rs Cargo.toml
+
+crates/bench/benches/predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-21a808f6240aedc1.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-21a808f6240aedc1: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bb664be9be8680bd.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bb664be9be8680bd.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

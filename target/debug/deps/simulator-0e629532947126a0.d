@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-0e629532947126a0.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-0e629532947126a0: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smt_bench-3d7c03dca0c461a9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_bench-3d7c03dca0c461a9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smt_bench-68c325b57a0df58d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_bench-68c325b57a0df58d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smt_bench-7d7aedc623c1d175.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smt_bench-7d7aedc623c1d175: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

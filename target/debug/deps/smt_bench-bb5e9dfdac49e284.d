@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smt_bench-bb5e9dfdac49e284.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmt_bench-bb5e9dfdac49e284.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmt_bench-bb5e9dfdac49e284.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

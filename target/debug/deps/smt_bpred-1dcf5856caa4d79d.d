@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/smt_bpred-1dcf5856caa4d79d.d: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_bpred-1dcf5856caa4d79d.rmeta: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs Cargo.toml
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/assoc.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/counters.rs:
+crates/bpred/src/ftb.rs:
+crates/bpred/src/gshare.rs:
+crates/bpred/src/gskew.rs:
+crates/bpred/src/history.rs:
+crates/bpred/src/ras.rs:
+crates/bpred/src/stream.rs:
+crates/bpred/src/tracecache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

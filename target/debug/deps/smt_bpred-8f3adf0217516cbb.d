@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smt_bpred-8f3adf0217516cbb.d: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/debug/deps/libsmt_bpred-8f3adf0217516cbb.rlib: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/debug/deps/libsmt_bpred-8f3adf0217516cbb.rmeta: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/assoc.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/counters.rs:
+crates/bpred/src/ftb.rs:
+crates/bpred/src/gshare.rs:
+crates/bpred/src/gskew.rs:
+crates/bpred/src/history.rs:
+crates/bpred/src/ras.rs:
+crates/bpred/src/stream.rs:
+crates/bpred/src/tracecache.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smt_bpred-92656aa0a7beadc7.d: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/debug/deps/smt_bpred-92656aa0a7beadc7: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/assoc.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/counters.rs:
+crates/bpred/src/ftb.rs:
+crates/bpred/src/gshare.rs:
+crates/bpred/src/gskew.rs:
+crates/bpred/src/history.rs:
+crates/bpred/src/ras.rs:
+crates/bpred/src/stream.rs:
+crates/bpred/src/tracecache.rs:

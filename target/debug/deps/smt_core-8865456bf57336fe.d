@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smt_core-8865456bf57336fe.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_core-8865456bf57336fe.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/sim.rs:
+crates/core/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

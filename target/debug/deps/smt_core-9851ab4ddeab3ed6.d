@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smt_core-9851ab4ddeab3ed6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/debug/deps/libsmt_core-9851ab4ddeab3ed6.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/debug/deps/libsmt_core-9851ab4ddeab3ed6.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/sim.rs:
+crates/core/src/thread.rs:

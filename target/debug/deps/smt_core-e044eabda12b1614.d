@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smt_core-e044eabda12b1614.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/debug/deps/smt_core-e044eabda12b1614: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/sim.rs:
+crates/core/src/thread.rs:

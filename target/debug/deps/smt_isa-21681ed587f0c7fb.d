@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smt_isa-21681ed587f0c7fb.d: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/smt_isa-21681ed587f0c7fb: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/addr.rs:
+crates/isa/src/block.rs:
+crates/isa/src/diag.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

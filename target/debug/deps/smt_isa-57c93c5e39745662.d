@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smt_isa-57c93c5e39745662.d: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsmt_isa-57c93c5e39745662.rlib: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsmt_isa-57c93c5e39745662.rmeta: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/addr.rs:
+crates/isa/src/block.rs:
+crates/isa/src/diag.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

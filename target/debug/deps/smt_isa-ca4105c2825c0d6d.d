@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smt_isa-ca4105c2825c0d6d.d: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_isa-ca4105c2825c0d6d.rmeta: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/addr.rs:
+crates/isa/src/block.rs:
+crates/isa/src/diag.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

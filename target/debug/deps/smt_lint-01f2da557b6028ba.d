@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smt_lint-01f2da557b6028ba.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/smt_lint-01f2da557b6028ba: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

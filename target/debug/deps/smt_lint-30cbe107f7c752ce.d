@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smt_lint-30cbe107f7c752ce.d: crates/lint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_lint-30cbe107f7c752ce.rmeta: crates/lint/src/lib.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smt_lint-baa477547ed9426b.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/smt_lint-baa477547ed9426b: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smt_lint-e0c88d31a372d78d.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libsmt_lint-e0c88d31a372d78d.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libsmt_lint-e0c88d31a372d78d.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

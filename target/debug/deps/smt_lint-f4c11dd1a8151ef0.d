@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smt_lint-f4c11dd1a8151ef0.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/smt_lint-f4c11dd1a8151ef0: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

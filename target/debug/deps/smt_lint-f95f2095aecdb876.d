@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smt_lint-f95f2095aecdb876.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_lint-f95f2095aecdb876.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smt_mem-0a2ef07f8027c1ef.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/smt_mem-0a2ef07f8027c1ef: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smt_mem-944bda06854cd254.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libsmt_mem-944bda06854cd254.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libsmt_mem-944bda06854cd254.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smt_mem-d90f6752bc9f8294.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_mem-d90f6752bc9f8294.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smt_workloads-526ec29b0a13df6c.d: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/debug/deps/smt_workloads-526ec29b0a13df6c: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/behavior.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/walker.rs:
+crates/workloads/src/workloads.rs:

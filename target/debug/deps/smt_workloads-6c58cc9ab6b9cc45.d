@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smt_workloads-6c58cc9ab6b9cc45.d: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/debug/deps/libsmt_workloads-6c58cc9ab6b9cc45.rlib: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/debug/deps/libsmt_workloads-6c58cc9ab6b9cc45.rmeta: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/behavior.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/walker.rs:
+crates/workloads/src/workloads.rs:

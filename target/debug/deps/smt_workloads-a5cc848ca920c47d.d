@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/smt_workloads-a5cc848ca920c47d.d: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmt_workloads-a5cc848ca920c47d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/behavior.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/walker.rs:
+crates/workloads/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smtfetch-2bbe6d2665578b33.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmtfetch-2bbe6d2665578b33.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smtfetch-80597e2fc3fe5df1.d: src/lib.rs
+
+/root/repo/target/debug/deps/smtfetch-80597e2fc3fe5df1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smtfetch-8f715eefcf404def.d: src/main.rs
+
+/root/repo/target/debug/deps/smtfetch-8f715eefcf404def: src/main.rs
+
+src/main.rs:

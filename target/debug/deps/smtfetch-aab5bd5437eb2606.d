@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smtfetch-aab5bd5437eb2606.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmtfetch-aab5bd5437eb2606.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smtfetch-ad3dc3e8f824b82a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmtfetch-ad3dc3e8f824b82a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

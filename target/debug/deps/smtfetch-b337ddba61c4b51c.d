@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smtfetch-b337ddba61c4b51c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmtfetch-b337ddba61c4b51c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

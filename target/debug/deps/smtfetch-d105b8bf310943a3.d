@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smtfetch-d105b8bf310943a3.d: src/main.rs
+
+/root/repo/target/debug/deps/smtfetch-d105b8bf310943a3: src/main.rs
+
+src/main.rs:

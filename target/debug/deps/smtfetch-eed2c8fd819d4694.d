@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smtfetch-eed2c8fd819d4694.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmtfetch-eed2c8fd819d4694.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmtfetch-eed2c8fd819d4694.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/static_checks-2fdc113221d52e5c.d: tests/static_checks.rs
+
+/root/repo/target/debug/deps/static_checks-2fdc113221d52e5c: tests/static_checks.rs
+
+tests/static_checks.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/static_checks-7ff045d6c08544c0.d: tests/static_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_checks-7ff045d6c08544c0.rmeta: tests/static_checks.rs Cargo.toml
+
+tests/static_checks.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

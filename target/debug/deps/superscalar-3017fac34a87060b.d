@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-3017fac34a87060b.d: crates/experiments/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/superscalar-3017fac34a87060b: crates/experiments/src/bin/superscalar.rs
+
+crates/experiments/src/bin/superscalar.rs:

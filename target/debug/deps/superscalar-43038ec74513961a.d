@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superscalar-43038ec74513961a.d: crates/experiments/src/bin/superscalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperscalar-43038ec74513961a.rmeta: crates/experiments/src/bin/superscalar.rs Cargo.toml
+
+crates/experiments/src/bin/superscalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superscalar-b6561ac9191b61b4.d: crates/experiments/src/bin/superscalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperscalar-b6561ac9191b61b4.rmeta: crates/experiments/src/bin/superscalar.rs Cargo.toml
+
+crates/experiments/src/bin/superscalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-b6f8deceeeed86a6.d: crates/experiments/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/superscalar-b6f8deceeeed86a6: crates/experiments/src/bin/superscalar.rs
+
+crates/experiments/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bcef98279ddc9988.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bcef98279ddc9988: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d4e760c53e6b47e3.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d4e760c53e6b47e3: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

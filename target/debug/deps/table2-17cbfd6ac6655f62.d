@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-17cbfd6ac6655f62.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-17cbfd6ac6655f62: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-803d0695d369723e.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-803d0695d369723e: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-e073b193974b520f.d: crates/experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-e073b193974b520f.rmeta: crates/experiments/src/bin/table2.rs Cargo.toml
+
+crates/experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

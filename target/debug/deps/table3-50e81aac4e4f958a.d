@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-50e81aac4e4f958a.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-50e81aac4e4f958a: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

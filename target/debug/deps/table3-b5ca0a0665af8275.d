@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-b5ca0a0665af8275.d: crates/experiments/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-b5ca0a0665af8275.rmeta: crates/experiments/src/bin/table3.rs Cargo.toml
+
+crates/experiments/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

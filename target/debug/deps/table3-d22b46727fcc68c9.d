@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-d22b46727fcc68c9.d: crates/experiments/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-d22b46727fcc68c9.rmeta: crates/experiments/src/bin/table3.rs Cargo.toml
+
+crates/experiments/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-edd994184ee2d414.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-edd994184ee2d414: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracecache-3bf0fcc37b92e459.d: crates/experiments/src/bin/tracecache.rs
+
+/root/repo/target/debug/deps/tracecache-3bf0fcc37b92e459: crates/experiments/src/bin/tracecache.rs
+
+crates/experiments/src/bin/tracecache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracecache-9c367bd887887071.d: crates/experiments/src/bin/tracecache.rs
+
+/root/repo/target/debug/deps/tracecache-9c367bd887887071: crates/experiments/src/bin/tracecache.rs
+
+crates/experiments/src/bin/tracecache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracecache-bf3878a94d4f8a42.d: crates/experiments/src/bin/tracecache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracecache-bf3878a94d4f8a42.rmeta: crates/experiments/src/bin/tracecache.rs Cargo.toml
+
+crates/experiments/src/bin/tracecache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracecache-f4dbcf937617dc5d.d: crates/experiments/src/bin/tracecache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracecache-f4dbcf937617dc5d.rmeta: crates/experiments/src/bin/tracecache.rs Cargo.toml
+
+crates/experiments/src/bin/tracecache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

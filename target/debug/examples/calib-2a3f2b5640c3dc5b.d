@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calib-2a3f2b5640c3dc5b.d: crates/workloads/examples/calib.rs
+
+/root/repo/target/debug/examples/calib-2a3f2b5640c3dc5b: crates/workloads/examples/calib.rs
+
+crates/workloads/examples/calib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calib-e311d8aca49bf1e6.d: crates/workloads/examples/calib.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalib-e311d8aca49bf1e6.rmeta: crates/workloads/examples/calib.rs Cargo.toml
+
+crates/workloads/examples/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ilp_vs_mem-37ab3a4cfbb13724.d: examples/ilp_vs_mem.rs
+
+/root/repo/target/debug/examples/ilp_vs_mem-37ab3a4cfbb13724: examples/ilp_vs_mem.rs
+
+examples/ilp_vs_mem.rs:

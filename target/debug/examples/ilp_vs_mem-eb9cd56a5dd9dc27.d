@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ilp_vs_mem-eb9cd56a5dd9dc27.d: examples/ilp_vs_mem.rs Cargo.toml
+
+/root/repo/target/debug/examples/libilp_vs_mem-eb9cd56a5dd9dc27.rmeta: examples/ilp_vs_mem.rs Cargo.toml
+
+examples/ilp_vs_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_explorer-7572056b509aabdc.d: examples/policy_explorer.rs
+
+/root/repo/target/debug/examples/policy_explorer-7572056b509aabdc: examples/policy_explorer.rs
+
+examples/policy_explorer.rs:

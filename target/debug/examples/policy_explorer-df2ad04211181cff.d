@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_explorer-df2ad04211181cff.d: examples/policy_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_explorer-df2ad04211181cff.rmeta: examples/policy_explorer.rs Cargo.toml
+
+examples/policy_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

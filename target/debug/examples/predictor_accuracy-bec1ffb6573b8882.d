@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/predictor_accuracy-bec1ffb6573b8882.d: examples/predictor_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpredictor_accuracy-bec1ffb6573b8882.rmeta: examples/predictor_accuracy.rs Cargo.toml
+
+examples/predictor_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_accuracy-decc3c5008772ebc.d: examples/predictor_accuracy.rs
+
+/root/repo/target/debug/examples/predictor_accuracy-decc3c5008772ebc: examples/predictor_accuracy.rs
+
+examples/predictor_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-126cb5b475d0b5e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-126cb5b475d0b5e2: examples/quickstart.rs
+
+examples/quickstart.rs:

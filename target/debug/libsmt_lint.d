@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsmt_lint.rlib: /root/repo/crates/lint/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4693df7f367462ac.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4693df7f367462ac: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4ee43c34a38478dd.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4ee43c34a38478dd: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

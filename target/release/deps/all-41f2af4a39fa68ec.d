@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-41f2af4a39fa68ec.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/release/deps/all-41f2af4a39fa68ec: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-baafc5eac8aad8ad.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/release/deps/all-baafc5eac8aad8ad: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cli-df3a5ec31b033dc1.d: crates/lint/tests/cli.rs
+
+/root/repo/target/release/deps/cli-df3a5ec31b033dc1: crates/lint/tests/cli.rs
+
+crates/lint/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_smt-lint=/root/repo/target/release/smt-lint
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

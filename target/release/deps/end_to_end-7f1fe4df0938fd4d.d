@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-7f1fe4df0938fd4d.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-7f1fe4df0938fd4d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

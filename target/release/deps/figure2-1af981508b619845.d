@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-1af981508b619845.d: crates/experiments/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-1af981508b619845: crates/experiments/src/bin/figure2.rs
+
+crates/experiments/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-e58993499d1eccb5.d: crates/experiments/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-e58993499d1eccb5: crates/experiments/src/bin/figure2.rs
+
+crates/experiments/src/bin/figure2.rs:

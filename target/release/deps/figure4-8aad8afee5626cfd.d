@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-8aad8afee5626cfd.d: crates/experiments/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-8aad8afee5626cfd: crates/experiments/src/bin/figure4.rs
+
+crates/experiments/src/bin/figure4.rs:

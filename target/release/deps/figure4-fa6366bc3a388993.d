@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-fa6366bc3a388993.d: crates/experiments/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-fa6366bc3a388993: crates/experiments/src/bin/figure4.rs
+
+crates/experiments/src/bin/figure4.rs:

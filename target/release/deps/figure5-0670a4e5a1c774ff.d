@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-0670a4e5a1c774ff.d: crates/experiments/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-0670a4e5a1c774ff: crates/experiments/src/bin/figure5.rs
+
+crates/experiments/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-3ad903caec3f6fc2.d: crates/experiments/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-3ad903caec3f6fc2: crates/experiments/src/bin/figure5.rs
+
+crates/experiments/src/bin/figure5.rs:

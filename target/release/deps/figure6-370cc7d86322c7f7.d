@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-370cc7d86322c7f7.d: crates/experiments/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-370cc7d86322c7f7: crates/experiments/src/bin/figure6.rs
+
+crates/experiments/src/bin/figure6.rs:

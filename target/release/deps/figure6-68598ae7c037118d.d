@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-68598ae7c037118d.d: crates/experiments/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-68598ae7c037118d: crates/experiments/src/bin/figure6.rs
+
+crates/experiments/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-49f968acab4dc97c.d: crates/experiments/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-49f968acab4dc97c: crates/experiments/src/bin/figure7.rs
+
+crates/experiments/src/bin/figure7.rs:

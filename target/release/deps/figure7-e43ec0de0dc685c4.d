@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-e43ec0de0dc685c4.d: crates/experiments/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-e43ec0de0dc685c4: crates/experiments/src/bin/figure7.rs
+
+crates/experiments/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure8-95a704877afaf4f5.d: crates/experiments/src/bin/figure8.rs
+
+/root/repo/target/release/deps/figure8-95a704877afaf4f5: crates/experiments/src/bin/figure8.rs
+
+crates/experiments/src/bin/figure8.rs:

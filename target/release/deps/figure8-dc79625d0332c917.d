@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure8-dc79625d0332c917.d: crates/experiments/src/bin/figure8.rs
+
+/root/repo/target/release/deps/figure8-dc79625d0332c917: crates/experiments/src/bin/figure8.rs
+
+crates/experiments/src/bin/figure8.rs:

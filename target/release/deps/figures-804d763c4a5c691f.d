@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-804d763c4a5c691f.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-804d763c4a5c691f: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

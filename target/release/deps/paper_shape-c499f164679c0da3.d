@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-c499f164679c0da3.d: tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-c499f164679c0da3: tests/paper_shape.rs
+
+tests/paper_shape.rs:

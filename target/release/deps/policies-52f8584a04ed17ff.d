@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policies-52f8584a04ed17ff.d: crates/experiments/src/bin/policies.rs
+
+/root/repo/target/release/deps/policies-52f8584a04ed17ff: crates/experiments/src/bin/policies.rs
+
+crates/experiments/src/bin/policies.rs:

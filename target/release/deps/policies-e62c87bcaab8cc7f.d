@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policies-e62c87bcaab8cc7f.d: crates/experiments/src/bin/policies.rs
+
+/root/repo/target/release/deps/policies-e62c87bcaab8cc7f: crates/experiments/src/bin/policies.rs
+
+crates/experiments/src/bin/policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predictors-8a1614c8b3dbf439.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/release/deps/predictors-8a1614c8b3dbf439: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-5e6a7c0806d376f2.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-5e6a7c0806d376f2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-8fecc1c062bc1df2.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-8fecc1c062bc1df2: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

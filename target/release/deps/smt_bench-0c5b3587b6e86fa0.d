@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smt_bench-0c5b3587b6e86fa0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmt_bench-0c5b3587b6e86fa0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsmt_bench-0c5b3587b6e86fa0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smt_bench-25b6d712beb5b82f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/smt_bench-25b6d712beb5b82f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/smt_bpred-6c929193389ab412.d: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/release/deps/smt_bpred-6c929193389ab412: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/assoc.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/counters.rs:
+crates/bpred/src/ftb.rs:
+crates/bpred/src/gshare.rs:
+crates/bpred/src/gskew.rs:
+crates/bpred/src/history.rs:
+crates/bpred/src/ras.rs:
+crates/bpred/src/stream.rs:
+crates/bpred/src/tracecache.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/smt_bpred-85a49dca902d8244.d: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/release/deps/libsmt_bpred-85a49dca902d8244.rlib: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+/root/repo/target/release/deps/libsmt_bpred-85a49dca902d8244.rmeta: crates/bpred/src/lib.rs crates/bpred/src/assoc.rs crates/bpred/src/btb.rs crates/bpred/src/counters.rs crates/bpred/src/ftb.rs crates/bpred/src/gshare.rs crates/bpred/src/gskew.rs crates/bpred/src/history.rs crates/bpred/src/ras.rs crates/bpred/src/stream.rs crates/bpred/src/tracecache.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/assoc.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/counters.rs:
+crates/bpred/src/ftb.rs:
+crates/bpred/src/gshare.rs:
+crates/bpred/src/gskew.rs:
+crates/bpred/src/history.rs:
+crates/bpred/src/ras.rs:
+crates/bpred/src/stream.rs:
+crates/bpred/src/tracecache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smt_core-124a102c36929098.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/release/deps/smt_core-124a102c36929098: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/sim.rs:
+crates/core/src/thread.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smt_core-92a135e6d2ed692b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/release/deps/libsmt_core-92a135e6d2ed692b.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+/root/repo/target/release/deps/libsmt_core-92a135e6d2ed692b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/metrics.rs crates/core/src/sim.rs crates/core/src/thread.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/sim.rs:
+crates/core/src/thread.rs:

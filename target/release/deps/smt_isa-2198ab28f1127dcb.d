@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smt_isa-2198ab28f1127dcb.d: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsmt_isa-2198ab28f1127dcb.rlib: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsmt_isa-2198ab28f1127dcb.rmeta: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/addr.rs:
+crates/isa/src/block.rs:
+crates/isa/src/diag.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

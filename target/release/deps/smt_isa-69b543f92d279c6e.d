@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smt_isa-69b543f92d279c6e.d: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/smt_isa-69b543f92d279c6e: crates/isa/src/lib.rs crates/isa/src/addr.rs crates/isa/src/block.rs crates/isa/src/diag.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/addr.rs:
+crates/isa/src/block.rs:
+crates/isa/src/diag.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smt_lint-1a4ba595377578b0.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/smt_lint-1a4ba595377578b0: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smt_lint-75d7dc286de2eb80.d: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/smt_lint-75d7dc286de2eb80: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

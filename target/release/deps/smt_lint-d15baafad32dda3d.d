@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smt_lint-d15baafad32dda3d.d: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libsmt_lint-d15baafad32dda3d.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libsmt_lint-d15baafad32dda3d.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

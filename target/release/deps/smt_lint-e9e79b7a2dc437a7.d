@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smt_lint-e9e79b7a2dc437a7.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/smt_lint-e9e79b7a2dc437a7: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

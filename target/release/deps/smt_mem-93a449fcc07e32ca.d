@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/smt_mem-93a449fcc07e32ca.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/smt_mem-93a449fcc07e32ca: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/smt_mem-c1aa54dbdeab03cd.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/libsmt_mem-c1aa54dbdeab03cd.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/libsmt_mem-c1aa54dbdeab03cd.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/hierarchy.rs crates/mem/src/mshr.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/smt_workloads-1ca7421f35f726ac.d: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/release/deps/libsmt_workloads-1ca7421f35f726ac.rlib: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/release/deps/libsmt_workloads-1ca7421f35f726ac.rmeta: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/behavior.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/walker.rs:
+crates/workloads/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smt_workloads-3a19f4c3ee1240f4.d: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+/root/repo/target/release/deps/smt_workloads-3a19f4c3ee1240f4: crates/workloads/src/lib.rs crates/workloads/src/behavior.rs crates/workloads/src/builder.rs crates/workloads/src/program.rs crates/workloads/src/rng.rs crates/workloads/src/spec.rs crates/workloads/src/walker.rs crates/workloads/src/workloads.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/behavior.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/walker.rs:
+crates/workloads/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smtfetch-0fec8e7528f00bc6.d: src/lib.rs
+
+/root/repo/target/release/deps/smtfetch-0fec8e7528f00bc6: src/lib.rs
+
+src/lib.rs:

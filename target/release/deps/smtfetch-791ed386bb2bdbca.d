@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smtfetch-791ed386bb2bdbca.d: src/main.rs
+
+/root/repo/target/release/deps/smtfetch-791ed386bb2bdbca: src/main.rs
+
+src/main.rs:

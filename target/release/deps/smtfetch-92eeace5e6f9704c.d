@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smtfetch-92eeace5e6f9704c.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmtfetch-92eeace5e6f9704c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmtfetch-92eeace5e6f9704c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smtfetch-f8abe3d8575c7a81.d: src/main.rs
+
+/root/repo/target/release/deps/smtfetch-f8abe3d8575c7a81: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/static_checks-00cd5ad6a3a1cde5.d: tests/static_checks.rs
+
+/root/repo/target/release/deps/static_checks-00cd5ad6a3a1cde5: tests/static_checks.rs
+
+tests/static_checks.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

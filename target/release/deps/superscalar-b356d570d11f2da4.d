@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superscalar-b356d570d11f2da4.d: crates/experiments/src/bin/superscalar.rs
+
+/root/repo/target/release/deps/superscalar-b356d570d11f2da4: crates/experiments/src/bin/superscalar.rs
+
+crates/experiments/src/bin/superscalar.rs:

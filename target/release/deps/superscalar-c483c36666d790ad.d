@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superscalar-c483c36666d790ad.d: crates/experiments/src/bin/superscalar.rs
+
+/root/repo/target/release/deps/superscalar-c483c36666d790ad: crates/experiments/src/bin/superscalar.rs
+
+crates/experiments/src/bin/superscalar.rs:

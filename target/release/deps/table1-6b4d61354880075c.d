@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6b4d61354880075c.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6b4d61354880075c: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c762610a22ac287c.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c762610a22ac287c: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4d461cec381c2050.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4d461cec381c2050: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8b93da2d002c84a7.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8b93da2d002c84a7: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

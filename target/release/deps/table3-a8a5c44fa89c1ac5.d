@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-a8a5c44fa89c1ac5.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-a8a5c44fa89c1ac5: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-fbc2454465976c12.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-fbc2454465976c12: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

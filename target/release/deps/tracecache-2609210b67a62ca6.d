@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracecache-2609210b67a62ca6.d: crates/experiments/src/bin/tracecache.rs
+
+/root/repo/target/release/deps/tracecache-2609210b67a62ca6: crates/experiments/src/bin/tracecache.rs
+
+crates/experiments/src/bin/tracecache.rs:

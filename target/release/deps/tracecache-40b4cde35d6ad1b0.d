@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracecache-40b4cde35d6ad1b0.d: crates/experiments/src/bin/tracecache.rs
+
+/root/repo/target/release/deps/tracecache-40b4cde35d6ad1b0: crates/experiments/src/bin/tracecache.rs
+
+crates/experiments/src/bin/tracecache.rs:

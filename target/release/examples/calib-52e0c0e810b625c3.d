@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calib-52e0c0e810b625c3.d: crates/workloads/examples/calib.rs
+
+/root/repo/target/release/examples/calib-52e0c0e810b625c3: crates/workloads/examples/calib.rs
+
+crates/workloads/examples/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ilp_vs_mem-e9f3788273e06aaf.d: examples/ilp_vs_mem.rs
+
+/root/repo/target/release/examples/ilp_vs_mem-e9f3788273e06aaf: examples/ilp_vs_mem.rs
+
+examples/ilp_vs_mem.rs:

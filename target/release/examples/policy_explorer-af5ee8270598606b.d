@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_explorer-af5ee8270598606b.d: examples/policy_explorer.rs
+
+/root/repo/target/release/examples/policy_explorer-af5ee8270598606b: examples/policy_explorer.rs
+
+examples/policy_explorer.rs:

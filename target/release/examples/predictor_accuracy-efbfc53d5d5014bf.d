@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/predictor_accuracy-efbfc53d5d5014bf.d: examples/predictor_accuracy.rs
+
+/root/repo/target/release/examples/predictor_accuracy-efbfc53d5d5014bf: examples/predictor_accuracy.rs
+
+examples/predictor_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0b87b5c0ce4c76d3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0b87b5c0ce4c76d3: examples/quickstart.rs
+
+examples/quickstart.rs:

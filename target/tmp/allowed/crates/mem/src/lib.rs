@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn f(x: Option<u32>) -> u32 {
+x.expect("checked by caller") // lint:allow(no-panic)
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+pub fn f() { let _: HashMap<u32, u32> = HashMap::new(); }

@@ -70,7 +70,11 @@ fn all_threads_make_progress_under_icount() {
         60_000,
     );
     for t in 0..4 {
-        assert!(s.committed[t] > 100, "thread {t} committed {}", s.committed[t]);
+        assert!(
+            s.committed[t] > 100,
+            "thread {t} committed {}",
+            s.committed[t]
+        );
     }
 }
 
@@ -150,7 +154,12 @@ fn custom_single_thread_workload_runs() {
     let w = Workload::custom("solo", WorkloadClass::Ilp, &["crafty"]).unwrap();
     // 40k cycles includes the cold start (caches, predictor tables), so the
     // bar is deliberately modest.
-    let s = run(&w, FetchEngineKind::Stream, FetchPolicy::icount(1, 16), 40_000);
+    let s = run(
+        &w,
+        FetchEngineKind::Stream,
+        FetchPolicy::icount(1, 16),
+        40_000,
+    );
     assert!(s.ipc() > 0.3, "single-thread ipc {}", s.ipc());
     assert_eq!(s.committed[1..].iter().sum::<u64>(), 0);
 }
@@ -182,7 +191,10 @@ fn two_thread_fetch_uses_bank_conflict_logic() {
         FetchPolicy::icount(2, 8),
         40_000,
     );
-    assert!(s.bank_conflicts > 0, "dual fetch never conflicted on a bank");
+    assert!(
+        s.bank_conflicts > 0,
+        "dual fetch never conflicted on a bank"
+    );
     // And 1.X never can.
     let s1 = run(
         &Workload::ilp4(),
@@ -232,7 +244,11 @@ fn flush_policy_fires_and_stays_correct() {
     // Flushed instructions are re-fetched and committed: the run stays
     // functionally sound (all threads progress; accounting holds).
     for t in 0..4 {
-        assert!(flush.committed[t] > 50, "thread {t}: {}", flush.committed[t]);
+        assert!(
+            flush.committed[t] > 50,
+            "thread {t}: {}",
+            flush.committed[t]
+        );
     }
     assert!(flush.total_committed() + flush.squashed <= flush.fetched);
 }
@@ -261,10 +277,7 @@ fn policy_display_includes_mechanism() {
         FetchPolicy::icount(2, 8).with_stall().to_string(),
         "ICOUNT-STALL.2.8"
     );
-    assert_eq!(
-        FetchPolicy::miss_count(1, 16).to_string(),
-        "MISSCOUNT.1.16"
-    );
+    assert_eq!(FetchPolicy::miss_count(1, 16).to_string(), "MISSCOUNT.1.16");
 }
 
 #[test]

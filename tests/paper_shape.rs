@@ -27,7 +27,11 @@ fn single_thread_gshare_underuses_bandwidth() {
     let w = Workload::mix2();
     let n8 = run(&w, FetchEngineKind::GshareBtb, FetchPolicy::icount(1, 8));
     let n16 = run(&w, FetchEngineKind::GshareBtb, FetchPolicy::icount(1, 16));
-    assert!(n8.ipfc() < 6.0, "1.8 IPFC {:.2} should be far below 8", n8.ipfc());
+    assert!(
+        n8.ipfc() < 6.0,
+        "1.8 IPFC {:.2} should be far below 8",
+        n8.ipfc()
+    );
     assert!(
         n16.ipfc() < n8.ipfc() * 1.35,
         "1.16 ({:.2}) should gain little over 1.8 ({:.2}) for gshare+BTB",
@@ -135,8 +139,16 @@ fn dual_fetch_still_wins_ipfc_on_mix() {
 /// below an ILP one.
 #[test]
 fn mem_workloads_are_memory_bound() {
-    let mem = run(&Workload::mem2(), FetchEngineKind::GskewFtb, FetchPolicy::icount(1, 8));
-    let ilp = run(&Workload::ilp2(), FetchEngineKind::GskewFtb, FetchPolicy::icount(1, 8));
+    let mem = run(
+        &Workload::mem2(),
+        FetchEngineKind::GskewFtb,
+        FetchPolicy::icount(1, 8),
+    );
+    let ilp = run(
+        &Workload::ilp2(),
+        FetchEngineKind::GskewFtb,
+        FetchPolicy::icount(1, 8),
+    );
     assert!(
         mem.ipc() * 3.0 < ilp.ipc(),
         "2_MEM IPC {:.2} vs 2_ILP IPC {:.2}",
@@ -154,7 +166,12 @@ fn block_length_ordering() {
     let btb = run(&w, FetchEngineKind::GshareBtb, FetchPolicy::icount(1, 16));
     let ftb = run(&w, FetchEngineKind::GskewFtb, FetchPolicy::icount(1, 16));
     let stream = run(&w, FetchEngineKind::Stream, FetchPolicy::icount(1, 16));
-    assert!(ftb.ipfc() > btb.ipfc(), "ftb {:.2} vs btb {:.2}", ftb.ipfc(), btb.ipfc());
+    assert!(
+        ftb.ipfc() > btb.ipfc(),
+        "ftb {:.2} vs btb {:.2}",
+        ftb.ipfc(),
+        btb.ipfc()
+    );
     assert!(
         stream.ipfc() > btb.ipfc() * 1.1,
         "stream {:.2} vs btb {:.2}",

@@ -1,11 +1,20 @@
-//! Property-based tests (proptest) on the substrates' invariants.
+//! Randomized property tests on the substrates' invariants.
+//!
+//! Dependency-free: each property drives its subject with the workspace's
+//! own deterministic [`Srng`] (splitmix64) over many seeded iterations, so
+//! the suite runs identically everywhere (no proptest, no shrinking — a
+//! failure message carries the seed that produced it).
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use smtfetch::bpred::{Btb, Ftb, GlobalHistory, Gskew, ObservedEnd, ReturnStack, SetAssoc};
+use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder, SimConfig};
 use smtfetch::isa::{Addr, BranchKind};
 use smtfetch::mem::{Cache, CacheConfig, MshrFile, MshrOutcome};
-use smtfetch::workloads::{BenchmarkProfile, ProgramBuilder, Walker, Workload};
+use smtfetch::workloads::{BenchmarkProfile, ProgramBuilder, Srng, Walker, Workload};
+
+/// Iterations per property (each with a distinct derived seed).
+const CASES: u64 = 64;
 
 fn small_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -16,176 +25,281 @@ fn small_cache() -> Cache {
         banks: 2,
         hit_latency: 0,
     })
+    .unwrap()
 }
 
-proptest! {
-    /// A cache access immediately after filling the same line always hits,
-    /// no matter what other fills happened before.
-    #[test]
-    fn cache_fill_then_access_hits(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+/// A cache access immediately after filling the same line always hits,
+/// no matter what other fills happened before.
+#[test]
+fn cache_fill_then_access_hits() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x11 ^ case);
         let mut c = small_cache();
-        for &a in &addrs {
-            c.fill(Addr::new(a), false);
-            prop_assert!(c.access(Addr::new(a), false), "just-filled line missed");
+        let n = 1 + rng.range(0, 200);
+        for _ in 0..n {
+            let a = Addr::new(rng.range(0, 1 << 20));
+            c.fill(a, false);
+            assert!(c.access(a, false), "just-filled line missed (case {case})");
         }
     }
+}
 
-    /// LRU never evicts the line touched most recently.
-    #[test]
-    fn cache_mru_line_survives_one_fill(base in 0u64..1u64 << 18, probe in 0u64..1u64 << 18) {
+/// LRU never evicts the line touched most recently.
+#[test]
+fn cache_mru_line_survives_one_fill() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x22 ^ case);
         let mut c = small_cache();
-        let probe = Addr::new(probe & !63);
+        let probe = Addr::new(rng.range(0, 1 << 18) & !63);
         c.fill(probe, false);
         c.access(probe, false); // make it MRU
-        c.fill(Addr::new(base & !63), false);
-        prop_assert!(c.probe(probe), "MRU line evicted by a single fill");
+        c.fill(Addr::new(rng.range(0, 1 << 18) & !63), false);
+        assert!(
+            c.probe(probe),
+            "MRU line evicted by a single fill (case {case})"
+        );
     }
+}
 
-    /// The RAS checkpoint/restore round-trips a push-pop speculation window.
-    #[test]
-    fn ras_checkpoint_roundtrip(
-        depth in 1usize..40,
-        spec_ops in proptest::collection::vec(any::<bool>(), 0..8),
-        addrs in proptest::collection::vec(4u64..1u64 << 30, 40),
-    ) {
-        let mut ras = ReturnStack::new(64);
-        for &a in addrs.iter().take(depth) {
-            ras.push(Addr::new(a & !3));
+/// The RAS checkpoint/restore round-trips a push-pop speculation window.
+#[test]
+fn ras_checkpoint_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x33 ^ case);
+        let depth = 1 + rng.range(0, 39) as usize;
+        let mut ras = ReturnStack::new(64).unwrap();
+        for _ in 0..depth {
+            ras.push(Addr::new((4 + rng.range(0, 1 << 30)) & !3));
         }
         let top_before = ras.peek();
         let depth_before = ras.depth();
         let ckpt = ras.checkpoint();
         // A short wrong-path burst of pushes and pops.
-        for (i, &push) in spec_ops.iter().enumerate() {
-            if push {
-                ras.push(Addr::new(0xdead_0000 + i as u64 * 4));
+        let burst = rng.range(0, 8);
+        for i in 0..burst {
+            if rng.chance(0.5) {
+                ras.push(Addr::new(0xdead_0000 + i * 4));
             } else {
                 let _ = ras.pop();
             }
         }
         ras.restore(ckpt);
-        prop_assert_eq!(ras.depth(), depth_before);
-        prop_assert_eq!(ras.peek(), top_before);
+        assert_eq!(ras.depth(), depth_before, "case {case}");
+        assert_eq!(ras.peek(), top_before, "case {case}");
     }
+}
 
-    /// gskew's majority vote equals at least two of its bank votes.
-    #[test]
-    fn gskew_majority_is_consistent(
-        pcs in proptest::collection::vec(0u64..1u64 << 22, 1..60),
-        outcomes in proptest::collection::vec(any::<bool>(), 60),
-    ) {
-        let mut g = Gskew::new(1024);
+/// gskew's majority vote equals at least two of its bank votes.
+#[test]
+fn gskew_majority_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x44 ^ case);
+        let mut g = Gskew::new(1024).unwrap();
         let mut h = GlobalHistory::new(15);
-        for (i, &pc) in pcs.iter().enumerate() {
-            let pc = Addr::new(pc & !3);
+        let n = 1 + rng.range(0, 60);
+        for _ in 0..n {
+            let pc = Addr::new(rng.range(0, 1 << 22) & !3);
+            let outcome = rng.chance(0.5);
             let votes = g.votes(pc, h);
             let pred = g.predict(pc, h);
             let agreeing = votes.iter().filter(|&&v| v == pred).count();
-            prop_assert!(agreeing >= 2, "prediction disagrees with majority");
-            g.update(pc, h, outcomes[i]);
-            h.push(outcomes[i]);
+            assert!(
+                agreeing >= 2,
+                "prediction disagrees with majority (case {case})"
+            );
+            g.update(pc, h, outcome);
+            h.push(outcome);
         }
     }
+}
 
-    /// A generic set-associative table never reports a tag that was not
-    /// inserted, and always finds one of the last `ways` tags of a set.
-    #[test]
-    fn set_assoc_finds_recent_inserts(tags in proptest::collection::vec(0u64..1000, 1..100)) {
-        let mut t: SetAssoc<u64> = SetAssoc::new(16, 4);
-        for (i, &tag) in tags.iter().enumerate() {
-            t.insert(0, tag, i as u64);
-            prop_assert_eq!(t.peek(0, tag), Some(&(i as u64)));
+/// A generic set-associative table never reports a tag that was not
+/// inserted, and always finds one of the last `ways` tags of a set.
+#[test]
+fn set_assoc_finds_recent_inserts() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x55 ^ case);
+        let mut t: SetAssoc<u64> = SetAssoc::new(16, 4).unwrap();
+        let n = 1 + rng.range(0, 100);
+        for i in 0..n {
+            let tag = rng.range(0, 1000);
+            t.insert(0, tag, i);
+            assert_eq!(t.peek(0, tag), Some(&i), "case {case}");
         }
         // A tag never inserted is never found.
-        prop_assert!(t.peek(0, 10_000).is_none());
+        assert!(t.peek(0, 10_000).is_none(), "case {case}");
     }
+}
 
-    /// The BTB only ever returns targets that were recorded for that PC.
-    #[test]
-    fn btb_returns_recorded_targets(
-        records in proptest::collection::vec((0u64..1u64 << 16, 4u64..1u64 << 20), 1..100)
-    ) {
-        let mut btb = Btb::new(256, 4);
-        let mut last = std::collections::HashMap::new();
-        for &(pc, tgt) in &records {
-            let pc = Addr::new(pc & !3);
-            let tgt = Addr::new(tgt & !3);
+/// The BTB only ever returns targets that were recorded for that PC.
+#[test]
+fn btb_returns_recorded_targets() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x66 ^ case);
+        let mut btb = Btb::new(256, 4).unwrap();
+        let mut last = BTreeMap::new();
+        let n = 1 + rng.range(0, 100);
+        for _ in 0..n {
+            let pc = Addr::new(rng.range(0, 1 << 16) & !3);
+            let tgt = Addr::new((4 + rng.range(0, 1 << 20)) & !3);
             btb.record_taken(pc, tgt, BranchKind::Jump);
             last.insert(pc, tgt);
         }
         for (&pc, &tgt) in &last {
             if let Some(e) = btb.peek(pc) {
-                prop_assert_eq!(e.target, tgt, "stale target for {}", pc);
+                assert_eq!(e.target, tgt, "stale target for {pc} (case {case})");
             }
         }
     }
+}
 
-    /// FTB blocks never exceed the configured maximum length and never have
-    /// zero length.
-    #[test]
-    fn ftb_blocks_bounded(
-        dists in proptest::collection::vec(0u64..100, 1..60),
-        start in 0u64..1u64 << 20,
-    ) {
-        let mut ftb = Ftb::new(64, 4, 16);
-        let start = Addr::new(start & !3);
-        for &d in &dists {
-            ftb.record_taken(start, ObservedEnd {
-                branch_pc: start.add_insts(d),
-                kind: BranchKind::Cond,
-                target: Addr::new(0x9000),
-            });
+/// FTB blocks never exceed the configured maximum length and never have
+/// zero length.
+#[test]
+fn ftb_blocks_bounded() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x77 ^ case);
+        let mut ftb = Ftb::new(64, 4, 16).unwrap();
+        let start = Addr::new(rng.range(0, 1 << 20) & !3);
+        let n = 1 + rng.range(0, 60);
+        for _ in 0..n {
+            ftb.record_taken(
+                start,
+                ObservedEnd {
+                    branch_pc: start.add_insts(rng.range(0, 100)),
+                    kind: BranchKind::Cond,
+                    target: Addr::new(0x9000),
+                },
+            );
             if let Some(p) = ftb.lookup(start) {
-                prop_assert!(p.len >= 1 && p.len <= 16, "block length {}", p.len);
+                assert!(
+                    p.len >= 1 && p.len <= 16,
+                    "block length {} (case {case})",
+                    p.len
+                );
             }
         }
     }
+}
 
-    /// MSHR occupancy never exceeds capacity and always drains by the last
-    /// completion time.
-    #[test]
-    fn mshr_occupancy_bounded(
-        reqs in proptest::collection::vec((0u64..1u64 << 14, 1u64..300), 1..80)
-    ) {
-        let mut m = MshrFile::new(4, 64);
+/// MSHR occupancy never exceeds capacity and always drains by the last
+/// completion time.
+#[test]
+fn mshr_occupancy_bounded() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x88 ^ case);
+        let mut m = MshrFile::new(4, 64).unwrap();
         let mut horizon = 0;
-        for (i, &(addr, lat)) in reqs.iter().enumerate() {
-            let now = i as u64;
-            let ready = now + lat;
-            match m.allocate(Addr::new(addr), now, ready) {
+        let n = 1 + rng.range(0, 80);
+        for now in 0..n {
+            let addr = Addr::new(rng.range(0, 1 << 14));
+            let ready = now + 1 + rng.range(0, 299);
+            match m.allocate(addr, now, ready) {
                 MshrOutcome::Allocated | MshrOutcome::Merged(_) => {}
                 MshrOutcome::Full => {}
             }
-            prop_assert!(m.outstanding(now) <= 4);
+            assert!(m.outstanding(now) <= 4, "case {case}");
             horizon = horizon.max(ready);
         }
-        prop_assert_eq!(m.outstanding(horizon), 0);
+        assert_eq!(m.outstanding(horizon), 0, "case {case}");
     }
+}
 
-    /// Walkers are deterministic for every benchmark and seed, and the
-    /// instruction stream is contiguous (each next_pc is the next pc).
-    #[test]
-    fn walker_streams_are_contiguous(seed in 0u64..500, bench in 0usize..12) {
-        let profile = BenchmarkProfile::all()[bench].clone();
+/// Walkers are deterministic for every benchmark and seed, and the
+/// instruction stream is contiguous (each next_pc is the next pc).
+#[test]
+fn walker_streams_are_contiguous() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x99 ^ case);
+        let seed = rng.range(0, 500);
+        let profiles = BenchmarkProfile::all();
+        let profile = profiles[rng.range(0, profiles.len() as u64) as usize].clone();
         let prog = ProgramBuilder::new(profile).seed(seed).build();
         let mut w = Walker::new(prog, 0);
         let mut expected = w.pc();
         for _ in 0..2_000 {
             let d = w.next_inst();
-            prop_assert_eq!(d.pc, expected);
+            assert_eq!(d.pc, expected, "case {case}");
             expected = d.next_pc;
         }
     }
+}
 
-    /// Workload programs never overlap in the address space.
-    #[test]
-    fn workload_programs_disjoint(seed in 0u64..64) {
+/// Workload programs never overlap in the address space.
+#[test]
+fn workload_programs_disjoint() {
+    for seed in 0..CASES {
         let progs = Workload::mix4().programs(seed).unwrap();
         for (i, a) in progs.iter().enumerate() {
             for b in progs.iter().skip(i + 1) {
                 let disjoint = a.end() <= b.base() || b.end() <= a.base();
-                prop_assert!(disjoint, "code overlap: {} and {}", a.name(), b.name());
+                assert!(disjoint, "code overlap: {} and {}", a.name(), b.name());
             }
         }
     }
+}
+
+/// Any configuration the validator passes clean constructs a `Simulator`
+/// without panicking — the validator is a sound gate for construction.
+#[test]
+#[allow(clippy::field_reassign_with_default)] // mutation-style by design
+fn validated_configs_always_build() {
+    let mut rng = Srng::new(0xaa);
+    let mut built = 0u32;
+    for case in 0..200 {
+        // Mutate a few axes of the Table 3 baseline per case. Each pool
+        // mixes values the validator accepts with ones it must reject, so
+        // the property exercises both sides of the gate.
+        let mut cfg = SimConfig::default();
+        cfg.fetch_policy =
+            FetchPolicy::icount(1 + rng.range(0, 2) as u32, *rng.pick(&[4, 8, 16, 24]));
+        let mutations = 1 + rng.range(0, 3);
+        for _ in 0..mutations {
+            match rng.range(0, 10) {
+                0 => cfg.fetch_buffer = *rng.pick(&[0, 8, 16, 32, 48]),
+                1 => cfg.ftq_depth = rng.range(0, 6) as u32,
+                2 => cfg.rob_size = *rng.pick(&[0, 64, 256]),
+                3 => {
+                    cfg.regs_int = *rng.pick(&[16, 96, 160, 384, 512]);
+                    cfg.regs_fp = cfg.regs_int;
+                }
+                4 => {
+                    cfg.predictor.gshare_entries = 1 << rng.range(8, 18);
+                    cfg.predictor.gshare_hist_bits = rng.range(0, 66) as u32;
+                }
+                5 => {
+                    cfg.predictor.btb_entries = *rng.pick(&[0, 512, 2048, 3000]);
+                    cfg.predictor.btb_ways = *rng.pick(&[1, 2, 4, 5]);
+                }
+                6 => cfg.predictor.ras_depth = rng.range(0, 80) as usize,
+                7 => cfg.mem.l1i.banks = 1 + rng.range(0, 8),
+                8 => cfg.mem.d_mshrs = rng.range(0, 20) as usize,
+                _ => {
+                    cfg.max_stream = rng.range(0, 80) as u32;
+                    cfg.max_ftb_block = rng.range(0, 24) as u32;
+                }
+            }
+        }
+
+        let threads = 1 + rng.range(0, 4) as usize;
+        let diags = cfg.validate_for_threads(threads);
+        if smtfetch::isa::has_errors(&diags) {
+            continue;
+        }
+        let programs = Workload::mix4().programs(case).unwrap();
+        let sim = SimBuilder::new(programs.into_iter().take(threads).collect())
+            .fetch_engine(FetchEngineKind::all_with_trace_cache()[rng.range(0, 4) as usize])
+            .config(cfg)
+            .build();
+        assert!(
+            sim.is_ok(),
+            "validated config failed to build: {:?}",
+            sim.err()
+        );
+        built += 1;
+    }
+    assert!(
+        built > 10,
+        "only {built}/200 random configs validated clean"
+    );
 }

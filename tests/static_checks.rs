@@ -1,0 +1,81 @@
+//! The repository's static-analysis gate, run as an ordinary test so
+//! `cargo test` enforces it without extra CI plumbing:
+//!
+//! 1. the determinism linter (`smt-lint`) reports zero violations on the
+//!    shipped tree, and still detects a seeded violation (no silent
+//!    self-neutering);
+//! 2. every configuration the experiment suite simulates passes the
+//!    semantic validator with zero errors.
+
+use smt_lint::{check_file, check_workspace, Rule};
+use smtfetch::core::{FetchPolicy, SimConfig};
+use smtfetch::isa::MAX_THREADS;
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let violations = check_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "smt-lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn linter_detects_seeded_violations() {
+    // A HashMap in a simulation crate.
+    let v = check_file(
+        "crates/core/src/fake.rs",
+        "use std::collections::HashMap;\npub fn f() { let _: HashMap<u32, u32>; }\n",
+    );
+    assert!(
+        v.iter().any(|x| x.rule == Rule::NoHashCollections),
+        "seeded HashMap not flagged: {v:?}"
+    );
+
+    // Wall-clock time in a simulation crate.
+    let v = check_file(
+        "crates/mem/src/fake.rs",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    assert!(v.iter().any(|x| x.rule == Rule::NoWallClock), "{v:?}");
+
+    // A panic in library code without an allow escape.
+    let v = check_file(
+        "crates/bpred/src/fake.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert!(v.iter().any(|x| x.rule == Rule::NoPanic), "{v:?}");
+
+    // A crate root that forgot to deny unsafe code.
+    let v = check_file("crates/core/src/lib.rs", "pub fn f() {}\n");
+    assert!(v.iter().any(|x| x.rule == Rule::DenyUnsafe), "{v:?}");
+}
+
+#[test]
+fn every_experiment_config_validates_clean() {
+    // The experiment suite simulates the Table 3 baseline under the paper's
+    // policy sweep (and STALL/FLUSH variants) for 1..=8 threads; each such
+    // configuration must pass the validator with zero diagnostics.
+    let mut policies = FetchPolicy::paper_sweep().to_vec();
+    policies.push(FetchPolicy::icount(1, 8).with_stall());
+    policies.push(FetchPolicy::icount(1, 8).with_flush());
+    policies.push(FetchPolicy::round_robin(1, 8));
+    policies.push(FetchPolicy::br_count(1, 8));
+    policies.push(FetchPolicy::miss_count(1, 8));
+    for policy in policies {
+        let cfg = SimConfig::hpca2004(policy);
+        for threads in 1..=MAX_THREADS {
+            let diags = cfg.validate_for_threads(threads);
+            assert!(diags.is_empty(), "{policy} × {threads} threads: {diags:?}");
+        }
+    }
+}
