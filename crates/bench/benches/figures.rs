@@ -5,22 +5,54 @@
 //! Full-length regeneration is `cargo run --release -p smt-experiments
 //! --bin all`; these benches use [`RunLength::SMOKE`] so the whole suite
 //! stays minutes, not hours.
+//!
+//! The final section times the same figure-5 sweep serially and with the
+//! parallel executor at the machine's available parallelism, printing the
+//! observed speedup. On a single-core runner the ratio is ~1.0 (the
+//! executor must not add overhead); on multi-core CI it should approach
+//! the worker count for this embarrassingly parallel matrix.
 
 use smt_bench::bench;
-use smt_experiments::{figures, RunLength};
+use smt_experiments::{figures, Jobs, RunLength};
 
 fn main() {
     println!("tables");
-    bench("table1_characteristics", || figures::table1().text.len());
+    bench("table1_characteristics", || {
+        figures::table1(Jobs::SERIAL).text.len()
+    });
     bench("table2_workloads", || figures::table2().text.len());
     bench("table3_parameters", || figures::table3().text.len());
 
     println!("\nfigures_smoke");
     let len = RunLength::SMOKE;
-    bench("figure2_ipfc_1x", || figures::figure2(len).results.len());
-    bench("figure4_ipfc_2x", || figures::figure4(len).results.len());
-    bench("figure5_ilp_18_28", || figures::figure5(len).results.len());
-    bench("figure6_ilp_wide", || figures::figure6(len).results.len());
-    bench("figure7_mem_18_28", || figures::figure7(len).results.len());
-    bench("figure8_mem_wide", || figures::figure8(len).results.len());
+    let serial = Jobs::SERIAL;
+    bench("figure2_ipfc_1x", || {
+        figures::figure2(len, serial).results.len()
+    });
+    bench("figure4_ipfc_2x", || {
+        figures::figure4(len, serial).results.len()
+    });
+    bench("figure5_ilp_18_28", || {
+        figures::figure5(len, serial).results.len()
+    });
+    bench("figure6_ilp_wide", || {
+        figures::figure6(len, serial).results.len()
+    });
+    bench("figure7_mem_18_28", || {
+        figures::figure7(len, serial).results.len()
+    });
+    bench("figure8_mem_18_28_wide", || {
+        figures::figure8(len, serial).results.len()
+    });
+
+    println!("\nsweep_parallel_vs_serial");
+    let jobs = Jobs::default_parallelism();
+    let t_serial = bench("figure5_sweep_serial", || {
+        figures::figure5(len, serial).results.len()
+    });
+    let t_parallel = bench(&format!("figure5_sweep_jobs_{jobs}"), || {
+        figures::figure5(len, jobs).results.len()
+    });
+    let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-12);
+    println!("figure5 sweep speedup at {jobs} worker(s): {speedup:.2}x");
 }

@@ -51,8 +51,11 @@ impl FetchDistribution {
 /// Aggregated statistics of one simulation run.
 ///
 /// Passive data record (public fields by design); produced by the simulator,
-/// consumed by the experiment harness.
-#[derive(Clone, Debug, Default)]
+/// consumed by the experiment harness. Every field is an integer counter, so
+/// equality is exact — the determinism tests compare whole snapshots with
+/// `==` to assert that reruns (serial or on different sweep workers) are
+/// bit-identical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

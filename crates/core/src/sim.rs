@@ -183,6 +183,20 @@ pub struct Simulator {
     stats: SimStats,
 }
 
+// The experiment harness moves each sweep cell's `Simulator` (and the
+// configuration that builds it) onto a worker thread. The simulator owns
+// every piece of its state — no `Rc`, `RefCell`, raw pointers or thread
+// handles anywhere in the pipeline — so `Send` must hold structurally.
+// This compile-time audit fails the build if a future field breaks that.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+    assert_send::<SimBuilder>();
+    assert_send::<SimConfig>();
+    assert_send::<SimStats>();
+    assert_send::<BuildError>();
+};
+
 impl Simulator {
     fn new(
         programs: Vec<Program>,

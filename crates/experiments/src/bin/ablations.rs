@@ -5,70 +5,81 @@
 //! conclusions are to the secondary parameters of the decoupled front-end.
 
 use smt_core::{FetchEngineKind, FetchPolicy, SimConfig};
-use smt_experiments::{render_table, runner::run_with_config, RunLength};
+use smt_experiments::{render_table, runner::run_with_config, sweep_indexed, Jobs, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
     smt_experiments::preflight_default();
+    let jobs = Jobs::from_cli();
     let len = RunLength::from_env();
     let w = Workload::ilp4();
     let policy = FetchPolicy::icount(1, 16);
 
-    println!("ablations on {} with ICOUNT.1.16 (IPFC / IPC)\n", w.name());
-
-    let mut rows = Vec::new();
+    // Build the ablation grid up front; each (knob, engine, config) cell is
+    // an independent simulation the sweep executor runs in parallel.
+    let mut cells: Vec<(String, &'static str, FetchEngineKind, SimConfig)> = Vec::new();
     for depth in [1u32, 2, 4, 8] {
-        let cfg = SimConfig {
-            ftq_depth: depth,
-            ..SimConfig::hpca2004(policy)
-        };
-        let r = run_with_config(&w, FetchEngineKind::Stream, cfg, len);
-        rows.push(vec![
+        cells.push((
             format!("FTQ depth {depth}"),
-            "stream".into(),
-            format!("{:.2}", r.ipfc),
-            format!("{:.2}", r.ipc),
-        ]);
+            "stream",
+            FetchEngineKind::Stream,
+            SimConfig {
+                ftq_depth: depth,
+                ..SimConfig::hpca2004(policy)
+            },
+        ));
     }
     for buf in [16u32, 32, 64] {
-        let cfg = SimConfig {
-            fetch_buffer: buf,
-            ..SimConfig::hpca2004(policy)
-        };
-        let r = run_with_config(&w, FetchEngineKind::Stream, cfg, len);
-        rows.push(vec![
+        cells.push((
             format!("fetch buffer {buf}"),
-            "stream".into(),
-            format!("{:.2}", r.ipfc),
-            format!("{:.2}", r.ipc),
-        ]);
+            "stream",
+            FetchEngineKind::Stream,
+            SimConfig {
+                fetch_buffer: buf,
+                ..SimConfig::hpca2004(policy)
+            },
+        ));
     }
     for cap in [16u32, 32, 64, 128] {
-        let cfg = SimConfig {
-            max_stream: cap,
-            ..SimConfig::hpca2004(policy)
-        };
-        let r = run_with_config(&w, FetchEngineKind::Stream, cfg, len);
-        rows.push(vec![
+        cells.push((
             format!("stream cap {cap}"),
-            "stream".into(),
-            format!("{:.2}", r.ipfc),
-            format!("{:.2}", r.ipc),
-        ]);
+            "stream",
+            FetchEngineKind::Stream,
+            SimConfig {
+                max_stream: cap,
+                ..SimConfig::hpca2004(policy)
+            },
+        ));
     }
     for cap in [8u32, 16, 32] {
-        let cfg = SimConfig {
-            max_ftb_block: cap,
-            ..SimConfig::hpca2004(policy)
-        };
-        let r = run_with_config(&w, FetchEngineKind::GskewFtb, cfg, len);
-        rows.push(vec![
+        cells.push((
             format!("FTB block cap {cap}"),
-            "gskew+FTB".into(),
-            format!("{:.2}", r.ipfc),
-            format!("{:.2}", r.ipc),
-        ]);
+            "gskew+FTB",
+            FetchEngineKind::GskewFtb,
+            SimConfig {
+                max_ftb_block: cap,
+                ..SimConfig::hpca2004(policy)
+            },
+        ));
     }
+
+    println!("ablations on {} with ICOUNT.1.16 (IPFC / IPC)\n", w.name());
+    let results = sweep_indexed(cells.len(), jobs, |i| {
+        let (_, _, engine, cfg) = &cells[i];
+        run_with_config(&w, *engine, cfg.clone(), len)
+    });
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .zip(&results)
+        .map(|((knob, engine, _, _), r)| {
+            vec![
+                knob.clone(),
+                engine.to_string(),
+                format!("{:.2}", r.ipfc),
+                format!("{:.2}", r.ipc),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(&["knob", "engine", "IPFC", "IPC"], &rows)

@@ -1,16 +1,19 @@
 //! Regenerates every table and figure, printing the full report and writing
 //! a markdown fragment (pass a path argument to choose where; default
-//! `target/experiments.md`).
-use smt_experiments::{figures, RunLength};
+//! `target/experiments.md`). `--jobs N` (or `SMT_JOBS`) sets the sweep
+//! worker count; `SMT_SWEEP_REPORT=1` prints per-cell timing to stderr.
+use smt_experiments::{figures, Jobs, RunLength};
 
 fn main() {
     smt_experiments::preflight_default();
-    let out_path = std::env::args()
-        .nth(1)
+    let (jobs, rest) = Jobs::from_cli_with_rest();
+    let out_path = rest
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "target/experiments.md".to_string());
     let len = RunLength::from_env();
     let mut md = String::from("# Regenerated evaluation artifacts\n\n");
-    for e in figures::all(len) {
+    for e in figures::all(len, jobs) {
         println!("==== {} — {}\n", e.id, e.caption);
         println!("{}", e.text);
         md.push_str(&format!("## {} — {}\n\n{}\n", e.id, e.caption, e.markdown));

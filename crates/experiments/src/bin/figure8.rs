@@ -1,8 +1,8 @@
 //! Regenerates the paper's figure8.
-use smt_experiments::{figures, RunLength};
+use smt_experiments::{figures, Jobs, RunLength};
 
 fn main() {
     smt_experiments::preflight_default();
-    let e = figures::figure8(RunLength::from_env());
+    let e = figures::figure8(RunLength::from_env(), Jobs::from_cli());
     println!("{}", e.text);
 }

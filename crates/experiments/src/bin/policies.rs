@@ -11,11 +11,12 @@
 //! thread, while the paper's ICOUNT.1.X keeps it alive.
 
 use smt_core::{FetchEngineKind, FetchPolicy};
-use smt_experiments::{render_table, run, RunLength};
+use smt_experiments::{render_table, run_matrix_parallel, Jobs, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
     smt_experiments::preflight_default();
+    let jobs = Jobs::from_cli();
     let len = RunLength::from_env();
     let engine = FetchEngineKind::GskewFtb;
     let policies: Vec<FetchPolicy> = vec![
@@ -28,14 +29,17 @@ fn main() {
         FetchPolicy::icount(2, 8).with_flush(),
         FetchPolicy::icount(1, 16).with_stall(),
     ];
+    let workloads = [Workload::mix2(), Workload::mix4(), Workload::mem4()];
+    // One sweep over the whole workload × policy matrix; results come back
+    // workload-major, policy order within each workload.
+    let results = run_matrix_parallel(&workloads, &[engine], &policies, len, jobs);
     println!("fetch policies on gskew+FTB (throughput vs fairness)\n");
-    for w in [Workload::mix2(), Workload::mix4(), Workload::mem4()] {
+    for (w, chunk) in workloads.iter().zip(results.chunks(policies.len())) {
         let mut rows = Vec::new();
-        for &p in &policies {
-            let r = run(&w, engine, p, len);
+        for r in chunk {
             let per: Vec<String> = r.per_thread_ipc.iter().map(|v| format!("{v:.2}")).collect();
             rows.push(vec![
-                p.to_string(),
+                r.policy.clone(),
                 format!("{:.2}", r.ipc),
                 format!("{:.2}", r.fairness),
                 per.join("/"),

@@ -1,8 +1,8 @@
 //! Regenerates the paper's table1.
-use smt_experiments::figures;
+use smt_experiments::{figures, Jobs};
 
 fn main() {
     smt_experiments::preflight_default();
-    let e = figures::table1();
+    let e = figures::table1(Jobs::from_cli());
     println!("{}", e.text);
 }

@@ -7,28 +7,33 @@
 //! at ICOUNT.1.16, where fetch bandwidth is the binding constraint.
 
 use smt_core::{FetchEngineKind, FetchPolicy};
-use smt_experiments::{render_table, run, RunLength};
+use smt_experiments::{render_table, run_matrix_parallel, Jobs, RunLength};
 use smt_workloads::Workload;
 
 fn main() {
     smt_experiments::preflight_default();
+    let jobs = Jobs::from_cli();
     let len = RunLength::from_env();
     let policy = FetchPolicy::icount(1, 16);
+    let workloads = Workload::ilp_suite();
+    let engines = FetchEngineKind::all_with_trace_cache();
+    // One sweep over the whole matrix; chunks come back per workload with
+    // the engines in order.
+    let results = run_matrix_parallel(&workloads, &engines, &[policy], len, jobs);
     println!("trace-cache comparison, ICOUNT.1.16 on ILP workloads\n");
-    for w in Workload::ilp_suite() {
+    for (w, chunk) in workloads.iter().zip(results.chunks(engines.len())) {
         let mut rows = Vec::new();
         let mut stream_ipc = 0.0;
         let mut tc_ipc = 0.0;
-        for e in FetchEngineKind::all_with_trace_cache() {
-            let r = run(&w, e, policy, len);
-            if e == FetchEngineKind::Stream {
+        for r in chunk {
+            if r.engine == FetchEngineKind::Stream.to_string() {
                 stream_ipc = r.ipc;
             }
-            if e == FetchEngineKind::TraceCache {
+            if r.engine == FetchEngineKind::TraceCache.to_string() {
                 tc_ipc = r.ipc;
             }
             rows.push(vec![
-                e.to_string(),
+                r.engine.clone(),
                 format!("{:.2}", r.ipfc),
                 format!("{:.2}", r.ipc),
                 format!("{:.1}%", r.wrong_path * 100.0),

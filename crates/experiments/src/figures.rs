@@ -3,8 +3,11 @@
 use smt_core::{FetchEngineKind, FetchPolicy};
 use smt_workloads::{BenchmarkProfile, Walker, Workload, WorkloadClass};
 
-use crate::report::{render_grouped_bars, render_markdown, render_table, Metric};
-use crate::runner::{run, run_matrix, RunLength, RunResult, EXP_SEED};
+use crate::report::{
+    render_grouped_bars, render_markdown, render_sweep_stats, render_table, Metric,
+};
+use crate::runner::{run, run_matrix_sweep, RunLength, RunResult, EXP_SEED};
+use crate::sweep::{progress_report_enabled, sweep_cells, CellStat, Jobs};
 
 /// A completed experiment: its identity, rendered text, and raw results.
 #[derive(Clone, Debug)]
@@ -51,21 +54,58 @@ fn engines() -> [FetchEngineKind; 3] {
     FetchEngineKind::all()
 }
 
+/// Prints a sweep's per-cell timing report to stderr when
+/// `SMT_SWEEP_REPORT` is set (progress/straggler visibility; never mixed
+/// into the experiment's own stdout artifact).
+fn report_progress(id: &str, stats: &[CellStat]) {
+    if progress_report_enabled() {
+        eprintln!("{}", render_sweep_stats(id, stats));
+    }
+}
+
+/// Runs a figure's matrix on `jobs` workers, reporting sweep progress.
+fn matrix(
+    id: &str,
+    workloads: &[Workload],
+    engines: &[FetchEngineKind],
+    policies: &[FetchPolicy],
+    len: RunLength,
+    jobs: Jobs,
+) -> Vec<RunResult> {
+    let sweep = run_matrix_sweep(workloads, engines, policies, len, jobs);
+    report_progress(id, &sweep.stats);
+    sweep.results
+}
+
 /// **Table 1** — benchmark characteristics: measured dynamic average
 /// basic-block size of every clone vs the paper's target.
-pub fn table1() -> Experiment {
+///
+/// Each benchmark's 320k-instruction walker measurement is an independent
+/// cell, so the table sweeps in parallel like the figures.
+pub fn table1(jobs: Jobs) -> Experiment {
+    let profiles = BenchmarkProfile::all();
+    let sweep = sweep_cells(
+        profiles.len(),
+        jobs,
+        320_000,
+        |i| profiles[i].name.to_string(),
+        |i| {
+            let p = &profiles[i];
+            let progs = Workload::custom("solo", WorkloadClass::Ilp, &[p.name])
+                .expect("valid name") // lint:allow(no-panic)
+                .programs(EXP_SEED)
+                .expect("valid"); // lint:allow(no-panic)
+            let mut w = Walker::new(progs[0].clone(), 0);
+            let _ = w.measure(20_000);
+            w.measure(300_000)
+        },
+    );
+    report_progress("table1", &sweep.stats);
     let mut rows = Vec::new();
     let mut md = String::from(
         "| benchmark | paper avg BB | clone avg BB | taken rate | avg stream |\n|---|---|---|---|---|\n",
     );
-    for p in BenchmarkProfile::all() {
-        let progs = Workload::custom("solo", WorkloadClass::Ilp, &[p.name])
-            .expect("valid name") // lint:allow(no-panic)
-            .programs(EXP_SEED)
-            .expect("valid"); // lint:allow(no-panic)
-        let mut w = Walker::new(progs[0].clone(), 0);
-        let _ = w.measure(20_000);
-        let s = w.measure(300_000);
+    for (p, s) in profiles.iter().zip(&sweep.results) {
         rows.push(vec![
             p.name.to_string(),
             format!("{:.2}", p.avg_bb_size),
@@ -186,12 +226,14 @@ pub fn table3() -> Experiment {
 
 /// **Figure 2** — fetch throughput of gshare+BTB fetching from one thread
 /// (`1.8` vs `1.16`) on gzip–twolf, plus the §3.1 width distributions.
-pub fn figure2(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure2(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure2",
         &[Workload::mix2()],
         &[FetchEngineKind::GshareBtb],
         &[FetchPolicy::icount(1, 8), FetchPolicy::icount(1, 16)],
         len,
+        jobs,
     );
     let mut e = experiment(
         "figure2",
@@ -205,8 +247,9 @@ pub fn figure2(len: RunLength) -> Experiment {
 
 /// **Figure 4** — fetch throughput fetching from two threads
 /// (`2.8`, `2.16`) against the Figure 2 single-thread results.
-pub fn figure4(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure4(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure4",
         &[Workload::mix2()],
         &[FetchEngineKind::GshareBtb],
         &[
@@ -216,6 +259,7 @@ pub fn figure4(len: RunLength) -> Experiment {
             FetchPolicy::icount(2, 16),
         ],
         len,
+        jobs,
     );
     let mut e = experiment(
         "figure4",
@@ -245,12 +289,14 @@ fn distribution_notes(results: &[RunResult]) -> String {
 
 /// **Figure 5** — ILP workloads, `1.8` vs `2.8`, all three engines:
 /// (a) IPFC, (b) IPC.
-pub fn figure5(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure5(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure5",
         &Workload::ilp_suite(),
         &engines(),
         &[FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)],
         len,
+        jobs,
     );
     experiment(
         "figure5",
@@ -261,8 +307,9 @@ pub fn figure5(len: RunLength) -> Experiment {
 }
 
 /// **Figure 6** — ILP workloads, `2.8` vs `1.16` vs `2.16`.
-pub fn figure6(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure6(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure6",
         &Workload::ilp_suite(),
         &engines(),
         &[
@@ -271,6 +318,7 @@ pub fn figure6(len: RunLength) -> Experiment {
             FetchPolicy::icount(2, 16),
         ],
         len,
+        jobs,
     );
     experiment(
         "figure6",
@@ -281,12 +329,14 @@ pub fn figure6(len: RunLength) -> Experiment {
 }
 
 /// **Figure 7** — memory-bounded workloads (MIX & MEM), `1.8` vs `2.8`.
-pub fn figure7(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure7(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure7",
         &Workload::mem_suite(),
         &engines(),
         &[FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)],
         len,
+        jobs,
     );
     experiment(
         "figure7",
@@ -297,8 +347,9 @@ pub fn figure7(len: RunLength) -> Experiment {
 }
 
 /// **Figure 8** — memory-bounded workloads, `1.8` vs `1.16` vs `2.16`.
-pub fn figure8(len: RunLength) -> Experiment {
-    let results = run_matrix(
+pub fn figure8(len: RunLength, jobs: Jobs) -> Experiment {
+    let results = matrix(
+        "figure8",
         &Workload::mem_suite(),
         &engines(),
         &[
@@ -307,6 +358,7 @@ pub fn figure8(len: RunLength) -> Experiment {
             FetchPolicy::icount(2, 16),
         ],
         len,
+        jobs,
     );
     experiment(
         "figure8",
@@ -319,17 +371,37 @@ pub fn figure8(len: RunLength) -> Experiment {
 /// **§3.3 superscalar comparison** — each benchmark alone (one thread),
 /// all three engines: the front-end comparison the paper cites from its
 /// earlier work (gskew+FTB ≈ +5% IPC over gshare+BTB, stream ≈ +11%).
-pub fn superscalar(len: RunLength) -> Experiment {
-    let mut results = Vec::new();
-    for p in BenchmarkProfile::all() {
-        let w = Workload::custom("1_".to_string() + p.name, WorkloadClass::Ilp, &[p.name])
-            .expect("valid"); // lint:allow(no-panic)
-        for e in engines() {
-            let mut r = run(&w, e, FetchPolicy::icount(1, 16), len);
-            r.workload = p.name.to_string();
-            results.push(r);
-        }
-    }
+pub fn superscalar(len: RunLength, jobs: Jobs) -> Experiment {
+    // One cell per (benchmark, engine), benchmark outermost — the same
+    // stable order the serial loop produced.
+    let profiles = BenchmarkProfile::all();
+    let workloads: Vec<Workload> = profiles
+        .iter()
+        .map(|p| {
+            Workload::custom("1_".to_string() + p.name, WorkloadClass::Ilp, &[p.name])
+                .expect("valid") // lint:allow(no-panic)
+        })
+        .collect();
+    let cells: Vec<(usize, FetchEngineKind)> = (0..profiles.len())
+        .flat_map(|pi| engines().into_iter().map(move |e| (pi, e)))
+        .collect();
+    let sweep = sweep_cells(
+        cells.len(),
+        jobs,
+        len.measure_cycles,
+        |i| {
+            let (pi, e) = cells[i];
+            format!("{} {} ICOUNT.1.16", profiles[pi].name, e)
+        },
+        |i| {
+            let (pi, e) = cells[i];
+            let mut r = run(&workloads[pi], e, FetchPolicy::icount(1, 16), len);
+            r.workload = profiles[pi].name.to_string();
+            r
+        },
+    );
+    report_progress("superscalar", &sweep.stats);
+    let results = sweep.results;
     // Geometric-mean speedups over gshare+BTB.
     let mut text = render_grouped_bars(
         "superscalar: single-thread IPC per front-end (ICOUNT.1.16)",
@@ -362,19 +434,19 @@ pub fn superscalar(len: RunLength) -> Experiment {
     }
 }
 
-/// All experiments in paper order.
-pub fn all(len: RunLength) -> Vec<Experiment> {
+/// All experiments in paper order, sweeping on `jobs` workers.
+pub fn all(len: RunLength, jobs: Jobs) -> Vec<Experiment> {
     vec![
-        table1(),
+        table1(jobs),
         table2(),
         table3(),
-        figure2(len),
-        figure4(len),
-        figure5(len),
-        figure6(len),
-        figure7(len),
-        figure8(len),
-        superscalar(len),
+        figure2(len, jobs),
+        figure4(len, jobs),
+        figure5(len, jobs),
+        figure6(len, jobs),
+        figure7(len, jobs),
+        figure8(len, jobs),
+        superscalar(len, jobs),
     ]
 }
 
@@ -384,7 +456,7 @@ mod tests {
 
     #[test]
     fn tables_render_without_simulation() {
-        let t1 = table1();
+        let t1 = table1(Jobs::SERIAL);
         assert!(t1.text.contains("gzip"));
         assert!(t1.text.contains("11.02"));
         let t2 = table2();
@@ -396,8 +468,16 @@ mod tests {
     }
 
     #[test]
+    fn table1_is_jobs_invariant() {
+        let serial = table1(Jobs::SERIAL);
+        let parallel = table1(Jobs::new(4).expect("valid"));
+        assert_eq!(serial.text, parallel.text);
+        assert_eq!(serial.markdown, parallel.markdown);
+    }
+
+    #[test]
     fn figure2_runs_smoke() {
-        let e = figure2(RunLength::SMOKE);
+        let e = figure2(RunLength::SMOKE, Jobs::SERIAL);
         assert_eq!(e.results.len(), 2);
         assert!(e.text.contains("ICOUNT.1.8"));
         assert!(e.text.contains("fetch-width distribution"));
@@ -406,7 +486,7 @@ mod tests {
 
     #[test]
     fn figure5_covers_ilp_suite() {
-        let e = figure5(RunLength::SMOKE);
+        let e = figure5(RunLength::SMOKE, Jobs::new(2).expect("valid"));
         // 4 workloads × 2 policies × 3 engines.
         assert_eq!(e.results.len(), 24);
         let names: std::collections::BTreeSet<_> =

@@ -24,12 +24,18 @@
 //! and writes a markdown report. Set `SMT_EXP_CYCLES` to change the
 //! simulated length (default 120k measured cycles after 30k warmup).
 //!
+//! Sweeps run on a deterministic parallel executor ([`sweep`]): every
+//! binary takes `--jobs N` (or the `SMT_JOBS` environment variable,
+//! defaulting to the machine's available parallelism), and results are
+//! bit-for-bit identical for any worker count. Set `SMT_SWEEP_REPORT=1` to
+//! print per-cell timing/straggler reports to stderr.
+//!
 //! # Example
 //!
 //! ```
-//! use smt_experiments::{figures, RunLength};
+//! use smt_experiments::{figures, Jobs, RunLength};
 //!
-//! let fig2 = figures::figure2(RunLength::SMOKE);
+//! let fig2 = figures::figure2(RunLength::SMOKE, Jobs::SERIAL);
 //! assert_eq!(fig2.results.len(), 2);
 //! println!("{}", fig2.text);
 //! ```
@@ -40,7 +46,12 @@
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use figures::{all, Experiment};
-pub use report::{render_grouped_bars, render_markdown, render_table, Metric};
-pub use runner::{preflight, preflight_default, run, run_matrix, RunLength, RunResult, EXP_SEED};
+pub use report::{render_grouped_bars, render_markdown, render_sweep_stats, render_table, Metric};
+pub use runner::{
+    preflight, preflight_default, run, run_matrix, run_matrix_parallel, run_matrix_sweep,
+    RunLength, RunResult, EXP_SEED,
+};
+pub use sweep::{sweep_cells, sweep_indexed, CellStat, Jobs, JobsError, Sweep};

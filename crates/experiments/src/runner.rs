@@ -3,6 +3,8 @@
 use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats};
 use smt_workloads::Workload;
 
+use crate::sweep::{sweep_cells, Jobs, Sweep};
+
 /// How long to simulate each configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunLength {
@@ -42,7 +44,11 @@ impl RunLength {
 }
 
 /// The outcome of one simulated configuration.
-#[derive(Clone, Debug)]
+///
+/// Equality is bit-exact on every metric (the fields are deterministic
+/// functions of the seed), which is what the parallel-vs-serial equivalence
+/// tests and the golden-snapshot harness compare.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Workload name (e.g. `"4_MIX"`).
     pub workload: String,
@@ -200,22 +206,70 @@ pub fn run_with_config(
     RunResult::from_stats(workload, engine, policy, &stats)
 }
 
-/// Runs the full cross product `workloads × engines × policies`.
+/// Runs the full cross product `workloads × policies × engines`, serially.
+///
+/// Results are ordered with the workload outermost, then the policy, then
+/// the engine innermost — the nesting the paper's grouped-bar figures use
+/// (rows grouped by `(workload, policy)`, one bar per engine). This order
+/// is part of the API contract and is locked by the golden ordering test;
+/// [`run_matrix_parallel`] returns the identical order for any worker count.
 pub fn run_matrix(
     workloads: &[Workload],
     engines: &[FetchEngineKind],
     policies: &[FetchPolicy],
     len: RunLength,
 ) -> Vec<RunResult> {
-    let mut out = Vec::new();
-    for w in workloads {
-        for &p in policies {
-            for &e in engines {
-                out.push(run(w, e, p, len));
-            }
-        }
-    }
-    out
+    run_matrix_parallel(workloads, engines, policies, len, Jobs::SERIAL)
+}
+
+/// [`run_matrix`] on a pool of `jobs` workers.
+///
+/// Each cell is an independent deterministic simulation, and the executor
+/// addresses output slots by cell index ([`sweep_cells`]), so the returned
+/// vector is bit-for-bit identical to the serial [`run_matrix`] — same
+/// order, same values — regardless of `jobs`.
+pub fn run_matrix_parallel(
+    workloads: &[Workload],
+    engines: &[FetchEngineKind],
+    policies: &[FetchPolicy],
+    len: RunLength,
+    jobs: Jobs,
+) -> Vec<RunResult> {
+    run_matrix_sweep(workloads, engines, policies, len, jobs).results
+}
+
+/// [`run_matrix_parallel`], additionally returning per-cell observability
+/// stats (label, simulated cycles, wall-time, worker id) for progress and
+/// straggler reports.
+pub fn run_matrix_sweep(
+    workloads: &[Workload],
+    engines: &[FetchEngineKind],
+    policies: &[FetchPolicy],
+    len: RunLength,
+    jobs: Jobs,
+) -> Sweep<RunResult> {
+    // Stable cell order: workload × policy × engine (see `run_matrix`).
+    let cells: Vec<(&Workload, FetchEngineKind, FetchPolicy)> = workloads
+        .iter()
+        .flat_map(|w| {
+            policies
+                .iter()
+                .flat_map(move |&p| engines.iter().map(move |&e| (w, e, p)))
+        })
+        .collect();
+    sweep_cells(
+        cells.len(),
+        jobs,
+        len.measure_cycles,
+        |i| {
+            let (w, e, p) = &cells[i];
+            format!("{} {} {}", w.name(), e, p)
+        },
+        |i| {
+            let (w, e, p) = cells[i];
+            run(w, e, p, len)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -247,6 +301,63 @@ mod tests {
         );
         assert_eq!(rs.len(), 2);
         assert_ne!(rs[0].engine, rs[1].engine);
+    }
+
+    #[test]
+    fn matrix_order_is_workload_policy_engine() {
+        // Doc and behaviour agree: workload outermost, policy, then engine.
+        let rs = run_matrix(
+            &[Workload::mix2()],
+            &[FetchEngineKind::GshareBtb, FetchEngineKind::Stream],
+            &[FetchPolicy::icount(1, 8), FetchPolicy::icount(1, 16)],
+            RunLength::SMOKE,
+        );
+        let order: Vec<(String, String)> = rs
+            .iter()
+            .map(|r| (r.policy.clone(), r.engine.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("ICOUNT.1.8".into(), "gshare+BTB".into()),
+                ("ICOUNT.1.8".into(), "stream".into()),
+                ("ICOUNT.1.16".into(), "gshare+BTB".into()),
+                ("ICOUNT.1.16".into(), "stream".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_bit_for_bit() {
+        let workloads = [Workload::mix2()];
+        let engines = [FetchEngineKind::GshareBtb, FetchEngineKind::Stream];
+        let policies = [FetchPolicy::icount(1, 8)];
+        let serial = run_matrix(&workloads, &engines, &policies, RunLength::SMOKE);
+        for jobs in [2usize, 4] {
+            let parallel = run_matrix_parallel(
+                &workloads,
+                &engines,
+                &policies,
+                RunLength::SMOKE,
+                Jobs::new(jobs).expect("valid"),
+            );
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn matrix_sweep_reports_per_cell_stats() {
+        let sweep = run_matrix_sweep(
+            &[Workload::mix2()],
+            &[FetchEngineKind::GshareBtb],
+            &[FetchPolicy::icount(1, 8)],
+            RunLength::SMOKE,
+            Jobs::SERIAL,
+        );
+        assert_eq!(sweep.stats.len(), 1);
+        assert_eq!(sweep.stats[0].label, "2_MIX gshare+BTB ICOUNT.1.8");
+        assert_eq!(sweep.stats[0].sim_cycles, RunLength::SMOKE.measure_cycles);
+        assert_eq!(sweep.stats[0].worker, 0);
     }
 
     #[test]

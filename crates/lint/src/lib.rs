@@ -7,8 +7,12 @@
 //!   bit-reproducible). Use `BTreeMap`/`BTreeSet`/`Vec` instead.
 //! * **`no-wall-clock`** — `SystemTime::now`, `Instant::now` and `thread_rng`
 //!   are banned in the simulation crates (`isa`, `workloads`, `bpred`, `mem`,
-//!   `core`): all time comes from the simulated clock, all randomness from the
-//!   seeded [`Srng`](https://docs.rs) stream.
+//!   `core`) *and* the experiment harness (`experiments`): all time comes from
+//!   the simulated clock, all randomness from the seeded
+//!   [`Srng`](https://docs.rs) stream. The one audited exception is the sweep
+//!   executor's per-cell harness timer (`experiments/src/sweep.rs`), marked
+//!   `lint:allow(no-wall-clock)` — it feeds observability records only, never
+//!   results.
 //! * **`no-panic`** — `.unwrap()`, `.expect(…)` and `panic!` are banned in
 //!   library code outside tests; fallible constructors return
 //!   `Result<_, Diagnostic>`. (`assert!` of internal invariants is allowed.)
@@ -36,6 +40,13 @@ use std::path::{Path, PathBuf};
 /// Crates whose behaviour must be a pure function of the seed: wall-clock
 /// reads and ambient randomness are banned here.
 pub const SIM_CRATES: [&str; 5] = ["isa", "workloads", "bpred", "mem", "core"];
+
+/// Crates subject to the `no-wall-clock` rule: the simulation crates plus
+/// the experiment harness, whose results must also be pure functions of the
+/// seed. (The sweep executor's harness timer is the one audited
+/// `lint:allow(no-wall-clock)` exception; timing otherwise lives only in
+/// `smt-bench`.)
+pub const CLOCK_CRATES: [&str; 6] = ["isa", "workloads", "bpred", "mem", "core", "experiments"];
 
 /// The lint rules, as stable machine-readable names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -279,8 +290,8 @@ pub fn check_file(path: &str, contents: &str) -> Vec<Violation> {
     }
 
     let hash_applies = crate_of(path) != Some("lint") && !file_allows(Rule::NoHashCollections);
-    let clock_applies =
-        crate_of(path).is_some_and(|c| SIM_CRATES.contains(&c)) && !file_allows(Rule::NoWallClock);
+    let clock_applies = crate_of(path).is_some_and(|c| CLOCK_CRATES.contains(&c))
+        && !file_allows(Rule::NoWallClock);
     let panic_applies = is_library_source(path) && !file_allows(Rule::NoPanic);
 
     if !(hash_applies || clock_applies || panic_applies) {
@@ -414,9 +425,18 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_only_flagged_in_sim_crates() {
+    fn wall_clock_only_flagged_in_clock_crates() {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         assert_eq!(check_file("crates/mem/src/x.rs", src).len(), 1);
+        // The experiment harness is clock-banned too (results must be pure
+        // functions of the seed); only the audited sweep timer is allowed.
+        assert_eq!(
+            check_file("crates/experiments/src/sweep.rs", src)
+                .iter()
+                .filter(|v| v.rule == Rule::NoWallClock)
+                .count(),
+            1
+        );
         assert!(check_file("crates/bench/src/lib.rs", src)
             .iter()
             .all(|v| v.rule != Rule::NoWallClock));

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-19423c5f96c95b37.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-19423c5f96c95b37: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

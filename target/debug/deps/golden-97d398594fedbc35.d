@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden-97d398594fedbc35.d: tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-97d398594fedbc35.rmeta: tests/golden.rs Cargo.toml
+
+tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

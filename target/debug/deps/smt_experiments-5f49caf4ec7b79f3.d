@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/smt_experiments-5f49caf4ec7b79f3.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs Cargo.toml
+/root/repo/target/debug/deps/smt_experiments-5f49caf4ec7b79f3.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmt_experiments-5f49caf4ec7b79f3.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs Cargo.toml
+/root/repo/target/debug/deps/libsmt_experiments-5f49caf4ec7b79f3.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs Cargo.toml
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

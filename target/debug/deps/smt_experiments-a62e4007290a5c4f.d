@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/smt_experiments-a62e4007290a5c4f.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs Cargo.toml
+/root/repo/target/debug/deps/smt_experiments-a62e4007290a5c4f.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmt_experiments-a62e4007290a5c4f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs Cargo.toml
+/root/repo/target/debug/deps/libsmt_experiments-a62e4007290a5c4f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs Cargo.toml
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/smt_experiments-a769e1789d54da52.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/debug/deps/smt_experiments-a769e1789d54da52.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/debug/deps/libsmt_experiments-a769e1789d54da52.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/debug/deps/libsmt_experiments-a769e1789d54da52.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/debug/deps/libsmt_experiments-a769e1789d54da52.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/debug/deps/libsmt_experiments-a769e1789d54da52.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:

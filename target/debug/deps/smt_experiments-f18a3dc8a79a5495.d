@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/smt_experiments-f18a3dc8a79a5495.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/debug/deps/smt_experiments-f18a3dc8a79a5495.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/debug/deps/smt_experiments-f18a3dc8a79a5495: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/debug/deps/smt_experiments-f18a3dc8a79a5495: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:

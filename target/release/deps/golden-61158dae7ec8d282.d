@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden-61158dae7ec8d282.d: tests/golden.rs
+
+/root/repo/target/release/deps/golden-61158dae7ec8d282: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

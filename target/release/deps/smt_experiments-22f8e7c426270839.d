@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/smt_experiments-22f8e7c426270839.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/release/deps/smt_experiments-22f8e7c426270839.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/release/deps/libsmt_experiments-22f8e7c426270839.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/release/deps/libsmt_experiments-22f8e7c426270839.rlib: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/release/deps/libsmt_experiments-22f8e7c426270839.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/release/deps/libsmt_experiments-22f8e7c426270839.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/smt_experiments-26571c12933060ac.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/release/deps/smt_experiments-26571c12933060ac.d: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
-/root/repo/target/release/deps/smt_experiments-26571c12933060ac: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs
+/root/repo/target/release/deps/smt_experiments-26571c12933060ac: crates/experiments/src/lib.rs crates/experiments/src/figures.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/sweep.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/runner.rs:
+crates/experiments/src/sweep.rs:

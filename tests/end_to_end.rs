@@ -1,7 +1,13 @@
 //! End-to-end integration tests: build workloads, run the simulator across
 //! engines and policies, and check cross-crate invariants.
+//!
+//! The heavy engine×policy product tests fan their independent simulations
+//! out over the sweep executor (`SMT_JOBS` workers, default
+//! `available_parallelism()`); assertions stay on the main thread so a
+//! failure message names the offending cell.
 
 use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder, SimStats};
+use smtfetch::experiments::{sweep_indexed, Jobs};
 use smtfetch::workloads::{Workload, WorkloadClass};
 
 fn run(w: &Workload, e: FetchEngineKind, p: FetchPolicy, cycles: u64) -> SimStats {
@@ -13,29 +19,44 @@ fn run(w: &Workload, e: FetchEngineKind, p: FetchPolicy, cycles: u64) -> SimStat
     sim.run_cycles(cycles)
 }
 
+/// Worker count for the fanned-out tests (results are jobs-invariant).
+fn jobs() -> Jobs {
+    Jobs::from_env().expect("invalid SMT_JOBS")
+}
+
 #[test]
 fn every_workload_runs_on_every_engine() {
-    for w in Workload::all_table2() {
-        for e in FetchEngineKind::all() {
-            let s = run(&w, e, FetchPolicy::icount(1, 8), 6_000);
-            assert!(
-                s.total_committed() > 500,
-                "{} on {e} committed only {}",
-                w.name(),
-                s.total_committed()
-            );
-        }
+    let cells: Vec<(Workload, FetchEngineKind)> = Workload::all_table2()
+        .into_iter()
+        .flat_map(|w| FetchEngineKind::all().map(|e| (w.clone(), e)))
+        .collect();
+    let stats = sweep_indexed(cells.len(), jobs(), |i| {
+        let (w, e) = &cells[i];
+        run(w, *e, FetchPolicy::icount(1, 8), 6_000)
+    });
+    for ((w, e), s) in cells.iter().zip(&stats) {
+        assert!(
+            s.total_committed() > 500,
+            "{} on {e} committed only {}",
+            w.name(),
+            s.total_committed()
+        );
     }
 }
 
 #[test]
 fn ipc_never_exceeds_decode_width() {
-    for e in FetchEngineKind::all() {
-        for p in FetchPolicy::paper_sweep() {
-            let s = run(&Workload::ilp4(), e, p, 20_000);
-            assert!(s.ipc() <= 8.0, "{e} {p}: ipc {}", s.ipc());
-            assert!(s.ipfc() <= p.width as f64, "{e} {p}: ipfc {}", s.ipfc());
-        }
+    let cells: Vec<(FetchEngineKind, FetchPolicy)> = FetchEngineKind::all()
+        .into_iter()
+        .flat_map(|e| FetchPolicy::paper_sweep().map(|p| (e, p)))
+        .collect();
+    let stats = sweep_indexed(cells.len(), jobs(), |i| {
+        let (e, p) = cells[i];
+        run(&Workload::ilp4(), e, p, 20_000)
+    });
+    for ((e, p), s) in cells.iter().zip(&stats) {
+        assert!(s.ipc() <= 8.0, "{e} {p}: ipc {}", s.ipc());
+        assert!(s.ipfc() <= p.width as f64, "{e} {p}: ipfc {}", s.ipfc());
     }
 }
 
@@ -98,8 +119,16 @@ fn accounting_identities_hold() {
 
 #[test]
 fn branch_prediction_learns_in_pipeline() {
-    for e in FetchEngineKind::all() {
-        let s = run(&Workload::ilp2(), e, FetchPolicy::icount(1, 8), 60_000);
+    let engines = FetchEngineKind::all();
+    let stats = sweep_indexed(engines.len(), jobs(), |i| {
+        run(
+            &Workload::ilp2(),
+            engines[i],
+            FetchPolicy::icount(1, 8),
+            60_000,
+        )
+    });
+    for (e, s) in engines.iter().zip(&stats) {
         assert!(
             s.branch_accuracy() > 0.80,
             "{e}: accuracy {:.3}",
@@ -125,9 +154,14 @@ fn history_checkpoints_track_architectural_history() {
 
 #[test]
 fn wider_fetch_does_not_reduce_fetch_throughput() {
-    for e in FetchEngineKind::all() {
+    let engines = FetchEngineKind::all();
+    let pairs = sweep_indexed(engines.len(), jobs(), |i| {
+        let e = engines[i];
         let narrow = run(&Workload::ilp4(), e, FetchPolicy::icount(1, 8), 40_000);
         let wide = run(&Workload::ilp4(), e, FetchPolicy::icount(1, 16), 40_000);
+        (narrow, wide)
+    });
+    for (e, (narrow, wide)) in engines.iter().zip(&pairs) {
         assert!(
             wide.ipfc() >= narrow.ipfc() * 0.97,
             "{e}: ipfc narrow {:.2} wide {:.2}",

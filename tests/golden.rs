@@ -1,0 +1,218 @@
+//! Golden-result regression harness.
+//!
+//! Each test renders a family of [`RunResult`]s to a canonical text form
+//! (metrics at 6 decimal places) and compares it against a checked-in
+//! snapshot under `tests/golden/`. The simulator is deterministic — a pure
+//! function of the seed — so any diff is a behaviour change, not noise.
+//!
+//! To regenerate snapshots after an *intentional* simulator change:
+//!
+//! ```text
+//! SMT_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! then commit the updated `tests/golden/*.txt` files alongside the change
+//! that caused them. Snapshots are rendered from results only (never from
+//! wall-time or worker ids), so they are identical for any `--jobs` value.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use smtfetch::core::{FetchEngineKind, FetchPolicy};
+use smtfetch::experiments::{run_matrix, run_matrix_parallel, Jobs, RunLength, RunResult};
+use smtfetch::workloads::Workload;
+
+/// Every family runs at the same fixed length; golden files embed results
+/// at this length, so it is deliberately *not* read from `SMT_EXP_CYCLES`.
+const LEN: RunLength = RunLength::SMOKE;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("SMT_BLESS").is_some_and(|v| v != "0")
+}
+
+/// Worker count for the runs behind a snapshot. Results are jobs-invariant
+/// (locked by `parallel_matches_serial_for_every_worker_count` below), so
+/// this only affects wall-time.
+fn jobs() -> Jobs {
+    Jobs::from_env().expect("invalid SMT_JOBS")
+}
+
+/// Renders results to the canonical golden text form: one line per cell,
+/// `workload | engine | policy` label first (locking matrix order), then
+/// the headline metrics at 6 decimals.
+fn render(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let per_thread = r
+            .per_thread_ipc
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(
+            out,
+            "{} | {} | {} | ipc={:.6} ipfc={:.6} fairness={:.6} per_thread=[{}]",
+            r.workload, r.engine, r.policy, r.ipc, r.ipfc, r.fairness, per_thread
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Compares `results` against `tests/golden/<family>.txt`, or rewrites the
+/// snapshot when `SMT_BLESS=1` is set.
+fn check(family: &str, results: &[RunResult]) {
+    let got = render(results);
+    let path = golden_dir().join(format!("{family}.txt"));
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}).\n\
+             Run `SMT_BLESS=1 cargo test --test golden` and commit the result.",
+            path.display()
+        )
+    });
+    if got != want {
+        let mismatch = want
+            .lines()
+            .zip(got.lines())
+            .position(|(w, g)| w != g)
+            .unwrap_or(want.lines().count().min(got.lines().count()));
+        panic!(
+            "golden mismatch for family `{family}` at line {line}:\n\
+             --- expected ({path})\n{want}\
+             --- got\n{got}\
+             If this change is intentional, re-bless with \
+             `SMT_BLESS=1 cargo test --test golden` and commit the diff.",
+            line = mismatch + 1,
+            path = path.display(),
+        )
+    }
+}
+
+#[test]
+fn golden_figure2_family() {
+    // Figure 2's axis: the baseline engine on the 2-thread mix at 1.8/1.16.
+    let results = run_matrix_parallel(
+        &[Workload::mix2()],
+        &[FetchEngineKind::GshareBtb],
+        &[FetchPolicy::icount(1, 8), FetchPolicy::icount(1, 16)],
+        LEN,
+        jobs(),
+    );
+    check("figure2_family", &results);
+}
+
+#[test]
+fn golden_ilp_family() {
+    // Figure 5's axis: every fetch engine on the ILP-bound 2-thread mix.
+    let results = run_matrix_parallel(
+        &[Workload::ilp2()],
+        &FetchEngineKind::all(),
+        &[FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)],
+        LEN,
+        jobs(),
+    );
+    check("ilp_family", &results);
+}
+
+#[test]
+fn golden_mem_family() {
+    // Figure 7's axis: every fetch engine on the memory-bound 2-thread mix.
+    let results = run_matrix_parallel(
+        &[Workload::mem2()],
+        &FetchEngineKind::all(),
+        &[FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)],
+        LEN,
+        jobs(),
+    );
+    check("mem_family", &results);
+}
+
+#[test]
+fn golden_policies_family() {
+    // The fetch-policy comparison: one engine, the priority-scheme sweep
+    // plus the long-latency STALL/FLUSH variants.
+    let results = run_matrix_parallel(
+        &[Workload::mix2()],
+        &[FetchEngineKind::GskewFtb],
+        &[
+            FetchPolicy::icount(2, 8),
+            FetchPolicy::br_count(2, 8),
+            FetchPolicy::miss_count(2, 8),
+            FetchPolicy::icount(2, 8).with_stall(),
+            FetchPolicy::icount(2, 8).with_flush(),
+        ],
+        LEN,
+        jobs(),
+    );
+    check("policies_family", &results);
+}
+
+/// Locks `run_matrix`'s documented nesting — workloads (outer) × policies ×
+/// engines (inner) — as a golden snapshot: the label column of the snapshot
+/// *is* the order contract, so any reordering diffs loudly.
+#[test]
+fn golden_matrix_order() {
+    let results = run_matrix(
+        &[Workload::mix2(), Workload::ilp2()],
+        &FetchEngineKind::all(),
+        &[FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 16)],
+        LEN,
+    );
+    // Structural spot-check independent of the snapshot: workload outermost,
+    // engine innermost, policy in between.
+    assert_eq!(results.len(), 2 * 2 * 3);
+    let engines: Vec<String> = FetchEngineKind::all()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    for (i, r) in results.iter().enumerate() {
+        let want_workload = if i < 6 { "2_MIX" } else { "2_ILP" };
+        let want_policy = if (i / 3) % 2 == 0 {
+            "ICOUNT.1.8"
+        } else {
+            "ICOUNT.2.16"
+        };
+        assert_eq!(r.workload, want_workload, "workload is the outermost axis");
+        assert_eq!(r.policy, want_policy, "policy is the middle axis");
+        assert_eq!(r.engine, engines[i % 3], "engine is the innermost axis");
+    }
+    check("matrix_order", &results);
+}
+
+/// Satellite equivalence contract: the parallel executor returns results
+/// byte-identical to the serial path for any worker count. `RunResult`
+/// equality is bit-exact (`f64 ==`), so this is the strongest possible
+/// check short of hashing.
+#[test]
+fn parallel_matches_serial_for_every_worker_count() {
+    let workloads = [Workload::mix2(), Workload::ilp2()];
+    let engines = FetchEngineKind::all();
+    let policies = [FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)];
+    let serial = run_matrix(&workloads, &engines, &policies, LEN);
+    for jobs in [1usize, 2, 8] {
+        let parallel = run_matrix_parallel(
+            &workloads,
+            &engines,
+            &policies,
+            LEN,
+            Jobs::new(jobs).expect("valid worker count"),
+        );
+        assert_eq!(
+            serial, parallel,
+            "run_matrix_parallel(jobs={jobs}) diverged from serial run_matrix"
+        );
+    }
+}

@@ -60,6 +60,53 @@ fn linter_detects_seeded_violations() {
     assert!(v.iter().any(|x| x.rule == Rule::DenyUnsafe), "{v:?}");
 }
 
+/// The experiments crate is wall-clock-banned (results must be pure
+/// functions of the seed); the single audited exception is the sweep
+/// executor's per-cell harness timer. This test pins that audit: any new
+/// `Instant::now`/`SystemTime::now` use — or a new `lint:allow(no-wall-clock)`
+/// escape — anywhere in `crates/experiments` outside `sweep.rs` fails here
+/// and must be argued past this list instead of slipping in silently.
+#[test]
+fn experiments_wall_clock_exception_is_confined_to_the_sweep_timer() {
+    let src_dir = workspace_root().join("crates/experiments/src");
+    let mut offenders = Vec::new();
+    let mut stack = vec![src_dir];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read experiments src") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().is_none_or(|e| e != "rs") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("read source file");
+            let uses_clock = [
+                "Instant::now",
+                "SystemTime::now",
+                "lint:allow(no-wall-clock)",
+            ]
+            .iter()
+            .any(|t| text.contains(t));
+            if uses_clock && path.file_name().is_none_or(|n| n != "sweep.rs") {
+                offenders.push(path);
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "wall-clock use outside the audited sweep timer: {offenders:?}"
+    );
+    // And the exception itself is present and annotated where we expect it.
+    let sweep = std::fs::read_to_string(workspace_root().join("crates/experiments/src/sweep.rs"))
+        .expect("read sweep.rs");
+    assert!(
+        sweep.contains("lint:allow(no-wall-clock)"),
+        "sweep.rs timer lost its audited lint:allow annotation"
+    );
+}
+
 #[test]
 fn every_experiment_config_validates_clean() {
     // The experiment suite simulates the Table 3 baseline under the paper's
