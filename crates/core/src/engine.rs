@@ -66,8 +66,9 @@ pub struct BlockMeta {
 }
 
 /// Per-branch information carried through the pipeline for training and
-/// recovery.
-#[derive(Clone, Debug)]
+/// recovery. `Copy` (a handful of words) so in-flight instructions can carry
+/// it inline without boxing or per-branch heap traffic.
+#[derive(Clone, Copy, Debug)]
 pub struct BranchInfo {
     /// Start address of the fetch block that contained the branch.
     pub block_start: Addr,
@@ -89,8 +90,9 @@ pub struct BranchInfo {
     pub meta: BlockMeta,
 }
 
-/// A predicted fetch block plus its recovery metadata.
-#[derive(Clone, Debug)]
+/// A predicted fetch block plus its recovery metadata. `Copy` so the FTQ and
+/// fetch stage move blocks by value, allocation-free.
+#[derive(Clone, Copy, Debug)]
 pub struct PredictedBlock {
     /// The block, ready for the FTQ.
     pub block: FetchBlock,
@@ -352,16 +354,36 @@ impl Engine {
         width: u32,
         max_blocks: usize,
     ) -> Vec<PredictedBlock> {
+        let mut out = Vec::with_capacity(1);
+        self.predict_blocks_into(thread, pc, spec, program, width, max_blocks, &mut out);
+        out
+    }
+
+    /// Out-buffer variant of [`Engine::predict_blocks`]: appends this cycle's
+    /// blocks to `out`, which the caller clears and reuses across cycles so
+    /// the steady-state prediction stage performs no heap allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_blocks_into(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+        max_blocks: usize,
+        out: &mut Vec<PredictedBlock>,
+    ) {
         if matches!(self, Engine::TraceCache { .. }) {
-            self.predict_trace(thread, pc, spec, program, width, max_blocks.max(1))
+            self.predict_trace(thread, pc, spec, program, width, max_blocks.max(1), out);
         } else {
-            vec![self.predict_block(thread, pc, spec, program, width)]
+            out.push(self.predict_block(thread, pc, spec, program, width));
         }
     }
 
     /// Trace-cache prediction: way-select by the multiple-branch direction
     /// vector; on a hit emit the trace's segments, on a miss fall back to
-    /// the core fetch unit.
+    /// the core fetch unit. Appends to `out`.
+    #[allow(clippy::too_many_arguments)]
     fn predict_trace(
         &mut self,
         thread: ThreadId,
@@ -370,7 +392,8 @@ impl Engine {
         program: &Program,
         width: u32,
         max_blocks: usize,
-    ) -> Vec<PredictedBlock> {
+        out: &mut Vec<PredictedBlock>,
+    ) {
         let Engine::TraceCache {
             tc,
             multi,
@@ -394,7 +417,6 @@ impl Engine {
                 let group = *next_group;
                 *next_group += 1;
                 let nseg = trace.segments.len().min(max_blocks);
-                let mut out = Vec::with_capacity(nseg);
                 for (si, seg) in trace.segments.iter().take(nseg).enumerate() {
                     let meta = BlockMeta {
                         hist: spec.hist,
@@ -448,9 +470,8 @@ impl Engine {
                         trace_group: Some(group),
                     });
                 }
-                out
             }
-            None => vec![self.predict_block(thread, pc, spec, program, width)],
+            None => out.push(self.predict_block(thread, pc, spec, program, width)),
         }
     }
 

@@ -29,7 +29,7 @@ use smt_mem::{DataOutcome, FetchOutcome, MemoryHierarchy};
 use smt_workloads::Program;
 
 use crate::config::{FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, SimConfig};
-use crate::engine::{BranchInfo, Engine, LINE_BYTES};
+use crate::engine::{BranchInfo, Engine, PredictedBlock, LINE_BYTES};
 use crate::metrics::SimStats;
 use crate::thread::{FtqEntry, InFlight, PhysReg, ThreadState};
 
@@ -156,6 +156,50 @@ struct LatchEntry {
     entered: Cycle,
 }
 
+/// Thread ids in fetch-priority order: a fixed-size list so the per-cycle
+/// priority computation needs no heap.
+#[derive(Clone, Copy, Debug)]
+struct Priorities {
+    tids: [usize; MAX_THREADS],
+    len: usize,
+}
+
+impl Priorities {
+    fn order(&self) -> &[usize] {
+        &self.tids[..self.len]
+    }
+}
+
+/// I-cache banks touched so far this cycle. The per-cycle fetch budget is at
+/// most 16 instructions (one 64-byte line, two if the start is unaligned) per
+/// port, so a small fixed array covers every reachable configuration.
+#[derive(Clone, Copy, Debug)]
+struct BankSet {
+    banks: [u64; 8],
+    len: usize,
+}
+
+impl BankSet {
+    fn new() -> Self {
+        BankSet {
+            banks: [0; 8],
+            len: 0,
+        }
+    }
+
+    fn contains(&self, bank: u64) -> bool {
+        self.banks[..self.len].contains(&bank)
+    }
+
+    fn push(&mut self, bank: u64) {
+        debug_assert!(self.len < self.banks.len(), "more lines than fetch width");
+        if self.len < self.banks.len() {
+            self.banks[self.len] = bank;
+            self.len += 1;
+        }
+    }
+}
+
 /// The SMT processor simulator.
 #[derive(Clone, Debug)]
 pub struct Simulator {
@@ -180,6 +224,20 @@ pub struct Simulator {
     /// FLUSH requests discovered at issue, processed at the end of the
     /// issue stage: `(thread, sequence number of the missing load)`.
     pending_flushes: Vec<(usize, u64)>,
+    /// Reusable scratch for the prediction stage's per-cycle block list.
+    /// Cleared each use; its capacity (the FTQ depth) never grows, keeping
+    /// the steady-state loop allocation-free.
+    predict_scratch: Vec<PredictedBlock>,
+    /// Reusable scratch for the dispatch stage's kept-entry compaction
+    /// (same lifecycle as `predict_scratch`).
+    latch_scratch: Vec<LatchEntry>,
+    /// Per-thread entry count across the six pre-issue structures (fetch
+    /// buffer, decode/rename latches, three issue queues) — the ICOUNT
+    /// metric, maintained incrementally at each insert/remove so the
+    /// per-cycle priority computation does not rescan every queue. A debug
+    /// assertion in [`Simulator::priorities`] cross-checks it against the
+    /// full recount on every use.
+    preissue: [u32; MAX_THREADS],
     stats: SimStats,
 }
 
@@ -232,9 +290,14 @@ impl Simulator {
             .enumerate()
             .map(|(i, p)| ThreadState::new(i, p, hist_bits))
             .collect();
+        // Every window entry is either pre-dispatch (mirrored by a latch or
+        // fetch-buffer slot) or dispatched (holds a ROB slot), so this bounds
+        // the window — and with it the outstanding-miss list — for good.
+        let window_cap = (cfg.rob_size + cfg.fetch_buffer + 2 * cfg.decode_width) as usize;
         // Architect the initial register mappings.
         for th in &mut threads {
-            th.spec.ras = ras.clone();
+            th.presize(cfg.ftq_depth as usize, window_cap);
+            th.spec.ras = ras.clone(); // lint:allow(no-alloc-in-step)
             th.rename_map = (0..ArchReg::flat_count())
                 .map(|flat| {
                     if flat < smt_isa::NUM_ARCH_INT as usize {
@@ -250,28 +313,35 @@ impl Simulator {
 
         // The configured per-thread I-MSHR count is a floor: the Table 3
         // machine provisions one outstanding fetch miss per context.
-        let mut mem_cfg = cfg.mem.clone();
+        let mut mem_cfg = cfg.mem.clone(); // lint:allow(no-alloc-in-step)
         mem_cfg.i_mshrs = mem_cfg.i_mshrs.max(n);
         let mem = MemoryHierarchy::new(mem_cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
 
         let width = cfg.fetch_policy.width;
+        // Every queue is built at its configuration-derived high-water mark,
+        // so the steady-state cycle loop never grows (= never reallocates)
+        // any of them.
         Ok(Simulator {
             engine,
             mem,
             threads,
             cycle: 0,
-            fetch_buffer: VecDeque::new(),
-            decode_latch: VecDeque::new(),
-            rename_latch: VecDeque::new(),
-            iq_int: Vec::new(),
-            iq_ls: Vec::new(),
-            iq_fp: Vec::new(),
+            fetch_buffer: VecDeque::with_capacity(cfg.fetch_buffer as usize),
+            decode_latch: VecDeque::with_capacity(cfg.decode_width as usize),
+            rename_latch: VecDeque::with_capacity(cfg.decode_width as usize),
+            iq_int: Vec::with_capacity(cfg.iq_int as usize),
+            iq_ls: Vec::with_capacity(cfg.iq_ls as usize),
+            iq_fp: Vec::with_capacity(cfg.iq_fp as usize),
             stats_since: 0,
             free_int,
             free_fp,
             ready_at,
             rob_occ: 0,
-            pending_flushes: Vec::new(),
+            // Only issued loads request flushes, at most one per L/S unit.
+            pending_flushes: Vec::with_capacity(cfg.fu_ls as usize),
+            predict_scratch: Vec::with_capacity(cfg.ftq_depth as usize),
+            latch_scratch: Vec::with_capacity(cfg.decode_width as usize),
+            preissue: [0; MAX_THREADS],
             stats: SimStats::new(width),
             cfg,
         })
@@ -316,21 +386,25 @@ impl Simulator {
     }
 
     /// Runs for `n` cycles and returns the cumulative statistics.
-    pub fn run_cycles(&mut self, n: u64) -> SimStats {
+    ///
+    /// The return value borrows the simulator's own counters (clone it if
+    /// you need the snapshot to outlive further stepping).
+    pub fn run_cycles(&mut self, n: u64) -> &SimStats {
         for _ in 0..n {
             self.step();
         }
-        self.stats.clone()
+        &self.stats
     }
 
     /// Runs until `n` total instructions have committed (or `max_cycles`
-    /// elapse), returning the cumulative statistics.
-    pub fn run_insts(&mut self, n: u64, max_cycles: u64) -> SimStats {
+    /// elapse), returning the cumulative statistics (borrowed, like
+    /// [`Simulator::run_cycles`]).
+    pub fn run_insts(&mut self, n: u64, max_cycles: u64) -> &SimStats {
         let start = self.cycle;
         while self.stats.total_committed() < n && self.cycle - start < max_cycles {
             self.step();
         }
-        self.stats.clone()
+        &self.stats
     }
 
     /// Advances the machine one cycle.
@@ -351,8 +425,20 @@ impl Simulator {
 
     // ----- priorities -------------------------------------------------
 
-    /// Per-thread pre-issue instruction counts (the ICOUNT metric:
-    /// instructions in the decode, rename and queue stages).
+    /// Total entries across the six pre-issue structures (the quantity the
+    /// incremental `preissue` counters track, summed over threads).
+    fn preissue_live(&self) -> usize {
+        self.fetch_buffer.len()
+            + self.decode_latch.len()
+            + self.rename_latch.len()
+            + self.iq_int.len()
+            + self.iq_ls.len()
+            + self.iq_fp.len()
+    }
+
+    /// Per-thread pre-issue instruction counts recomputed from the queues —
+    /// the reference the incremental `preissue` counters are checked against
+    /// (debug builds) on every ICOUNT priority computation.
     fn icounts(&self) -> [u32; MAX_THREADS] {
         let mut c = [0u32; MAX_THREADS];
         for e in self
@@ -404,33 +490,62 @@ impl Simulator {
     }
 
     /// Thread ids in fetch-priority order under the configured policy.
-    fn priorities(&self) -> Vec<usize> {
+    ///
+    /// Each thread's sort key is packed into one `u64` — the policy metric
+    /// in the high bits, the *rotated* thread id below it, the thread id
+    /// itself in the low byte for recovery — so the per-cycle sort compares
+    /// single words. The rotated id is unique per thread, so keys are unique
+    /// and the unstable (allocation-free) sort is deterministic; the metric
+    /// is bounded by the window size (≪ 2⁴⁸), so the fields never collide.
+    fn priorities(&self) -> Priorities {
         let n = self.threads.len();
+        let mut tids = [0usize; MAX_THREADS];
+        if n == 1 {
+            return Priorities { tids, len: 1 };
+        }
         let rot = (self.cycle as usize) % n;
         let now = self.cycle;
-        let mut tids: Vec<usize> = (0..n).collect();
+        let pack = |metric: u64, t: usize| {
+            debug_assert!(metric < 1 << 48);
+            (metric << 16) | ((((t + n - rot) % n) as u64) << 8) | t as u64
+        };
+        let mut keys = [0u64; MAX_THREADS];
         match self.cfg.fetch_policy.kind {
             PolicyKind::Icount => {
-                let ic = self.icounts();
-                tids.sort_by_key(|&t| (ic[t], (t + n - rot) % n));
+                debug_assert_eq!(
+                    self.icounts(),
+                    self.preissue,
+                    "incremental ICOUNT counters diverged from the queues"
+                );
+                for (t, k) in keys.iter_mut().enumerate().take(n) {
+                    *k = pack(self.preissue[t] as u64, t);
+                }
             }
             PolicyKind::RoundRobin => {
-                tids.sort_by_key(|&t| (t + n - rot) % n);
+                // A pure rotation: construct the order directly.
+                for (i, slot) in tids.iter_mut().enumerate().take(n) {
+                    *slot = (rot + i) % n;
+                }
+                return Priorities { tids, len: n };
             }
             PolicyKind::BrCount => {
                 let bc = self.brcounts();
-                tids.sort_by_key(|&t| (bc[t], (t + n - rot) % n));
+                for (t, k) in keys.iter_mut().enumerate().take(n) {
+                    *k = pack(bc[t] as u64, t);
+                }
             }
             PolicyKind::MissCount => {
-                let mc: Vec<usize> = self
-                    .threads
-                    .iter()
-                    .map(|th| th.outstanding_misses.iter().filter(|&&r| r > now).count())
-                    .collect();
-                tids.sort_by_key(|&t| (mc[t], (t + n - rot) % n));
+                for (t, th) in self.threads.iter().enumerate() {
+                    let mc = th.outstanding_misses.iter().filter(|&&r| r > now).count();
+                    keys[t] = pack(mc as u64, t);
+                }
             }
         }
-        tids
+        keys[..n].sort_unstable();
+        for (slot, &k) in tids.iter_mut().zip(keys.iter()).take(n) {
+            *slot = (k & 0xff) as usize;
+        }
+        Priorities { tids, len: n }
     }
 
     /// Whether STALL/FLUSH gating blocks `tid` from front-end service.
@@ -446,26 +561,46 @@ impl Simulator {
     fn predict_stage(&mut self) {
         let ports = self.cfg.fetch_policy.threads_per_cycle as usize;
         let width = self.cfg.fetch_policy.width;
+        let ftq_depth = self.cfg.ftq_depth as usize;
+        let gating = self.cfg.fetch_policy.long_latency != LongLatencyAction::None;
+        let now = self.cycle;
         let order = self.priorities();
+        // Split the borrows by field so the engine can read the thread's
+        // program while updating its speculative state — no per-thread
+        // `Program` clone, no per-cycle block Vec.
+        let Simulator {
+            engine,
+            threads,
+            predict_scratch,
+            stats,
+            ..
+        } = self;
         let mut served = 0usize;
-        for &tid in &order {
+        for &tid in order.order() {
             if served == ports {
                 break;
             }
-            if self.threads[tid].ftq.len() >= self.cfg.ftq_depth as usize || self.gated(tid) {
+            let th = &mut threads[tid];
+            let gated = gating && th.mem_stall_until.is_some_and(|until| until > now);
+            if th.ftq.len() >= ftq_depth || gated {
                 continue;
             }
-            let program = self.threads[tid].walker.program().clone();
-            let th = &mut self.threads[tid];
             let pc = th.next_fetch_pc;
-            let space = self.cfg.ftq_depth as usize - th.ftq.len();
-            let pbs = self
-                .engine
-                .predict_blocks(tid, pc, &mut th.spec, &program, width, space);
-            debug_assert!(!pbs.is_empty() && pbs.len() <= space);
-            th.next_fetch_pc = pbs.last().expect("non-empty").block.next_fetch;
-            self.stats.blocks_predicted += pbs.len() as u64;
-            for pb in pbs {
+            let space = ftq_depth - th.ftq.len();
+            predict_scratch.clear();
+            engine.predict_blocks_into(
+                tid,
+                pc,
+                &mut th.spec,
+                th.walker.program(),
+                width,
+                space,
+                predict_scratch,
+            );
+            debug_assert!(!predict_scratch.is_empty() && predict_scratch.len() <= space);
+            th.next_fetch_pc = predict_scratch.last().expect("non-empty").block.next_fetch;
+            stats.blocks_predicted += predict_scratch.len() as u64;
+            for &pb in predict_scratch.iter() {
                 th.ftq.push_back(FtqEntry { pb, consumed: 0 });
             }
             served += 1;
@@ -479,12 +614,12 @@ impl Simulator {
         let ports = self.cfg.fetch_policy.threads_per_cycle as usize;
         let mut budget = self.cfg.fetch_policy.width;
         let order = self.priorities();
-        let mut banks_used: Vec<u64> = Vec::with_capacity(4);
+        let mut banks_used = BankSet::new();
         let mut delivered_total = 0u32;
         let mut attempted = false;
         let mut buffer_full_seen = false;
         let mut port = 0usize;
-        for &tid in &order {
+        for &tid in order.order() {
             if port == ports || budget == 0 {
                 break;
             }
@@ -519,7 +654,7 @@ impl Simulator {
         &mut self,
         tid: usize,
         budget: u32,
-        banks_used: &mut Vec<u64>,
+        banks_used: &mut BankSet,
         second_port: bool,
     ) -> (u32, bool) {
         let now = self.cycle;
@@ -565,7 +700,7 @@ impl Simulator {
                         ((line.raw() - start_pc.raw()) / 4) as u32
                     };
                     let bank = line.bank(LINE_BYTES, 8);
-                    if second_port && banks_used.contains(&bank) {
+                    if second_port && banks_used.contains(bank) {
                         // Figure 3's bank-conflict logic: the lower-priority
                         // thread loses the conflicting access this cycle.
                         self.stats.bank_conflicts += 1;
@@ -618,7 +753,7 @@ impl Simulator {
     fn deliver(&mut self, tid: usize, n: u32) {
         let now = self.cycle;
         let th = &mut self.threads[tid];
-        let entry = th.ftq.front().expect("caller checked").clone();
+        let entry = *th.ftq.front().expect("caller checked");
         let block = entry.pb.block;
         for i in 0..n {
             let idx_in_block = entry.consumed + i;
@@ -663,7 +798,7 @@ impl Simulator {
                 ) || !di.class.is_branch());
 
             let binfo = if di.class.is_branch() || mispredicted {
-                Some(Box::new(BranchInfo {
+                Some(BranchInfo {
                     block_start: block.start,
                     is_end,
                     spec_taken: if is_end {
@@ -675,7 +810,7 @@ impl Simulator {
                     mispredicted,
                     decode_redirect,
                     meta: entry.pb.meta,
-                }))
+                })
             } else {
                 None
             };
@@ -709,6 +844,8 @@ impl Simulator {
         if e.consumed == e.pb.block.len {
             th.ftq.pop_front();
         }
+        // Each delivered instruction occupies one fetch-buffer slot.
+        self.preissue[tid] += n;
     }
 
     // ----- decode / rename ----------------------------------------------
@@ -757,11 +894,14 @@ impl Simulator {
         let now = self.cycle;
         let mut budget = self.cfg.decode_width;
         let mut stalled = [false; MAX_THREADS];
-        let entries: Vec<LatchEntry> = self.rename_latch.drain(..).collect();
-        let mut kept: VecDeque<LatchEntry> = VecDeque::new();
-        for e in entries {
+        // Drain the latch through the persistent scratch buffer and refill
+        // it with the kept entries (same order), so the per-cycle filter
+        // allocates nothing.
+        let mut kept = std::mem::take(&mut self.latch_scratch);
+        debug_assert!(kept.is_empty());
+        while let Some(e) = self.rename_latch.pop_front() {
             if budget == 0 || stalled[e.tid] || e.entered >= now {
-                kept.push_back(e);
+                kept.push(e);
                 continue;
             }
             // The window entry may have been squashed since renaming began.
@@ -769,13 +909,16 @@ impl Simulator {
                 .inst(e.seq)
                 .map(|i| (i.di.class, i.di.dest, i.di.srcs))
             else {
+                // The entry evaporates: it left the pre-issue structures
+                // without moving to an issue queue.
+                self.preissue[e.tid] -= 1;
                 continue;
             };
             // Resource checks: shared ROB, issue-queue slot, physical
             // register.
             if self.rob_occ >= self.cfg.rob_size {
                 stalled[e.tid] = true;
-                kept.push_back(e);
+                kept.push(e);
                 continue;
             }
             let (qlen, qcap) = match Self::queue_for(class) {
@@ -785,7 +928,7 @@ impl Simulator {
             };
             if qlen >= qcap {
                 stalled[e.tid] = true;
-                kept.push_back(e);
+                kept.push(e);
                 continue;
             }
             let need_reg = dest.map(|d| d.class());
@@ -796,7 +939,7 @@ impl Simulator {
             };
             if !have_reg {
                 stalled[e.tid] = true;
-                kept.push_back(e);
+                kept.push(e);
                 continue;
             }
 
@@ -839,7 +982,8 @@ impl Simulator {
             }
             budget -= 1;
         }
-        self.rename_latch = kept;
+        self.rename_latch.extend(kept.drain(..));
+        self.latch_scratch = kept;
     }
 
     // ----- issue / execute ------------------------------------------------
@@ -848,10 +992,15 @@ impl Simulator {
         self.issue_queue(0);
         self.issue_queue(1);
         self.issue_queue(2);
-        let flushes = std::mem::take(&mut self.pending_flushes);
-        for (tid, load_seq) in flushes {
+        // Take/restore rather than drain-by-value so the buffer keeps its
+        // capacity across cycles (flush_after_load never requests flushes).
+        let mut flushes = std::mem::take(&mut self.pending_flushes);
+        for &(tid, load_seq) in &flushes {
             self.flush_after_load(tid, load_seq);
         }
+        debug_assert!(self.pending_flushes.is_empty());
+        flushes.clear();
+        self.pending_flushes = flushes;
     }
 
     /// Tullsen & Brown's FLUSH: squash the thread's instructions younger
@@ -910,6 +1059,8 @@ impl Simulator {
             return;
         }
         self.rob_occ -= freed_rob;
+        // As in `squash_after`: all removed entries belong to `tid`.
+        let before = self.preissue_live();
         self.fetch_buffer
             .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
         self.decode_latch
@@ -920,6 +1071,7 @@ impl Simulator {
             .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
         self.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
         self.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+        self.preissue[tid] -= (before - self.preissue_live()) as u32;
 
         let th = &mut self.threads[tid];
         th.walker.rollback(rolled);
@@ -947,15 +1099,25 @@ impl Simulator {
             1 => &mut self.iq_ls,
             _ => &mut self.iq_fp,
         });
-        let mut kept = Vec::with_capacity(queue.len());
+        // In-place two-pointer compaction: `kept` trails the read index, so
+        // surviving entries shift down in order and the queue Vec is reused
+        // without a per-cycle allocation.
+        let mut kept = 0usize;
         let mut issued = 0u32;
-        for e in queue.drain(..) {
+        let len = queue.len();
+        for idx in 0..len {
+            let e = queue[idx];
             if issued == fu_limit || e.entered >= now {
-                kept.push(e);
-                continue;
+                // Entries append in dispatch order, so `entered` is
+                // non-decreasing along the queue, and an exhausted FU limit
+                // stays exhausted: the whole tail is kept verbatim.
+                queue.copy_within(idx..len, kept);
+                kept += len - idx;
+                break;
             }
             // Squashed entries evaporate.
             let Some(inst) = self.threads[e.tid].inst(e.seq) else {
+                self.preissue[e.tid] -= 1;
                 continue;
             };
             let ready = inst
@@ -964,17 +1126,20 @@ impl Simulator {
                 .flatten()
                 .all(|&p| self.ready_at[p as usize] <= now);
             if !ready {
-                kept.push(e);
+                queue[kept] = e;
+                kept += 1;
                 continue;
             }
             let class = inst.di.class;
             let mem_addr = inst.di.mem.map(|m| m.addr);
+            let wrong_path = inst.di.wrong_path;
             let done_at = match class {
                 InstClass::Load => {
                     let addr = mem_addr.expect("loads carry addresses");
                     match self.mem.load(addr, now) {
                         DataOutcome::Stall => {
-                            kept.push(e);
+                            queue[kept] = e;
+                            kept += 1;
                             continue;
                         }
                         DataOutcome::Done { ready } => {
@@ -982,12 +1147,14 @@ impl Simulator {
                             // Long-latency (memory) miss detection for the
                             // MISSCOUNT metric and STALL/FLUSH mechanisms.
                             // Only correct-path loads arm the mechanisms.
-                            let wrong_path = self.threads[e.tid]
-                                .inst(e.seq)
-                                .map(|i| i.di.wrong_path)
-                                .unwrap_or(true);
                             if done - now > LONG_LATENCY && !wrong_path {
-                                self.threads[e.tid].outstanding_misses.push(done);
+                                // Drop expired entries first: consumers only
+                                // ever count `> now`, and this keeps the list
+                                // bounded by the in-flight load count (so the
+                                // pre-sized capacity is never exceeded).
+                                let th = &mut self.threads[e.tid];
+                                th.outstanding_misses.retain(|&r| r > now);
+                                th.outstanding_misses.push(done);
                                 match self.cfg.fetch_policy.long_latency {
                                     LongLatencyAction::None => {}
                                     LongLatencyAction::Stall => {
@@ -1018,11 +1185,14 @@ impl Simulator {
                 }
             }
             issued += 1;
+            // Issued entries leave the pre-issue structures.
+            self.preissue[e.tid] -= 1;
         }
+        queue.truncate(kept);
         match which {
-            0 => self.iq_int = kept,
-            1 => self.iq_ls = kept,
-            _ => self.iq_fp = kept,
+            0 => self.iq_int = queue,
+            1 => self.iq_ls = queue,
+            _ => self.iq_fp = queue,
         }
     }
 
@@ -1054,16 +1224,11 @@ impl Simulator {
     /// Squashes everything younger than `seq` in thread `tid` and redirects
     /// its front end to the oracle path.
     fn squash_after(&mut self, tid: usize, seq: u64) {
-        // Extract the branch's recovery info first.
+        // Extract the branch's recovery info first (both payloads are
+        // `Copy`, so this is a plain read).
         let (di, binfo) = {
             let inst = self.threads[tid].inst(seq).expect("redirect target alive");
-            (
-                inst.di.clone(),
-                inst.binfo
-                    .as_ref()
-                    .expect("diverging inst carries info")
-                    .clone(),
-            )
+            (inst.di, inst.binfo.expect("diverging inst carries info"))
         };
         // Roll the window back, youngest first, undoing renames.
         let mut freed_rob = 0u32;
@@ -1087,12 +1252,16 @@ impl Simulator {
             }
         }
         self.rob_occ -= freed_rob;
+        // Every removed entry belongs to `tid`, so the length delta is the
+        // thread's pre-issue count adjustment.
+        let before = self.preissue_live();
         self.fetch_buffer.retain(|e| !(e.tid == tid && e.seq > seq));
         self.decode_latch.retain(|e| !(e.tid == tid && e.seq > seq));
         self.rename_latch.retain(|e| !(e.tid == tid && e.seq > seq));
         self.iq_int.retain(|e| !(e.tid == tid && e.seq > seq));
         self.iq_ls.retain(|e| !(e.tid == tid && e.seq > seq));
         self.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
+        self.preissue[tid] -= (before - self.preissue_live()) as u32;
 
         // Repair the speculative front-end state and redirect.
         self.engine.repair(&mut self.threads[tid].spec, &binfo, &di);
@@ -1177,8 +1346,11 @@ impl Simulator {
                                     != self.threads[tid].commit_hist & mask
                                 {
                                     self.stats.hist_mismatches += 1;
-                                    if std::env::var_os("SMT_DEBUG_HIST").is_some()
-                                        && self.stats.hist_mismatches <= 6
+                                    // Counter check first: the env lookup
+                                    // (which may allocate) then runs at most
+                                    // six times per measurement window.
+                                    if self.stats.hist_mismatches <= 6
+                                        && std::env::var_os("SMT_DEBUG_HIST").is_some()
                                     {
                                         eprintln!(
                                             "hist mismatch @cycle {} t{} pc {} ckpt {:016b} arch {:016b} taken {} spec_taken {}",

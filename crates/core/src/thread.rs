@@ -10,8 +10,9 @@ use smt_workloads::{Program, Walker};
 use crate::engine::{BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
 
 /// An FTQ entry: a predicted fetch block, partially consumed by the fetch
-/// stage (blocks longer than the fetch width span several cycles).
-#[derive(Clone, Debug)]
+/// stage (blocks longer than the fetch width span several cycles). `Copy` so
+/// the fetch stage reads entries by value without heap traffic.
+#[derive(Clone, Copy, Debug)]
 pub struct FtqEntry {
     /// The predicted block plus recovery metadata.
     pub pb: PredictedBlock,
@@ -37,7 +38,9 @@ pub struct InFlight {
     /// The dynamic instruction.
     pub di: DynInst,
     /// Branch/recovery metadata (branches and diverging instructions).
-    pub binfo: Option<Box<BranchInfo>>,
+    /// Stored inline (not boxed): the few extra words per window slot buy a
+    /// heap-allocation-free fetch path.
+    pub binfo: Option<BranchInfo>,
     /// Cycle the instruction was fetched.
     pub fetched_at: Cycle,
     /// Whether the instruction passed dispatch (holds backend resources).
@@ -135,6 +138,18 @@ impl ThreadState {
             mem_stall_until: None,
             outstanding_misses: Vec::new(),
         }
+    }
+
+    /// Pre-sizes the per-thread queues to their configuration-derived
+    /// high-water marks so the steady-state loop never grows them.
+    ///
+    /// * `ftq_depth` bounds the FTQ (the prediction stage stops at depth);
+    /// * `window_cap` bounds both the in-flight window and the set of
+    ///   outstanding long-latency misses (each miss is a windowed load).
+    pub fn presize(&mut self, ftq_depth: usize, window_cap: usize) {
+        self.ftq.reserve(ftq_depth);
+        self.window.reserve(window_cap);
+        self.outstanding_misses.reserve(window_cap);
     }
 
     /// Number of long-latency misses still outstanding at `now`.

@@ -175,8 +175,9 @@ pub fn run(
         .expect("1..=8 threads and a validated config"); // lint:allow(no-panic)
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
+    // Borrowed stats: sweeps summarize each cell without copying SimStats.
     let stats = sim.run_cycles(len.measure_cycles);
-    RunResult::from_stats(workload, engine, policy, &stats)
+    RunResult::from_stats(workload, engine, policy, stats)
 }
 
 /// Runs one configuration with a fully custom [`smt_core::SimConfig`].
@@ -203,7 +204,7 @@ pub fn run_with_config(
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     let stats = sim.run_cycles(len.measure_cycles);
-    RunResult::from_stats(workload, engine, policy, &stats)
+    RunResult::from_stats(workload, engine, policy, stats)
 }
 
 /// Runs the full cross product `workloads × policies × engines`, serially.

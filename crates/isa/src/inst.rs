@@ -119,8 +119,9 @@ impl fmt::Display for InstClass {
 ///
 /// This is a passive data record (public fields by design): the workload
 /// generator builds these, and both the front-end (to delimit fetch blocks)
-/// and the back-end (for dependences and latencies) read them.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// and the back-end (for dependences and latencies) read them. It is `Copy`
+/// so the walker can hand instances out without heap traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StaticInst {
     /// Index in the program's instruction table.
     pub id: StaticInstId,
@@ -168,8 +169,9 @@ pub struct MemAccess {
 ///
 /// Passive data record (public fields by design). Pipeline-private state
 /// (rename tags, issue state, timestamps) lives in the pipeline's own
-/// wrapper, not here.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// wrapper, not here. It is `Copy` — a fixed-size value with no heap
+/// payload — so the pipeline moves it between stages allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DynInst {
     /// Hardware thread that fetched this instruction.
     pub thread: ThreadId,

@@ -18,6 +18,13 @@
 //!   `Result<_, Diagnostic>`. (`assert!` of internal invariants is allowed.)
 //! * **`deny-unsafe`** — every crate root must carry
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
+//! * **`no-alloc-in-step`** — *advisory*: `Vec::new()`, `VecDeque::new()` and
+//!   `.clone()` are flagged in the pipeline hot path
+//!   (`crates/core/src/sim.rs`), whose steady-state cycle loop is
+//!   allocation-free (proven by the counting-allocator gate in
+//!   `tests/alloc_gate.rs`). Construction-time allocations carry audited
+//!   `lint:allow` escapes pinned by `tests/static_checks.rs`. Advisory rules
+//!   are printed by the CLI but do not fail it.
 //!
 //! Escape hatches, for the rare deliberate exception:
 //!
@@ -48,6 +55,10 @@ pub const SIM_CRATES: [&str; 5] = ["isa", "workloads", "bpred", "mem", "core"];
 /// `smt-bench`.)
 pub const CLOCK_CRATES: [&str; 6] = ["isa", "workloads", "bpred", "mem", "core", "experiments"];
 
+/// The single file subject to the `no-alloc-in-step` rule: the pipeline's
+/// steady-state cycle loop, which must not allocate per cycle.
+pub const HOT_PATH_FILE: &str = "crates/core/src/sim.rs";
+
 /// The lint rules, as stable machine-readable names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -59,6 +70,8 @@ pub enum Rule {
     NoPanic,
     /// Crate roots must carry `#![forbid(unsafe_code)]` (or `deny`).
     DenyUnsafe,
+    /// Heap-allocating tokens flagged in the pipeline hot path (advisory).
+    NoAllocInStep,
 }
 
 impl Rule {
@@ -69,7 +82,16 @@ impl Rule {
             Rule::NoWallClock => "no-wall-clock",
             Rule::NoPanic => "no-panic",
             Rule::DenyUnsafe => "deny-unsafe",
+            Rule::NoAllocInStep => "no-alloc-in-step",
         }
+    }
+
+    /// Whether the rule is advisory: printed by the CLI, but not counted
+    /// toward its failure exit code. (The allocation-free property itself is
+    /// *enforced* by the counting-allocator test; the lint is an early,
+    /// line-precise pointer to the likely culprit.)
+    pub fn is_advisory(self) -> bool {
+        matches!(self, Rule::NoAllocInStep)
     }
 }
 
@@ -293,8 +315,9 @@ pub fn check_file(path: &str, contents: &str) -> Vec<Violation> {
     let clock_applies = crate_of(path).is_some_and(|c| CLOCK_CRATES.contains(&c))
         && !file_allows(Rule::NoWallClock);
     let panic_applies = is_library_source(path) && !file_allows(Rule::NoPanic);
+    let alloc_applies = path == HOT_PATH_FILE && !file_allows(Rule::NoAllocInStep);
 
-    if !(hash_applies || clock_applies || panic_applies) {
+    if !(hash_applies || clock_applies || panic_applies || alloc_applies) {
         return violations;
     }
 
@@ -333,6 +356,13 @@ pub fn check_file(path: &str, contents: &str) -> Vec<Violation> {
             for tok in [".unwrap()", ".expect(", "panic!"] {
                 if code.contains(tok) {
                     push(Rule::NoPanic, tok);
+                }
+            }
+        }
+        if alloc_applies && !test_flags[idx] {
+            for tok in ["Vec::new()", "VecDeque::new()", ".clone()"] {
+                if code.contains(tok) {
+                    push(Rule::NoAllocInStep, tok);
                 }
             }
         }
@@ -498,6 +528,36 @@ mod tests {
     fn assert_is_not_flagged() {
         let src = "fn f(n: usize) { assert!(n > 0, \"positive\"); }\n";
         assert!(check_file("crates/bpred/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_tokens_flagged_in_hot_path_only() {
+        let src = "fn step() { let v: Vec<u32> = Vec::new(); let w = v.clone(); }\n";
+        let v = check_file(HOT_PATH_FILE, src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::NoAllocInStep));
+        // The same tokens anywhere else are not this rule's business.
+        assert!(check_file("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_rule_honours_escapes_and_test_regions() {
+        let src = "fn new(b: &Vec<u32>) { let a = b.clone(); } // lint:allow(no-alloc-in-step)\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<u32> = Vec::new(); }\n}\n";
+        assert!(check_file(HOT_PATH_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn only_the_alloc_rule_is_advisory() {
+        assert!(Rule::NoAllocInStep.is_advisory());
+        for rule in [
+            Rule::NoHashCollections,
+            Rule::NoWallClock,
+            Rule::NoPanic,
+            Rule::DenyUnsafe,
+        ] {
+            assert!(!rule.is_advisory(), "{rule} must stay enforced");
+        }
     }
 
     #[test]

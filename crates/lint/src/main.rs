@@ -2,7 +2,9 @@
 //!
 //! Scans the workspace's `.rs` files against the project lint rules and
 //! prints one line per violation. Exit code 0 means clean, 1 means at least
-//! one violation, 2 means the scan itself failed (I/O error).
+//! one *enforced* violation, 2 means the scan itself failed (I/O error).
+//! Advisory rules (`no-alloc-in-step`) are printed with an `advisory:`
+//! prefix but never fail the run.
 
 #![forbid(unsafe_code)]
 
@@ -31,11 +33,22 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(violations) => {
+            let enforced = violations.iter().filter(|v| !v.rule.is_advisory()).count();
+            let advisory = violations.len() - enforced;
             for v in &violations {
-                println!("{v}");
+                if v.rule.is_advisory() {
+                    println!("advisory: {v}");
+                } else {
+                    println!("{v}");
+                }
             }
-            println!("smt-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if enforced == 0 {
+                println!("smt-lint: clean ({advisory} advisory finding(s))");
+                ExitCode::SUCCESS
+            } else {
+                println!("smt-lint: {enforced} violation(s), {advisory} advisory");
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("smt-lint: scan failed: {e}");

@@ -111,23 +111,35 @@ impl Tlb {
         self.tick += 1;
         let tick = self.tick;
         let page = addr.raw() / self.page_bytes;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = tick;
-            return 0;
+        // `entries` stays sorted by page number, so the common case — a hit
+        // — is a binary search instead of a scan of all 48/128 ways. Entry
+        // order carries no semantics: hit/miss and the LRU victim are
+        // functions of the (page, tick) contents alone (ticks are unique),
+        // so the layout is free to serve lookup speed.
+        match self.entries.binary_search_by_key(&page, |&(p, _)| p) {
+            Ok(i) => {
+                self.entries[i].1 = tick;
+                0
+            }
+            Err(mut pos) => {
+                self.misses += 1;
+                if self.entries.len() >= self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, l))| *l)
+                        .map(|(i, _)| i)
+                        .expect("nonempty"); // lint:allow(no-panic)
+                    self.entries.remove(lru);
+                    if lru < pos {
+                        pos -= 1;
+                    }
+                }
+                self.entries.insert(pos, (page, tick));
+                self.miss_penalty
+            }
         }
-        self.misses += 1;
-        if self.entries.len() >= self.capacity {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, l))| *l)
-                .map(|(i, _)| i)
-                .expect("nonempty"); // lint:allow(no-panic)
-            self.entries.swap_remove(lru);
-        }
-        self.entries.push((page, tick));
-        self.miss_penalty
     }
 
     /// `(accesses, misses)` counts.

@@ -69,7 +69,9 @@ impl Walker {
             thread,
             pc,
             counters: vec![0; n],
-            ret_stack: Vec::with_capacity(64),
+            // Pre-sized to the hard depth bound: a call can never grow the
+            // stack mid-simulation (the steady-state loop is allocation-free).
+            ret_stack: Vec::with_capacity(MAX_CALL_DEPTH),
             produced: 0,
             path_hist: 0,
             undo: std::collections::VecDeque::with_capacity(UNDO_DEPTH),
@@ -109,11 +111,10 @@ impl Walker {
     /// over/underflows — both indicate a malformed program, which the
     /// builder's construction rules out.
     pub fn next_inst(&mut self) -> DynInst {
-        let inst = self
+        let inst = *self
             .program
             .inst_at(self.pc)
-            .unwrap_or_else(|| panic!("correct-path pc {} outside program", self.pc))
-            .clone();
+            .unwrap_or_else(|| panic!("correct-path pc {} outside program", self.pc));
         let n = self.counters[inst.id as usize];
         self.counters[inst.id as usize] = n + 1;
 
@@ -250,11 +251,7 @@ impl Walker {
     /// they occupy memory pipelines and pollute caches realistically.
     pub fn wrong_path(&self, pc: Addr, spec_taken: bool, spec_target: Addr) -> DynInst {
         let pc = self.program.clamp(pc);
-        let inst = self
-            .program
-            .inst_at(pc)
-            .expect("clamp returns valid pc")
-            .clone();
+        let inst = *self.program.inst_at(pc).expect("clamp returns valid pc");
         let n = self.counters[inst.id as usize];
         let fall = inst.fall_through();
 

@@ -185,7 +185,8 @@ fn simulate(
         .map_err(|e| e.to_string())?;
     sim.run_cycles(o.warmup);
     sim.reset_stats();
-    Ok(sim.run_cycles(o.cycles))
+    sim.run_cycles(o.cycles);
+    Ok(sim.stats().clone())
 }
 
 fn report(engine: FetchEngineKind, policy: FetchPolicy, w: &Workload, s: &SimStats) {

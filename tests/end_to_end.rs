@@ -16,7 +16,7 @@ fn run(w: &Workload, e: FetchEngineKind, p: FetchPolicy, cycles: u64) -> SimStat
         .fetch_policy(p)
         .build()
         .expect("valid thread count");
-    sim.run_cycles(cycles)
+    sim.run_cycles(cycles).clone()
 }
 
 /// Worker count for the fanned-out tests (results are jobs-invariant).

@@ -192,6 +192,42 @@ fn golden_matrix_order() {
     check("matrix_order", &results);
 }
 
+/// Same-seed equivalence contract for the allocation-free `step()`: two
+/// identically-seeded simulators — one driven through `run_cycles`, one
+/// stepped cycle by cycle — produce `==`-equal `SimStats` (all integer
+/// counters, so equality is exact) for every fetch engine and both fetch
+/// architectures. Together with the snapshot families above (which compare
+/// against the checked-in `tests/golden/*.txt` bit-for-bit without
+/// re-blessing), this pins the optimized hot path to the original
+/// semantics.
+#[test]
+fn optimized_step_matches_run_cycles_same_seed() {
+    use smtfetch::core::SimBuilder;
+    const CYCLES: u64 = 6_000;
+    for engine in FetchEngineKind::all() {
+        for policy in [FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)] {
+            let build = || {
+                SimBuilder::new(Workload::mix2().programs(2004).expect("programs"))
+                    .fetch_engine(engine)
+                    .fetch_policy(policy)
+                    .build()
+                    .expect("valid configuration")
+            };
+            let mut a = build();
+            let mut b = build();
+            a.run_cycles(CYCLES);
+            for _ in 0..CYCLES {
+                b.step();
+            }
+            assert_eq!(
+                a.stats(),
+                b.stats(),
+                "{engine} × {policy}: same-seed runs diverged"
+            );
+        }
+    }
+}
+
 /// Satellite equivalence contract: the parallel executor returns results
 /// byte-identical to the serial path for any worker count. `RunResult`
 /// equality is bit-exact (`f64 ==`), so this is the strongest possible

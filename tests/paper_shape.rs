@@ -16,7 +16,7 @@ fn run(w: &Workload, e: FetchEngineKind, p: FetchPolicy) -> SimStats {
         .expect("build");
     sim.run_cycles(WARMUP);
     sim.reset_stats();
-    sim.run_cycles(MEASURE)
+    sim.run_cycles(MEASURE).clone()
 }
 
 /// §3.1/Figure 2: a single-thread gshare+BTB front-end badly underuses the

@@ -251,7 +251,7 @@ fn stats_for_seed(seed: u64) -> SimStats {
         .fetch_policy(FetchPolicy::icount(1, 8))
         .build()
         .expect("default config builds");
-    sim.run_cycles(5_000)
+    sim.run_cycles(5_000).clone()
 }
 
 /// Same-seed simulations are bit-identical — including when the two reruns
@@ -311,7 +311,7 @@ fn random_valid_configs_run_deterministically() {
                 .config(cfg.clone())
                 .build()
                 .expect("validated config builds");
-            sim.run_cycles(4_000)
+            sim.run_cycles(4_000).clone()
         };
         let pair = sweep_indexed(2, Jobs::new(2).unwrap(), |_| run_once());
         assert_eq!(

@@ -7,7 +7,7 @@
 //! 2. every configuration the experiment suite simulates passes the
 //!    semantic validator with zero errors.
 
-use smt_lint::{check_file, check_workspace, Rule};
+use smt_lint::{check_file, check_workspace, Rule, HOT_PATH_FILE};
 use smtfetch::core::{FetchPolicy, SimConfig};
 use smtfetch::isa::MAX_THREADS;
 
@@ -58,6 +58,13 @@ fn linter_detects_seeded_violations() {
     // A crate root that forgot to deny unsafe code.
     let v = check_file("crates/core/src/lib.rs", "pub fn f() {}\n");
     assert!(v.iter().any(|x| x.rule == Rule::DenyUnsafe), "{v:?}");
+
+    // An allocation token in the pipeline hot path (advisory rule).
+    let v = check_file(
+        HOT_PATH_FILE,
+        "pub fn step(v: &[u32]) { let _scratch: Vec<u32> = v.to_vec().clone(); }\n",
+    );
+    assert!(v.iter().any(|x| x.rule == Rule::NoAllocInStep), "{v:?}");
 }
 
 /// The experiments crate is wall-clock-banned (results must be pure
@@ -104,6 +111,46 @@ fn experiments_wall_clock_exception_is_confined_to_the_sweep_timer() {
     assert!(
         sweep.contains("lint:allow(no-wall-clock)"),
         "sweep.rs timer lost its audited lint:allow annotation"
+    );
+}
+
+/// The hot path (`crates/core/src/sim.rs`) is subject to the advisory
+/// `no-alloc-in-step` rule; the zero-allocation property itself is proven at
+/// runtime by `tests/alloc_gate.rs`. This test pins the audited escape set:
+/// exactly the construction-time clones in `Simulator::new` (the seeded RAS
+/// template and the memory-config copy), which run once per simulator, never
+/// per cycle. A new `lint:allow(no-alloc-in-step)` anywhere else must be
+/// argued past this list instead of slipping in silently.
+#[test]
+fn hot_path_alloc_escapes_are_pinned() {
+    let sim = std::fs::read_to_string(workspace_root().join(HOT_PATH_FILE)).expect("read sim.rs");
+    let escapes: Vec<&str> = sim
+        .lines()
+        .filter(|l| l.contains("lint:allow(no-alloc-in-step)"))
+        .map(str::trim)
+        .collect();
+    let pinned = ["ras.clone()", "cfg.mem.clone()"];
+    assert_eq!(
+        escapes.len(),
+        pinned.len(),
+        "escape set changed — audit it here:\n{escapes:#?}"
+    );
+    for (escape, expect) in escapes.iter().zip(pinned) {
+        assert!(
+            escape.contains(expect),
+            "escaped line {escape:?} is not the audited {expect:?}"
+        );
+    }
+    // With those escapes in place the rule reports nothing on the shipped
+    // file (also covered by `workspace_is_lint_clean`, restated here so a
+    // failure names the advisory rule directly).
+    let advisories: Vec<_> = check_file(HOT_PATH_FILE, &sim)
+        .into_iter()
+        .filter(|v| v.rule == Rule::NoAllocInStep)
+        .collect();
+    assert!(
+        advisories.is_empty(),
+        "hot-path allocations: {advisories:?}"
     );
 }
 
