@@ -22,7 +22,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
     bench_with_elements(name, 0, &mut f)
 }
 
-/// Like [`bench`], additionally reporting throughput as `elements` work
+/// Like [`bench()`], additionally reporting throughput as `elements` work
 /// items per sample (e.g. simulated cycles or predictor lookups).
 pub fn bench_with_elements<R>(name: &str, elements: u64, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f()); // warmup; also defeats dead-code elision

@@ -46,7 +46,7 @@ impl Dolc {
 /// Maximum path depth storable in a [`StreamPath`].
 const MAX_DEPTH: usize = 16;
 
-/// Per-thread path register: the last [`MAX_DEPTH`] stream start addresses.
+/// Per-thread path register: the last `MAX_DEPTH` stream start addresses.
 ///
 /// `Copy`, so front-ends checkpoint it per prediction and restore it on a
 /// squash.

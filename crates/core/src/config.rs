@@ -13,7 +13,7 @@ use std::fmt;
 use smt_isa::{Diagnostic, NUM_ARCH_FP, NUM_ARCH_INT};
 use smt_mem::{MemoryConfig, MemoryHierarchy};
 
-use crate::engine::{Engine, LINE_BYTES};
+use crate::frontend::{AnyFrontEnd, LINE_BYTES};
 
 /// Which high-performance fetch engine drives the front-end (paper §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -65,6 +65,28 @@ impl fmt::Display for FetchEngineKind {
     }
 }
 
+impl std::str::FromStr for FetchEngineKind {
+    type Err = Diagnostic;
+
+    /// Parses the canonical engine names as registered in
+    /// [`FRONT_ENDS`](crate::FRONT_ENDS) (which match `Display`), so CLI
+    /// flags cannot drift from the registry.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::frontend::FRONT_ENDS
+            .iter()
+            .find(|e| e.name == s)
+            .map(|e| e.kind)
+            .ok_or_else(|| {
+                Diagnostic::error(
+                    "E0016",
+                    "engine",
+                    format!("unknown fetch engine {s:?}"),
+                    "expected one of: gshare+BTB, gskew+FTB, stream, trace cache",
+                )
+            })
+    }
+}
+
 /// How threads are prioritized for prediction/fetch slots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PolicyKind {
@@ -88,6 +110,26 @@ impl fmt::Display for PolicyKind {
             PolicyKind::RoundRobin => write!(f, "RR"),
             PolicyKind::BrCount => write!(f, "BRCOUNT"),
             PolicyKind::MissCount => write!(f, "MISSCOUNT"),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = Diagnostic;
+
+    /// Parses the paper's policy mnemonics (the `Display` spellings).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ICOUNT" => Ok(PolicyKind::Icount),
+            "RR" => Ok(PolicyKind::RoundRobin),
+            "BRCOUNT" => Ok(PolicyKind::BrCount),
+            "MISSCOUNT" => Ok(PolicyKind::MissCount),
+            _ => Err(Diagnostic::error(
+                "E0017",
+                "policy",
+                format!("unknown fetch policy {s:?}"),
+                "expected one of: ICOUNT, RR, BRCOUNT, MISSCOUNT",
+            )),
         }
     }
 }
@@ -239,6 +281,47 @@ impl fmt::Display for FetchPolicy {
             "{}{}.{}.{}",
             self.kind, self.long_latency, self.threads_per_cycle, self.width
         )
+    }
+}
+
+impl std::str::FromStr for FetchPolicy {
+    type Err = Diagnostic;
+
+    /// Parses the paper's `POLICY[-STALL|-FLUSH].n.X` notation — the exact
+    /// strings `Display` produces (e.g. `"ICOUNT.2.8"`,
+    /// `"ICOUNT-FLUSH.1.16"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |why: &str| {
+            Diagnostic::error(
+                "E0017",
+                "policy",
+                format!("malformed fetch policy {s:?}: {why}"),
+                "expected POLICY[-STALL|-FLUSH].n.X, e.g. ICOUNT.2.8",
+            )
+        };
+        let (rest, width_s) = s.rsplit_once('.').ok_or_else(|| bad("missing .X"))?;
+        let (head, n_s) = rest.rsplit_once('.').ok_or_else(|| bad("missing .n"))?;
+        let width: u32 = width_s.parse().map_err(|_| bad("X is not an integer"))?;
+        let n: u32 = n_s.parse().map_err(|_| bad("n is not an integer"))?;
+        if !(1..=2).contains(&n) {
+            return Err(bad("n must be 1 or 2"));
+        }
+        if width == 0 {
+            return Err(bad("X must be positive"));
+        }
+        let (kind_s, long_latency) = if let Some(k) = head.strip_suffix("-STALL") {
+            (k, LongLatencyAction::Stall)
+        } else if let Some(k) = head.strip_suffix("-FLUSH") {
+            (k, LongLatencyAction::Flush)
+        } else {
+            (head, LongLatencyAction::None)
+        };
+        Ok(FetchPolicy {
+            kind: kind_s.parse()?,
+            threads_per_cycle: n,
+            width,
+            long_latency,
+        })
     }
 }
 
@@ -543,7 +626,7 @@ impl SimConfig {
         // --- Predictor geometry: validate by construction (E0001, E0002,
         // E0012, E0014), exactly the checks the real constructors apply. ---
         for kind in FetchEngineKind::all_with_trace_cache() {
-            if let Err(d) = Engine::build(kind, self) {
+            if let Err(d) = AnyFrontEnd::build(kind, self) {
                 push(&mut diags, d);
             }
         }

@@ -1,0 +1,148 @@
+//! The baseline gshare+BTB front-end: one basic block per cycle.
+
+use smt_bpred::{Btb, Gshare};
+use smt_isa::{Addr, Diagnostic, DynInst, ThreadId};
+use smt_workloads::Program;
+
+use crate::config::{FetchEngineKind, SimConfig};
+
+use super::{
+    classic_block, repair_spec, scoped, BlockMeta, BranchInfo, FrontEnd, PredictedBlock, SpecState,
+};
+
+/// gshare + BTB (the baseline SMT front-end).
+///
+/// One direction prediction per cycle, so every fetch block ends at the
+/// first branch, the cache-line boundary, or the fetch width.
+#[derive(Clone, Debug)]
+pub struct GshareBtb {
+    /// Direction predictor.
+    gshare: Gshare,
+    /// Branch target buffer.
+    btb: Btb,
+}
+
+impl GshareBtb {
+    /// Builds the engine from the configuration's predictor geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found in the requested tables.
+    pub fn build(cfg: &SimConfig) -> Result<Self, Diagnostic> {
+        let p = &cfg.predictor;
+        Ok(GshareBtb {
+            gshare: Gshare::new(p.gshare_entries).map_err(scoped)?,
+            btb: Btb::new(p.btb_entries, p.btb_ways).map_err(scoped)?,
+        })
+    }
+}
+
+impl FrontEnd for GshareBtb {
+    fn kind(&self) -> FetchEngineKind {
+        FetchEngineKind::GshareBtb
+    }
+
+    fn history_bits(&self) -> u32 {
+        16
+    }
+
+    fn predict_block(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+    ) -> PredictedBlock {
+        let meta = BlockMeta::capture(spec);
+        let block = classic_block(
+            &mut self.gshare,
+            &mut self.btb,
+            thread,
+            pc,
+            spec,
+            program,
+            width,
+        );
+        PredictedBlock {
+            block,
+            meta,
+            trace_group: None,
+        }
+    }
+
+    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+        if di.is_cond_branch() {
+            // Every correct-path conditional ends a block under this engine,
+            // so each one was genuinely predicted.
+            self.gshare.update(di.pc, info.meta.hist, di.taken);
+        }
+        if di.taken {
+            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
+            self.btb.record_taken(di.pc, di.next_pc, kind);
+        }
+    }
+
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+        repair_spec(spec, info, di, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::LINE_BYTES;
+    use super::*;
+    use crate::config::FetchPolicy;
+    use smt_workloads::{BenchmarkProfile, ProgramBuilder};
+
+    fn program() -> Program {
+        ProgramBuilder::new(BenchmarkProfile::gzip())
+            .base(Addr::new(0x40_0000))
+            .seed(1)
+            .build()
+    }
+
+    fn engine() -> GshareBtb {
+        GshareBtb::build(&SimConfig::hpca2004(FetchPolicy::icount(1, 8))).expect("Table 3 builds")
+    }
+
+    #[test]
+    fn blocks_end_at_first_branch_and_line() {
+        let prog = program();
+        let mut e = engine();
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pb = e.predict_block(0, prog.entry(), &mut spec, &prog, 8);
+        let b = &pb.block;
+        assert!(b.len >= 1 && b.len <= 8);
+        // The block must not cross a cache line.
+        assert!(b.start.line(LINE_BYTES) == b.last_pc().line(LINE_BYTES));
+        // If it has an end branch, no *earlier* instruction in the block is
+        // a branch.
+        if let Some(end) = b.end_branch {
+            for i in 0..(b.len - 1) as u64 {
+                let inst = prog.inst_at(b.start.add_insts(i)).unwrap();
+                assert!(!inst.class.is_branch(), "embedded branch in BTB block");
+            }
+            assert_eq!(end.pc, b.last_pc());
+        }
+    }
+
+    #[test]
+    fn chains_blocks_through_program() {
+        let prog = program();
+        let mut e = engine();
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let mut pc = prog.entry();
+        for _ in 0..200 {
+            let pb = e.predict_block(0, pc, &mut spec, &prog, 8);
+            pc = pb.block.next_fetch;
+            // Stay in (or be clamped back into) the program.
+            assert!(prog.contains(prog.clamp(pc)));
+        }
+    }
+
+    #[test]
+    fn kind_is_a_branch_kind() {
+        assert_eq!(engine().kind(), FetchEngineKind::GshareBtb);
+    }
+}

@@ -1,0 +1,190 @@
+//! The stream front-end: learned instruction streams, no per-branch
+//! direction predictor.
+
+use smt_bpred::{ObservedStream, StreamPath, StreamPredictor};
+use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, ThreadId};
+use smt_workloads::Program;
+
+use crate::config::{FetchEngineKind, SimConfig};
+
+use super::{
+    repair_spec, scoped, sequential_block, BlockMeta, BranchInfo, FrontEnd, PredictedBlock,
+    SpecState,
+};
+
+/// The paper's stream fetch unit: a cascaded predictor of *instruction
+/// streams* (taken-target to next taken branch). Stream-ending branches are
+/// taken by definition, so no separate direction predictor exists and the
+/// speculative history register never shifts.
+#[derive(Clone, Debug)]
+pub struct Stream {
+    /// Cascaded stream predictor.
+    predictor: StreamPredictor,
+}
+
+impl Stream {
+    /// Builds the engine from the configuration's predictor geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found in the requested tables.
+    pub fn build(cfg: &SimConfig) -> Result<Self, Diagnostic> {
+        let p = &cfg.predictor;
+        Ok(Stream {
+            predictor: StreamPredictor::new(
+                p.stream_l1_entries,
+                p.stream_l2_entries,
+                p.stream_ways,
+                smt_bpred::Dolc::HPCA2004,
+                cfg.max_stream,
+            )
+            .map_err(scoped)?,
+        })
+    }
+}
+
+impl FrontEnd for Stream {
+    fn kind(&self) -> FetchEngineKind {
+        FetchEngineKind::Stream
+    }
+
+    fn history_bits(&self) -> u32 {
+        16 // unused, kept for uniform state
+    }
+
+    fn predict_block(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+    ) -> PredictedBlock {
+        let _ = program;
+        let meta = BlockMeta::capture(spec);
+        let block = match self.predictor.predict(pc, &spec.path) {
+            Some(p) => {
+                let len = p.len.max(1);
+                match p.end {
+                    Some(end) => {
+                        let end_pc = pc.add_insts(len as u64 - 1);
+                        // Stream-ending branches are taken by definition.
+                        let target = match end.kind {
+                            BranchKind::Return => spec.ras.pop(),
+                            BranchKind::Call => {
+                                spec.ras.push(end_pc.add_insts(1));
+                                end.target
+                            }
+                            _ => end.target,
+                        };
+                        let fall = pc.add_insts(len as u64);
+                        let next = if target.is_null() { fall } else { target };
+                        // This block closes a stream: record it in the
+                        // path and open the next stream.
+                        spec.path.push(spec.stream_start);
+                        spec.stream_start = next;
+                        FetchBlock {
+                            thread,
+                            start: pc,
+                            len,
+                            embedded_branches: 0,
+                            end_branch: Some(EndBranch {
+                                pc: end_pc,
+                                kind: end.kind,
+                                predicted_taken: true,
+                                predicted_target: target,
+                            }),
+                            next_fetch: next,
+                        }
+                    }
+                    None => sequential_block(thread, pc, len),
+                }
+            }
+            None => sequential_block(thread, pc, width),
+        };
+        PredictedBlock {
+            block,
+            meta,
+            trace_group: None,
+        }
+    }
+
+    fn train_resolve(&mut self, _info: &BranchInfo, _di: &DynInst) {
+        // Stream training happens at commit, on completed streams.
+    }
+
+    fn train_commit(&mut self, start: Addr, path: &StreamPath, obs: ObservedStream) {
+        self.predictor.train(start, path, obs);
+    }
+
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+        // No direction predictor, so the speculative history never shifts.
+        repair_spec(spec, info, di, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FetchPolicy;
+    use smt_workloads::{BenchmarkProfile, ProgramBuilder};
+
+    fn program() -> Program {
+        ProgramBuilder::new(BenchmarkProfile::gzip())
+            .base(Addr::new(0x40_0000))
+            .seed(1)
+            .build()
+    }
+
+    fn engine() -> Stream {
+        Stream::build(&SimConfig::hpca2004(FetchPolicy::icount(1, 8))).expect("Table 3 builds")
+    }
+
+    #[test]
+    fn learns_streams_at_commit() {
+        let prog = program();
+        let mut e = engine();
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pc = prog.entry();
+        // Cold: sequential width block.
+        let pb = e.predict_block(0, pc, &mut spec, &prog, 16);
+        assert_eq!(pb.block.len, 16);
+        // Commit-side training: a 24-instruction stream ending in a taken
+        // branch to 0x40_2000.
+        e.train_commit(
+            pc,
+            &StreamPath::new(),
+            ObservedStream {
+                len: 24,
+                kind: BranchKind::Cond,
+                target: Addr::new(0x40_2000),
+            },
+        );
+        let mut spec2 = SpecState::new(e.history_bits(), prog.entry());
+        let pb2 = e.predict_block(0, pc, &mut spec2, &prog, 16);
+        assert_eq!(pb2.block.len, 24, "stream longer than the fetch width");
+        assert_eq!(pb2.block.next_fetch, Addr::new(0x40_2000));
+        assert!(pb2.block.end_branch.unwrap().predicted_taken);
+    }
+
+    #[test]
+    fn blocks_update_path_and_stream_start() {
+        let prog = program();
+        let mut e = engine();
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pc = prog.entry();
+        e.train_commit(
+            pc,
+            &StreamPath::new(),
+            ObservedStream {
+                len: 10,
+                kind: BranchKind::Jump,
+                target: Addr::new(0x40_1000),
+            },
+        );
+        let before = spec.path;
+        let _ = e.predict_block(0, pc, &mut spec, &prog, 16);
+        assert_ne!(spec.path, before, "taken stream end must push the path");
+        assert_eq!(spec.stream_start, Addr::new(0x40_1000));
+    }
+}

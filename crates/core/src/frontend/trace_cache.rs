@@ -1,0 +1,418 @@
+//! The trace-cache front-end (related-work comparator): a trace cache over
+//! a gshare+BTB core fetch unit, with a commit-side fill unit.
+
+use smt_bpred::{Btb, GlobalHistory, Gshare, Trace, TraceCache as TraceStore, TraceSegment};
+use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, InstClass, ThreadId};
+use smt_workloads::Program;
+
+use crate::config::{FetchEngineKind, SimConfig};
+
+use super::{
+    classic_block, repair_spec, scoped, BlockMeta, BranchInfo, FrontEnd, PredictedBlock, SpecState,
+};
+
+/// The trace-cache fill unit's per-thread collection buffer: committed
+/// instructions accumulate until a trace line closes (16 instructions or a
+/// third taken branch), at which point the trace is installed and the
+/// multiple-branch predictor trained.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFillBuffer {
+    /// `(pc, class, taken, next_pc)` of buffered committed instructions.
+    entries: Vec<(Addr, InstClass, bool, Addr)>,
+    /// Committed end-conditional history at the start of the buffer.
+    start_hist: u64,
+    /// Taken branches buffered so far.
+    taken_branches: u32,
+}
+
+impl TraceFillBuffer {
+    /// Number of buffered instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Trace cache + gshare/BTB core fetch unit (related-work comparator).
+///
+/// On a trace hit the whole trace is emitted as one group of fetch blocks
+/// consumable in a single cycle; on a miss the core fetch unit supplies a
+/// classical basic block. The trace store and the multiple-branch predictor
+/// are trained by the fill unit at commit.
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    /// The trace storage and its path-associative tags.
+    tc: TraceStore,
+    /// Multiple-branch direction predictor for way selection
+    /// (trained by the fill unit).
+    multi: Gshare,
+    /// Core fetch unit direction predictor (trained at resolve).
+    gshare: Gshare,
+    /// Core fetch unit target buffer.
+    btb: Btb,
+    /// Monotone id shared by the blocks of one emitted trace.
+    next_group: u64,
+}
+
+impl TraceCache {
+    /// Builds the engine from the configuration's predictor geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found in the requested tables.
+    pub fn build(cfg: &SimConfig) -> Result<Self, Diagnostic> {
+        let p = &cfg.predictor;
+        Ok(TraceCache {
+            tc: TraceStore::new(p.tc_entries, p.tc_ways).map_err(scoped)?,
+            // The core fetch unit backing the trace cache uses a halved
+            // gshare so the comparator's total budget stays paper-like.
+            multi: Gshare::new(32 * 1024).map_err(scoped)?,
+            gshare: Gshare::new(32 * 1024).map_err(scoped)?,
+            btb: Btb::new(p.btb_entries, p.btb_ways).map_err(scoped)?,
+            next_group: 1,
+        })
+    }
+
+    /// Trace prediction: way-select by the multiple-branch direction
+    /// vector; on a hit emit the trace's segments, on a miss fall back to
+    /// the core fetch unit. Appends to `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn predict_trace(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+        max_blocks: usize,
+        out: &mut Vec<PredictedBlock>,
+    ) {
+        // Multiple-branch prediction: up to 3 segment-end directions,
+        // indexed by (start + i, incrementally updated history).
+        let mut dirs = [false; 3];
+        let mut h = spec.hist;
+        for (i, d) in dirs.iter_mut().enumerate() {
+            *d = self.multi.predict(pc.add_insts(i as u64), h);
+            h.push(*d);
+        }
+        let hit = self.tc.lookup(pc, &dirs);
+        match hit {
+            Some(trace) => {
+                let group = self.next_group;
+                self.next_group += 1;
+                let nseg = trace.segments.len().min(max_blocks);
+                for (si, seg) in trace.segments.iter().take(nseg).enumerate() {
+                    let meta = BlockMeta::capture(spec);
+                    let next_start = if si + 1 < trace.segments.len() {
+                        trace.segments[si + 1].start
+                    } else {
+                        trace.next_pc
+                    };
+                    let fall = seg.start.add_insts(seg.len as u64);
+                    let end_branch = seg.end_kind.map(|kind| {
+                        let taken = seg.end_taken;
+                        let end_pc = seg.start.add_insts(seg.len as u64 - 1);
+                        // The trace embodies the path: targets come from the
+                        // stored next segment, while the RAS is kept in sync
+                        // for later core-fetch predictions.
+                        match kind {
+                            BranchKind::Cond => spec.hist.push(taken),
+                            BranchKind::Call => spec.ras.push(end_pc.add_insts(1)),
+                            BranchKind::Return if taken => {
+                                let _ = spec.ras.pop();
+                            }
+                            _ => {}
+                        }
+                        EndBranch {
+                            pc: end_pc,
+                            kind,
+                            predicted_taken: taken,
+                            predicted_target: if taken { next_start } else { Addr::NULL },
+                        }
+                    });
+                    let next_fetch = match &end_branch {
+                        Some(e) if e.predicted_taken && !e.predicted_target.is_null() => {
+                            e.predicted_target
+                        }
+                        _ => fall,
+                    };
+                    out.push(PredictedBlock {
+                        block: FetchBlock {
+                            thread,
+                            start: seg.start,
+                            len: seg.len,
+                            embedded_branches: 0,
+                            end_branch,
+                            next_fetch,
+                        },
+                        meta,
+                        trace_group: Some(group),
+                    });
+                }
+            }
+            None => out.push(self.predict_block(thread, pc, spec, program, width)),
+        }
+    }
+}
+
+impl FrontEnd for TraceCache {
+    fn kind(&self) -> FetchEngineKind {
+        FetchEngineKind::TraceCache
+    }
+
+    fn history_bits(&self) -> u32 {
+        15
+    }
+
+    fn predict_block(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+    ) -> PredictedBlock {
+        let meta = BlockMeta::capture(spec);
+        let block = classic_block(
+            &mut self.gshare,
+            &mut self.btb,
+            thread,
+            pc,
+            spec,
+            program,
+            width,
+        );
+        PredictedBlock {
+            block,
+            meta,
+            trace_group: None,
+        }
+    }
+
+    fn predict_blocks_into(
+        &mut self,
+        thread: ThreadId,
+        pc: Addr,
+        spec: &mut SpecState,
+        program: &Program,
+        width: u32,
+        max_blocks: usize,
+        out: &mut Vec<PredictedBlock>,
+    ) {
+        self.predict_trace(thread, pc, spec, program, width, max_blocks.max(1), out);
+    }
+
+    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+        // The core fetch unit trains like gshare+BTB; the trace cache
+        // itself and the multiple-branch predictor are trained by the fill
+        // unit at commit.
+        if info.is_end && di.is_cond_branch() {
+            self.gshare.update(di.pc, info.meta.hist, di.taken);
+        }
+        if di.taken {
+            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
+            self.btb.record_taken(di.pc, di.next_pc, kind);
+        }
+    }
+
+    fn trace_fill_commit(
+        &mut self,
+        fill: &mut TraceFillBuffer,
+        di: &DynInst,
+        commit_hist_end: u64,
+    ) {
+        if fill.entries.is_empty() {
+            fill.start_hist = commit_hist_end;
+            fill.taken_branches = 0;
+        }
+        fill.entries.push((di.pc, di.class, di.taken, di.next_pc));
+        if di.is_branch() && di.taken {
+            fill.taken_branches += 1;
+        }
+        let close = fill.entries.len() as u32 >= Trace::MAX_INSTS
+            || fill.taken_branches >= Trace::MAX_SEGMENTS as u32;
+        if !close {
+            return;
+        }
+
+        // Build segments: split after every taken control transfer.
+        let mut segments: Vec<TraceSegment> = Vec::with_capacity(Trace::MAX_SEGMENTS);
+        let mut cond_dirs: Vec<bool> = Vec::new();
+        let mut seg_start = fill.entries[0].0;
+        let mut seg_len = 0u32;
+        for (i, &(pc, class, taken, next_pc)) in fill.entries.iter().enumerate() {
+            seg_len += 1;
+            let last = i == fill.entries.len() - 1;
+            let taken_branch = class.is_branch() && taken;
+            if taken_branch || last {
+                let end_kind = class.branch_kind();
+                if end_kind == Some(BranchKind::Cond) {
+                    cond_dirs.push(taken);
+                }
+                segments.push(TraceSegment {
+                    start: seg_start,
+                    len: seg_len,
+                    end_kind,
+                    end_taken: taken,
+                });
+                seg_start = next_pc;
+                seg_len = 0;
+            } else {
+                debug_assert_eq!(next_pc, pc.add_insts(1), "trace segment contiguity");
+            }
+        }
+        let next_pc = fill.entries.last().expect("non-empty").3; // lint:allow(no-panic)
+        let start = fill.entries[0].0;
+        let start_hist = fill.start_hist;
+        fill.entries.clear();
+        fill.taken_branches = 0;
+
+        // Train the multiple-branch predictor with the observed direction
+        // vector, using the same (start + i, incremental history) indexing
+        // the predictor is consulted with.
+        let mut h = GlobalHistory::new(15);
+        for i in (0..15u32).rev() {
+            h.push((start_hist >> i) & 1 == 1);
+        }
+        for (i, &d) in cond_dirs.iter().enumerate().take(3) {
+            self.multi.update(start.add_insts(i as u64), h, d);
+            h.push(d);
+        }
+        self.tc.fill(Trace {
+            segments,
+            cond_dirs,
+            next_pc,
+        });
+    }
+
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+        repair_spec(spec, info, di, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FetchPolicy;
+    use smt_workloads::{BenchmarkProfile, ProgramBuilder};
+
+    fn program() -> Program {
+        ProgramBuilder::new(BenchmarkProfile::gzip())
+            .base(Addr::new(0x40_0000))
+            .seed(1)
+            .build()
+    }
+
+    fn engine() -> TraceCache {
+        TraceCache::build(&SimConfig::hpca2004(FetchPolicy::icount(1, 8))).expect("Table 3 builds")
+    }
+
+    fn predict_blocks(
+        e: &mut TraceCache,
+        pc: Addr,
+        spec: &mut SpecState,
+        prog: &Program,
+        width: u32,
+        max_blocks: usize,
+    ) -> Vec<PredictedBlock> {
+        let mut out = Vec::new();
+        e.predict_blocks_into(0, pc, spec, prog, width, max_blocks, &mut out);
+        out
+    }
+
+    #[test]
+    fn misses_fall_back_to_core_fetch() {
+        let prog = program();
+        let mut e = engine();
+        let mut spec = SpecState::new(e.history_bits(), prog.entry());
+        let pbs = predict_blocks(&mut e, prog.entry(), &mut spec, &prog, 16, 4);
+        assert_eq!(pbs.len(), 1, "cold trace cache must fall back");
+        assert!(pbs[0].trace_group.is_none());
+        // Fallback blocks obey the classical single-basic-block limit.
+        assert!(pbs[0].block.len <= 16);
+    }
+
+    #[test]
+    fn fill_then_hit_emits_grouped_segments() {
+        let prog = program();
+        let mut e = engine();
+        // Commit a synthetic trace through the fill unit: 6 sequential
+        // instructions, a taken cond, then 5 more and a taken jump.
+        let mut fill = TraceFillBuffer::default();
+        let base = prog.entry();
+        let mk = |pc: Addr, class: InstClass, taken: bool, next: Addr| DynInst {
+            thread: 0,
+            static_id: 0,
+            pc,
+            class,
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            taken,
+            next_pc: next,
+            wrong_path: false,
+        };
+        for i in 0..5u64 {
+            let pc = base.add_insts(i);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
+        }
+        let br = base.add_insts(5);
+        let tgt = base.add_insts(40);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br, InstClass::Branch(BranchKind::Cond), true, tgt),
+            0,
+        );
+        for i in 0..4u64 {
+            let pc = tgt.add_insts(i);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
+        }
+        let br2 = tgt.add_insts(4);
+        let tgt2 = base.add_insts(80);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br2, InstClass::Branch(BranchKind::Jump), true, tgt2),
+            0,
+        );
+        // Keep feeding to force a close on the 3rd taken branch (15 insts
+        // total, under the 16-instruction line limit).
+        for i in 0..3u64 {
+            let pc = tgt2.add_insts(i);
+            e.trace_fill_commit(
+                &mut fill,
+                &mk(pc, InstClass::IntAlu, false, pc.add_insts(1)),
+                0,
+            );
+        }
+        let br3 = tgt2.add_insts(3);
+        e.trace_fill_commit(
+            &mut fill,
+            &mk(br3, InstClass::Branch(BranchKind::Jump), true, base),
+            0,
+        );
+        assert!(fill.is_empty(), "third taken branch must close the trace");
+
+        // The filled trace is now fetchable in one multi-block prediction.
+        let mut spec = SpecState::new(e.history_bits(), base);
+        let pbs = predict_blocks(&mut e, base, &mut spec, &prog, 16, 4);
+        assert!(pbs.len() >= 2, "trace hit must emit its segments");
+        let group = pbs[0].trace_group.expect("trace blocks carry a group");
+        assert!(pbs.iter().all(|p| p.trace_group == Some(group)));
+        assert_eq!(pbs[0].block.start, base);
+        assert_eq!(pbs[0].block.len, 6);
+        assert_eq!(pbs[0].block.next_fetch, tgt);
+        assert_eq!(pbs[1].block.start, tgt);
+    }
+}

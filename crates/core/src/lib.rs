@@ -12,8 +12,8 @@
 //!   with dual predictor ports, bank-conflict logic and a merge network.
 //!
 //! Front-ends: gshare+BTB (baseline), gskew+FTB, and the stream fetch unit
-//! ([`FetchEngineKind`]). Thread priority: ICOUNT or round-robin
-//! ([`FetchPolicy`]).
+//! ([`FetchEngineKind`]), all implementations of the pluggable [`FrontEnd`]
+//! trait. Thread priority: ICOUNT or round-robin ([`FetchPolicy`]).
 //!
 //! # Example
 //!
@@ -36,17 +36,20 @@
 #![warn(missing_docs)]
 
 mod config;
-mod engine;
+mod frontend;
 mod metrics;
+mod pipeline;
 mod sim;
 mod thread;
 
 pub use config::{
     FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, PredictorConfig, SimConfig,
 };
-pub use engine::{
-    BlockMeta, BranchInfo, Engine, PredictedBlock, SpecState, TraceFillBuffer, LINE_BYTES,
+pub use frontend::{
+    AnyFrontEnd, BlockMeta, BranchInfo, FrontEnd, FrontEndEntry, GshareBtb, GskewFtb,
+    PredictedBlock, SpecState, Stream, TraceCache, TraceFillBuffer, FRONT_ENDS, LINE_BYTES,
 };
+pub use metrics::StallBreakdown;
 pub use metrics::{FetchDistribution, SimStats};
 pub use sim::{BuildError, SimBuilder, Simulator};
 pub use smt_isa::{has_errors, Diagnostic, Severity};

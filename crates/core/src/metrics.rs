@@ -48,6 +48,54 @@ impl FetchDistribution {
     }
 }
 
+/// Per-thread, per-cycle stall attribution, filled in by the pipeline
+/// stages.
+///
+/// Every simulated cycle, each thread is charged to exactly **one** bucket:
+/// the most severe bottleneck any stage observed for it that cycle, or the
+/// `residual` bucket when no stage reported one (the thread was making
+/// progress, idle, or hidden behind another thread's work). Consequently,
+/// for every thread `t`, the six stall buckets plus `residual` sum to
+/// [`SimStats::cycles`] — an invariant the test suite asserts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles fetch was blocked behind an I-cache miss.
+    pub icache_miss: [u64; MAX_THREADS],
+    /// Cycles a 2.X second-port access was lost to an I-cache bank conflict.
+    pub bank_conflict: [u64; MAX_THREADS],
+    /// Cycles the thread was fetch-ready but the fetch policy served other
+    /// threads (or the shared fetch buffer was full).
+    pub fetch_starved: [u64; MAX_THREADS],
+    /// Cycles dispatch was blocked because the shared ROB was full.
+    pub rob_full: [u64; MAX_THREADS],
+    /// Cycles a ready instruction could not issue for lack of functional
+    /// units.
+    pub issue_width: [u64; MAX_THREADS],
+    /// Cycles commit was blocked behind an outstanding data-cache miss.
+    pub dcache_miss: [u64; MAX_THREADS],
+    /// Cycles with no attributed stall: progressing, idle, or overlapped.
+    pub residual: [u64; MAX_THREADS],
+}
+
+impl StallBreakdown {
+    /// Sum of all buckets (including the residual) for thread `tid` —
+    /// equals [`SimStats::cycles`] for every simulated thread.
+    pub fn total(&self, tid: usize) -> u64 {
+        self.icache_miss[tid]
+            + self.bank_conflict[tid]
+            + self.fetch_starved[tid]
+            + self.rob_full[tid]
+            + self.issue_width[tid]
+            + self.dcache_miss[tid]
+            + self.residual[tid]
+    }
+
+    /// Sum of the six stall buckets (excluding the residual) for `tid`.
+    pub fn stalled(&self, tid: usize) -> u64 {
+        self.total(tid) - self.residual[tid]
+    }
+}
+
 /// Aggregated statistics of one simulation run.
 ///
 /// Passive data record (public fields by design); produced by the simulator,
@@ -92,6 +140,8 @@ pub struct SimStats {
     pub hist_mismatches: u64,
     /// Long-latency-load FLUSH events (Tullsen & Brown mechanism).
     pub flushes: u64,
+    /// Per-thread stall attribution (one bucket per thread per cycle).
+    pub stalls: StallBreakdown,
 }
 
 impl SimStats {

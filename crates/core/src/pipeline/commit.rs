@@ -1,0 +1,156 @@
+//! The commit stage: in-order retirement, predictor training (resolve- and
+//! commit-time), stream bookkeeping, and the trace-cache fill unit.
+
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
+use smt_bpred::ObservedStream;
+use smt_isa::{InstClass, RegClass};
+
+use crate::frontend::FrontEnd;
+
+use super::{PipelineCtx, PipelineStage, STALL_DCACHE_MISS};
+
+/// The commit stage: retires completed instructions in order, round-robin
+/// across threads under the shared commit width.
+#[derive(Clone, Debug)]
+pub(crate) struct CommitStage;
+
+impl PipelineStage for CommitStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        let n = ctx.threads.len();
+        let mut budget = ctx.cfg.commit_width;
+        let start = (ctx.cycle as usize) % n;
+        for k in 0..n {
+            let tid = (start + k) % n;
+            while budget > 0 {
+                let committable = {
+                    let th = &ctx.threads[tid];
+                    th.window
+                        .front()
+                        .map(|i| i.dispatched && i.completed(now))
+                        .unwrap_or(false)
+                };
+                if !committable {
+                    break;
+                }
+                let inst = ctx.threads[tid].window.pop_front().expect("checked");
+                debug_assert!(!inst.di.wrong_path, "wrong-path instruction reached commit");
+                ctx.rob_occ -= 1;
+                if let Some(prev) = inst.prev_phys {
+                    let dest = inst.di.dest.expect("prev implies dest");
+                    match dest.class() {
+                        RegClass::Int => ctx.free_int.push(prev),
+                        RegClass::Fp => ctx.free_fp.push(prev),
+                    }
+                }
+                ctx.stats.committed[tid] += 1;
+                budget -= 1;
+
+                if inst.di.class == InstClass::Store {
+                    let addr = inst.di.mem.expect("stores carry addresses").addr;
+                    ctx.mem.store(addr, now);
+                }
+
+                // Trace-cache fill unit (no-op for other engines).
+                {
+                    let hist_end = ctx.threads[tid].commit_hist_end;
+                    let mut fill = std::mem::take(&mut ctx.threads[tid].trace_fill);
+                    ctx.frontend
+                        .trace_fill_commit(&mut fill, &inst.di, hist_end);
+                    ctx.threads[tid].trace_fill = fill;
+                }
+                if inst.di.is_cond_branch()
+                    && inst.binfo.as_ref().map(|b| b.is_end).unwrap_or(false)
+                {
+                    let th = &mut ctx.threads[tid];
+                    th.commit_hist_end = (th.commit_hist_end << 1) | inst.di.taken as u64;
+                }
+
+                // Branch training and stream bookkeeping.
+                ctx.threads[tid].commit_stream_len += 1;
+                if inst.di.is_branch() {
+                    if let Some(info) = &inst.binfo {
+                        ctx.frontend.train_resolve(info, &inst.di);
+                        if inst.di.is_cond_branch() {
+                            ctx.stats.cond_branches += 1;
+                            if info.spec_taken != inst.di.taken {
+                                ctx.stats.cond_mispredicts += 1;
+                            }
+                            if info.is_end {
+                                let bits = info.meta.hist.len().min(16);
+                                let mask = (1u64 << bits) - 1;
+                                if info.meta.hist.bits() & mask
+                                    != ctx.threads[tid].commit_hist & mask
+                                {
+                                    ctx.stats.hist_mismatches += 1;
+                                    // Counter check first: the env lookup
+                                    // (which may allocate) then runs at most
+                                    // six times per measurement window.
+                                    if ctx.stats.hist_mismatches <= 6
+                                        && std::env::var_os("SMT_DEBUG_HIST").is_some()
+                                    {
+                                        eprintln!(
+                                            "hist mismatch @cycle {} t{} pc {} ckpt {:016b} arch {:016b} taken {} spec_taken {}",
+                                            now, tid, inst.di.pc,
+                                            info.meta.hist.bits() & mask,
+                                            ctx.threads[tid].commit_hist & mask,
+                                            inst.di.taken, info.spec_taken
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if inst.di.is_cond_branch() {
+                        let th = &mut ctx.threads[tid];
+                        th.commit_hist = (th.commit_hist << 1) | inst.di.taken as u64;
+                    }
+                    if inst.di.taken {
+                        let kind = inst.di.class.branch_kind().expect("branch");
+                        let (start_addr, path, len) = {
+                            let th = &ctx.threads[tid];
+                            (th.commit_stream_start, th.cpath, th.commit_stream_len)
+                        };
+                        ctx.frontend.train_commit(
+                            start_addr,
+                            &path,
+                            ObservedStream {
+                                len,
+                                kind,
+                                target: inst.di.next_pc,
+                            },
+                        );
+                        let th = &mut ctx.threads[tid];
+                        th.cpath.push(start_addr);
+                        th.commit_stream_start = inst.di.next_pc;
+                        th.commit_stream_len = 0;
+                    }
+                }
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        // Threads whose ROB head is an issued load still waiting on the
+        // data cache observe a dcache-miss stall this cycle (short-latency
+        // hits complete within a cycle or two, so the bucket is dominated
+        // by real misses).
+        for tid in 0..n {
+            let blocked = ctx.threads[tid]
+                .window
+                .front()
+                .map(|i| {
+                    i.dispatched && i.issued && !i.completed(now) && i.di.class == InstClass::Load
+                })
+                .unwrap_or(false);
+            if blocked {
+                ctx.note_stall(tid, STALL_DCACHE_MISS);
+            }
+        }
+    }
+}

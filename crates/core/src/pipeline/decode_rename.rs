@@ -1,0 +1,176 @@
+//! The in-order middle of the pipeline: decode, rename, and dispatch.
+//!
+//! Decode and rename are pure latency latches (entries spend a cycle in
+//! each); dispatch performs the real work — register renaming and resource
+//! acquisition (ROB slot, issue-queue slot, physical register) — stalling
+//! the owning thread in order when any resource is exhausted.
+
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
+use smt_isa::{RegClass, MAX_THREADS};
+
+use super::{IqEntry, PipelineCtx, PipelineStage, STALL_ROB_FULL};
+
+/// The decode latch: moves up to `decode_width` aged entries from the fetch
+/// buffer into the decode latch.
+#[derive(Clone, Debug)]
+pub(crate) struct DecodeStage;
+
+impl PipelineStage for DecodeStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        let width = ctx.cfg.decode_width as usize;
+        let mut moved = 0;
+        while moved < width
+            && ctx.decode_latch.len() < width
+            && ctx.fetch_buffer.front().is_some_and(|e| e.entered < now)
+        {
+            let mut e = ctx.fetch_buffer.pop_front().expect("checked");
+            e.entered = now;
+            ctx.decode_latch.push_back(e);
+            moved += 1;
+        }
+    }
+}
+
+/// The rename latch: moves up to `decode_width` aged entries from the
+/// decode latch into the rename latch.
+#[derive(Clone, Debug)]
+pub(crate) struct RenameStage;
+
+impl PipelineStage for RenameStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        let width = ctx.cfg.decode_width as usize;
+        let mut moved = 0;
+        while moved < width
+            && ctx.rename_latch.len() < width
+            && ctx.decode_latch.front().is_some_and(|e| e.entered < now)
+        {
+            let mut e = ctx.decode_latch.pop_front().expect("checked");
+            e.entered = now;
+            ctx.rename_latch.push_back(e);
+            moved += 1;
+        }
+    }
+}
+
+/// The dispatch stage: renames registers and moves instructions from the
+/// rename latch into the issue queues, in order per thread, bounded by the
+/// shared ROB, the per-queue capacities, and the free physical registers.
+#[derive(Clone, Debug)]
+pub(crate) struct DispatchStage {
+    /// Reusable scratch holding the entries kept in the latch this cycle
+    /// (stalled or not yet aged). Capacity never grows past the latch bound.
+    scratch: Vec<super::LatchEntry>,
+}
+
+impl DispatchStage {
+    pub(crate) fn new(decode_width: usize) -> Self {
+        DispatchStage {
+            scratch: Vec::with_capacity(decode_width),
+        }
+    }
+}
+
+impl PipelineStage for DispatchStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        let mut budget = ctx.cfg.decode_width;
+        let mut stalled = [false; MAX_THREADS];
+        // Drain the latch through the persistent scratch buffer and refill
+        // it with the kept entries (same order), so the per-cycle filter
+        // allocates nothing.
+        let kept = &mut self.scratch;
+        debug_assert!(kept.is_empty());
+        while let Some(e) = ctx.rename_latch.pop_front() {
+            if budget == 0 || stalled[e.tid] || e.entered >= now {
+                kept.push(e);
+                continue;
+            }
+            // The window entry may have been squashed since renaming began.
+            let Some((class, dest, srcs)) = ctx.threads[e.tid]
+                .inst(e.seq)
+                .map(|i| (i.di.class, i.di.dest, i.di.srcs))
+            else {
+                // The entry evaporates: it left the pre-issue structures
+                // without moving to an issue queue.
+                ctx.preissue[e.tid] -= 1;
+                continue;
+            };
+            // Resource checks: shared ROB, issue-queue slot, physical
+            // register.
+            if ctx.rob_occ >= ctx.cfg.rob_size {
+                ctx.note_stall(e.tid, STALL_ROB_FULL);
+                stalled[e.tid] = true;
+                kept.push(e);
+                continue;
+            }
+            let (qlen, qcap) = match PipelineCtx::queue_for(class) {
+                0 => (ctx.iq_int.len(), ctx.cfg.iq_int as usize),
+                1 => (ctx.iq_ls.len(), ctx.cfg.iq_ls as usize),
+                _ => (ctx.iq_fp.len(), ctx.cfg.iq_fp as usize),
+            };
+            if qlen >= qcap {
+                stalled[e.tid] = true;
+                kept.push(e);
+                continue;
+            }
+            let need_reg = dest.map(|d| d.class());
+            let have_reg = match need_reg {
+                Some(RegClass::Int) => !ctx.free_int.is_empty(),
+                Some(RegClass::Fp) => !ctx.free_fp.is_empty(),
+                None => true,
+            };
+            if !have_reg {
+                stalled[e.tid] = true;
+                kept.push(e);
+                continue;
+            }
+
+            // Rename: sources first, then the destination.
+            let map = &ctx.threads[e.tid].rename_map;
+            let src_phys = [
+                srcs[0].map(|r| map[r.flat_index()]),
+                srcs[1].map(|r| map[r.flat_index()]),
+            ];
+            let (phys_dest, prev_phys) = match dest {
+                Some(d) => {
+                    let new = match d.class() {
+                        RegClass::Int => ctx.free_int.pop().expect("checked"),
+                        RegClass::Fp => ctx.free_fp.pop().expect("checked"),
+                    };
+                    ctx.ready_at[new as usize] = u64::MAX;
+                    let prev = ctx.threads[e.tid].rename_map[d.flat_index()];
+                    ctx.threads[e.tid].rename_map[d.flat_index()] = new;
+                    (Some(new), Some(prev))
+                }
+                None => (None, None),
+            };
+            {
+                let inst = ctx.threads[e.tid].inst_mut(e.seq).expect("present");
+                inst.dispatched = true;
+                inst.phys_dest = phys_dest;
+                inst.prev_phys = prev_phys;
+                inst.src_phys = src_phys;
+            }
+            ctx.rob_occ += 1;
+            let iq = IqEntry {
+                tid: e.tid,
+                seq: e.seq,
+                entered: now,
+            };
+            match PipelineCtx::queue_for(class) {
+                0 => ctx.iq_int.push(iq),
+                1 => ctx.iq_ls.push(iq),
+                _ => ctx.iq_fp.push(iq),
+            }
+            budget -= 1;
+        }
+        ctx.rename_latch.extend(kept.drain(..));
+    }
+}

@@ -1,0 +1,357 @@
+//! The decoupled front end: the prediction stage (engine → FTQs) and the
+//! fetch stage (FTQs → I-cache → fetch buffer), including both of the
+//! paper's fetch architectures (1.X single-port, 2.X dual-port with
+//! bank-conflict logic).
+
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
+use smt_isa::{InstClass, MAX_THREADS};
+use smt_mem::FetchOutcome;
+
+use crate::config::LongLatencyAction;
+use crate::frontend::{BranchInfo, FrontEnd, PredictedBlock, LINE_BYTES};
+use crate::thread::{FtqEntry, InFlight};
+
+use super::{
+    BankSet, LatchEntry, PipelineCtx, PipelineStage, STALL_BANK_CONFLICT, STALL_FETCH_STARVED,
+    STALL_ICACHE_MISS,
+};
+
+/// The prediction stage: serves up to `n` threads per cycle, asking the
+/// front-end engine for fetch blocks and pushing them into per-thread FTQs.
+#[derive(Clone, Debug)]
+pub(crate) struct PredictStage {
+    /// Reusable scratch for the per-cycle block list. Cleared each use; its
+    /// capacity (the FTQ depth) never grows, keeping the steady-state loop
+    /// allocation-free.
+    scratch: Vec<PredictedBlock>,
+}
+
+impl PredictStage {
+    pub(crate) fn new(ftq_depth: usize) -> Self {
+        PredictStage {
+            scratch: Vec::with_capacity(ftq_depth),
+        }
+    }
+}
+
+impl PipelineStage for PredictStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let ports = ctx.cfg.fetch_policy.threads_per_cycle as usize;
+        let width = ctx.cfg.fetch_policy.width;
+        let ftq_depth = ctx.cfg.ftq_depth as usize;
+        let gating = ctx.cfg.fetch_policy.long_latency != LongLatencyAction::None;
+        let now = ctx.cycle;
+        let order = ctx.priorities();
+        // Split the borrows by field so the engine can read the thread's
+        // program while updating its speculative state — no per-thread
+        // `Program` clone, no per-cycle block Vec.
+        let PipelineCtx {
+            frontend,
+            threads,
+            stats,
+            ..
+        } = ctx;
+        let scratch = &mut self.scratch;
+        let mut served = 0usize;
+        for &tid in order.order() {
+            if served == ports {
+                break;
+            }
+            let th = &mut threads[tid];
+            let gated = gating && th.mem_stall_until.is_some_and(|until| until > now);
+            if th.ftq.len() >= ftq_depth || gated {
+                continue;
+            }
+            let pc = th.next_fetch_pc;
+            let space = ftq_depth - th.ftq.len();
+            scratch.clear();
+            frontend.predict_blocks_into(
+                tid,
+                pc,
+                &mut th.spec,
+                th.walker.program(),
+                width,
+                space,
+                scratch,
+            );
+            debug_assert!(!scratch.is_empty() && scratch.len() <= space);
+            th.next_fetch_pc = scratch.last().expect("non-empty").block.next_fetch;
+            stats.blocks_predicted += scratch.len() as u64;
+            for &pb in scratch.iter() {
+                th.ftq.push_back(FtqEntry { pb, consumed: 0 });
+            }
+            served += 1;
+        }
+    }
+}
+
+/// The fetch stage: drains FTQ heads through the I-cache into the shared
+/// fetch buffer, under the policy's port/width budget.
+#[derive(Clone, Debug)]
+pub(crate) struct FetchStage;
+
+impl PipelineStage for FetchStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        let ports = ctx.cfg.fetch_policy.threads_per_cycle as usize;
+        let mut budget = ctx.cfg.fetch_policy.width;
+        let order = ctx.priorities();
+        let mut banks_used = BankSet::new();
+        let mut delivered_total = 0u32;
+        let mut attempted = false;
+        let mut buffer_full_seen = false;
+        let mut port = 0usize;
+        let n = ctx.threads.len();
+        // Threads whose fetch is blocked behind an I-cache miss observe an
+        // icache-miss stall this cycle (the miss was taken earlier).
+        for tid in 0..n {
+            let th = &ctx.threads[tid];
+            if !th.ftq.is_empty() && th.iblock_until.is_some_and(|r| r > now) {
+                ctx.note_stall(tid, STALL_ICACHE_MISS);
+            }
+        }
+        let mut fetch_served = [false; MAX_THREADS];
+        for &tid in order.order() {
+            if port == ports || budget == 0 {
+                break;
+            }
+            if !ctx.threads[tid].fetch_eligible(now) || ctx.gated(tid) {
+                continue;
+            }
+            if ctx.fetch_buffer.len() >= ctx.cfg.fetch_buffer as usize {
+                buffer_full_seen = true;
+                break;
+            }
+            let is_second = port > 0;
+            let (got, did_attempt) = fetch_from(ctx, tid, budget, &mut banks_used, is_second);
+            attempted |= did_attempt;
+            delivered_total += got;
+            budget -= got;
+            fetch_served[tid] = true;
+            port += 1;
+        }
+        // Threads that were fetch-ready and ungated but got no port this
+        // cycle were starved by the fetch policy (or the full buffer).
+        for (tid, &served) in fetch_served.iter().enumerate().take(n) {
+            if !served && ctx.threads[tid].fetch_eligible(now) && !ctx.gated(tid) {
+                ctx.note_stall(tid, STALL_FETCH_STARVED);
+            }
+        }
+        if attempted {
+            ctx.stats.fetch_cycles += 1;
+            ctx.stats.distribution.record(delivered_total);
+        }
+        if buffer_full_seen {
+            ctx.stats.fetch_buffer_stalls += 1;
+        }
+    }
+}
+
+/// Fetches up to `budget` instructions from `tid`'s FTQ head.
+///
+/// Returns `(instructions delivered, whether an I-cache access was
+/// attempted)`.
+fn fetch_from(
+    ctx: &mut PipelineCtx,
+    tid: usize,
+    budget: u32,
+    banks_used: &mut BankSet,
+    second_port: bool,
+) -> (u32, bool) {
+    let now = ctx.cycle;
+    let mut budget = budget;
+    let mut delivered = 0u32;
+    let mut attempted = false;
+    let mut current_group: Option<u64> = None;
+    // A port normally consumes (part of) one FTQ entry per cycle — one
+    // I-cache access. Blocks sharing a trace-cache line are the
+    // exception: the trace storage supplies them all in one access.
+    loop {
+        let room = ctx.cfg.fetch_buffer as usize - ctx.fetch_buffer.len();
+        let Some(entry) = ctx.threads[tid].ftq.front() else {
+            break;
+        };
+        let group = entry.pb.trace_group;
+        if delivered > 0 && (group.is_none() || group != current_group) {
+            break;
+        }
+        current_group = group;
+        let is_trace = group.is_some();
+        let start_pc = entry.pb.block.start.add_insts(entry.consumed as u64);
+        let want = budget.min(entry.remaining()).min(room as u32);
+        if want == 0 {
+            break;
+        }
+
+        let mut allowed = want;
+        if is_trace {
+            // Trace-cache hit: instructions come from the trace line,
+            // no conventional I-cache access or bank constraint.
+            attempted = true;
+        } else {
+            // Touch every I-cache line the delivery spans (at most a
+            // few: the per-cycle budget is ≤ 16 instructions = one line).
+            let first_line = start_pc.line(LINE_BYTES);
+            let last_line = start_pc.add_insts(want as u64 - 1).line(LINE_BYTES);
+            let mut line = first_line;
+            loop {
+                let insts_before_line = if line.raw() <= start_pc.raw() {
+                    0
+                } else {
+                    ((line.raw() - start_pc.raw()) / 4) as u32
+                };
+                let bank = line.bank(LINE_BYTES, 8);
+                if second_port && banks_used.contains(bank) {
+                    // Figure 3's bank-conflict logic: the lower-priority
+                    // thread loses the conflicting access this cycle.
+                    ctx.stats.bank_conflicts += 1;
+                    ctx.note_stall(tid, STALL_BANK_CONFLICT);
+                    allowed = allowed.min(insts_before_line);
+                    break;
+                }
+                attempted = true;
+                match ctx.mem.fetch(line, now) {
+                    FetchOutcome::Hit => {
+                        banks_used.push(bank);
+                    }
+                    FetchOutcome::Miss { ready } => {
+                        ctx.threads[tid].iblock_until = Some(ready);
+                        ctx.note_stall(tid, STALL_ICACHE_MISS);
+                        allowed = allowed.min(insts_before_line);
+                        break;
+                    }
+                    FetchOutcome::Stall => {
+                        allowed = allowed.min(insts_before_line);
+                        break;
+                    }
+                }
+                if line == last_line {
+                    break;
+                }
+                line += LINE_BYTES;
+            }
+        }
+
+        if allowed == 0 {
+            break;
+        }
+        deliver(ctx, tid, allowed);
+        delivered += allowed;
+        budget -= allowed;
+        // Continue across FTQ entries only within one trace line.
+        if !is_trace || budget == 0 {
+            break;
+        }
+        // If the thread diverged mid-trace, stop early; the remaining
+        // entries are squashed territory.
+        if ctx.threads[tid].diverged {
+            break;
+        }
+    }
+    (delivered, attempted)
+}
+
+/// Delivers `n` instructions from `tid`'s FTQ head into the window and
+/// the fetch buffer, consulting the oracle walker.
+fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
+    let now = ctx.cycle;
+    let th = &mut ctx.threads[tid];
+    let entry = *th.ftq.front().expect("caller checked");
+    let block = entry.pb.block;
+    for i in 0..n {
+        let idx_in_block = entry.consumed + i;
+        let pc = block.start.add_insts(idx_in_block as u64);
+        let is_last = idx_in_block == block.len - 1;
+        let is_end = is_last && block.end_branch.is_some();
+        let spec_next = if is_last {
+            block.next_fetch
+        } else {
+            pc.add_insts(1)
+        };
+
+        let on_oracle = !th.diverged && th.walker.pc() == pc;
+        let di = if on_oracle {
+            th.walker.next_inst()
+        } else {
+            let (spec_taken, spec_target) = if is_end {
+                let eb = block.end_branch.expect("is_end");
+                (eb.predicted_taken, eb.predicted_target)
+            } else {
+                (false, smt_isa::Addr::NULL)
+            };
+            th.walker.wrong_path(pc, spec_taken, spec_target)
+        };
+
+        let mut mispredicted = false;
+        if on_oracle && di.next_pc != spec_next {
+            mispredicted = true;
+            th.diverged = true;
+            debug_assert!(th.pending_redirect.is_none());
+            th.pending_redirect = Some(th.next_seq);
+            ctx.stats.control_mispredicts += 1;
+        }
+        // Misfetches a decoder can catch without executing: a direct
+        // unconditional branch whose (static) target disagrees with the
+        // speculative path, or a "branch" slot holding a non-branch.
+        let decode_redirect = mispredicted
+            && (matches!(
+                di.class,
+                InstClass::Branch(smt_isa::BranchKind::Jump)
+                    | InstClass::Branch(smt_isa::BranchKind::Call)
+            ) || !di.class.is_branch());
+
+        let binfo = if di.class.is_branch() || mispredicted {
+            Some(BranchInfo {
+                block_start: block.start,
+                is_end,
+                spec_taken: if is_end {
+                    block.end_branch.map(|e| e.predicted_taken).unwrap_or(false)
+                } else {
+                    false
+                },
+                spec_next,
+                mispredicted,
+                decode_redirect,
+                meta: entry.pb.meta,
+            })
+        } else {
+            None
+        };
+
+        let seq = th.next_seq;
+        th.next_seq += 1;
+        if di.wrong_path {
+            ctx.stats.fetched_wrong_path += 1;
+        }
+        ctx.stats.fetched += 1;
+        th.window.push_back(InFlight {
+            seq,
+            di,
+            binfo,
+            fetched_at: now,
+            dispatched: false,
+            issued: false,
+            done_at: 0,
+            phys_dest: None,
+            prev_phys: None,
+            src_phys: [None, None],
+        });
+        ctx.fetch_buffer.push_back(LatchEntry {
+            tid,
+            seq,
+            entered: now,
+        });
+    }
+    let e = th.ftq.front_mut().expect("caller checked");
+    e.consumed += n;
+    if e.consumed == e.pb.block.len {
+        th.ftq.pop_front();
+    }
+    // Each delivered instruction occupies one fetch-buffer slot.
+    ctx.preissue[tid] += n;
+}

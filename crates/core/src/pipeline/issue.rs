@@ -1,0 +1,170 @@
+//! The issue/execute stage: wakes ready instructions in the three issue
+//! queues, models functional-unit limits and the data cache, and arms the
+//! long-latency STALL/FLUSH mechanisms.
+
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
+use smt_isa::InstClass;
+use smt_mem::DataOutcome;
+
+use crate::config::LongLatencyAction;
+
+use super::recovery::flush_after_load;
+use super::{PipelineCtx, PipelineStage, LONG_LATENCY, STALL_ISSUE_WIDTH};
+
+/// The issue stage: one pass per issue queue (int, load/store, fp), then
+/// any FLUSH events the load/store pass requested.
+#[derive(Clone, Debug)]
+pub(crate) struct IssueStage {
+    /// Threads whose long-latency load requested a FLUSH this cycle,
+    /// processed after all queues issue (the flush mutates queues).
+    pending_flushes: Vec<(usize, u64)>,
+}
+
+impl IssueStage {
+    pub(crate) fn new(fu_ls: usize) -> Self {
+        IssueStage {
+            pending_flushes: Vec::with_capacity(fu_ls),
+        }
+    }
+}
+
+impl PipelineStage for IssueStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        self.issue_queue(ctx, 0);
+        self.issue_queue(ctx, 1);
+        self.issue_queue(ctx, 2);
+        // Take/restore rather than drain-by-value so the buffer keeps its
+        // capacity across cycles (flush_after_load never requests flushes).
+        let mut flushes = std::mem::take(&mut self.pending_flushes);
+        for &(tid, load_seq) in &flushes {
+            flush_after_load(ctx, tid, load_seq);
+        }
+        flushes.clear();
+        self.pending_flushes = flushes;
+    }
+}
+
+impl IssueStage {
+    fn issue_queue(&mut self, ctx: &mut PipelineCtx, which: usize) {
+        let now = ctx.cycle;
+        let fu_limit = match which {
+            0 => ctx.cfg.fu_int,
+            1 => ctx.cfg.fu_ls,
+            _ => ctx.cfg.fu_fp,
+        };
+        let mut queue = std::mem::take(match which {
+            0 => &mut ctx.iq_int,
+            1 => &mut ctx.iq_ls,
+            _ => &mut ctx.iq_fp,
+        });
+        // In-place two-pointer compaction: `kept` trails the read index, so
+        // surviving entries shift down in order and the queue Vec is reused
+        // without a per-cycle allocation.
+        let mut kept = 0usize;
+        let mut issued = 0u32;
+        let len = queue.len();
+        for idx in 0..len {
+            let e = queue[idx];
+            if issued == fu_limit || e.entered >= now {
+                // Entries append in dispatch order, so `entered` is
+                // non-decreasing along the queue, and an exhausted FU limit
+                // stays exhausted: the whole tail is kept verbatim.
+                if issued == fu_limit {
+                    // Aged entries left waiting behind the FU limit observe
+                    // an issue-width stall this cycle.
+                    for te in &queue[idx..len] {
+                        if te.entered < now {
+                            ctx.note_stall(te.tid, STALL_ISSUE_WIDTH);
+                        }
+                    }
+                }
+                queue.copy_within(idx..len, kept);
+                kept += len - idx;
+                break;
+            }
+            // Squashed entries evaporate.
+            let Some(inst) = ctx.threads[e.tid].inst(e.seq) else {
+                ctx.preissue[e.tid] -= 1;
+                continue;
+            };
+            let ready = inst
+                .src_phys
+                .iter()
+                .flatten()
+                .all(|&p| ctx.ready_at[p as usize] <= now);
+            if !ready {
+                queue[kept] = e;
+                kept += 1;
+                continue;
+            }
+            let class = inst.di.class;
+            let mem_addr = inst.di.mem.map(|m| m.addr);
+            let wrong_path = inst.di.wrong_path;
+            let done_at = match class {
+                InstClass::Load => {
+                    let addr = mem_addr.expect("loads carry addresses");
+                    match ctx.mem.load(addr, now) {
+                        DataOutcome::Stall => {
+                            queue[kept] = e;
+                            kept += 1;
+                            continue;
+                        }
+                        DataOutcome::Done { ready } => {
+                            let done = ready.max(now) + 1;
+                            // Long-latency (memory) miss detection for the
+                            // MISSCOUNT metric and STALL/FLUSH mechanisms.
+                            // Only correct-path loads arm the mechanisms.
+                            if done - now > LONG_LATENCY && !wrong_path {
+                                // Drop expired entries first: consumers only
+                                // ever count `> now`, and this keeps the list
+                                // bounded by the in-flight load count (so the
+                                // pre-sized capacity is never exceeded).
+                                let th = &mut ctx.threads[e.tid];
+                                th.outstanding_misses.retain(|&r| r > now);
+                                th.outstanding_misses.push(done);
+                                match ctx.cfg.fetch_policy.long_latency {
+                                    LongLatencyAction::None => {}
+                                    LongLatencyAction::Stall => {
+                                        let th = &mut ctx.threads[e.tid];
+                                        th.mem_stall_until =
+                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
+                                    }
+                                    LongLatencyAction::Flush => {
+                                        let th = &mut ctx.threads[e.tid];
+                                        th.mem_stall_until =
+                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
+                                        self.pending_flushes.push((e.tid, e.seq));
+                                    }
+                                }
+                            }
+                            done
+                        }
+                    }
+                }
+                other => now + other.default_latency(),
+            };
+            {
+                let inst = ctx.threads[e.tid].inst_mut(e.seq).expect("present");
+                inst.issued = true;
+                inst.done_at = done_at;
+                if let Some(p) = inst.phys_dest {
+                    ctx.ready_at[p as usize] = done_at;
+                }
+            }
+            issued += 1;
+            // Issued entries leave the pre-issue structures.
+            ctx.preissue[e.tid] -= 1;
+        }
+        queue.truncate(kept);
+        match which {
+            0 => ctx.iq_int = queue,
+            1 => ctx.iq_ls = queue,
+            _ => ctx.iq_fp = queue,
+        }
+    }
+}

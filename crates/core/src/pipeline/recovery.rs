@@ -1,0 +1,186 @@
+//! Mis-speculation recovery: the branch-resolution stage (redirect on
+//! mispredicted branches) and the long-latency-load FLUSH, both of which
+//! roll the window back, undo renames, purge the pre-issue structures, and
+//! restore the front end's speculative state.
+
+// The pipeline stages use `expect` to assert invariants that the stage
+// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
+// populated at dispatch). Construction is fallible and validated; once
+// built, these are genuine internal invariants, not input errors.
+// lint:allow-file(no-panic)
+
+use smt_isa::RegClass;
+
+use crate::frontend::FrontEnd;
+
+use super::{PipelineCtx, PipelineStage};
+
+/// The resolve stage: detects resolved mispredictions (decode-detectable
+/// misfetches after one stage, the rest at completion) and squashes the
+/// wrong path.
+#[derive(Clone, Debug)]
+pub(crate) struct ResolveStage;
+
+impl PipelineStage for ResolveStage {
+    fn tick(&mut self, ctx: &mut PipelineCtx) {
+        let now = ctx.cycle;
+        for tid in 0..ctx.threads.len() {
+            let Some(seq) = ctx.threads[tid].pending_redirect else {
+                continue;
+            };
+            let resolved = ctx.threads[tid]
+                .inst(seq)
+                .map(|i| {
+                    // Decode-detectable misfetches redirect as soon as the
+                    // instruction reaches decode (one stage after fetch);
+                    // everything else waits for execution.
+                    let decode_ok = i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false)
+                        && now >= i.fetched_at + 2;
+                    decode_ok || i.completed(now)
+                })
+                .unwrap_or(false);
+            if resolved {
+                squash_after(ctx, tid, seq);
+            }
+        }
+    }
+}
+
+/// Squashes everything younger than `seq` in thread `tid` and redirects
+/// its front end to the oracle path.
+pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
+    // Extract the branch's recovery info first (both payloads are
+    // `Copy`, so this is a plain read).
+    let (di, binfo) = {
+        let inst = ctx.threads[tid].inst(seq).expect("redirect target alive");
+        (inst.di, inst.binfo.expect("diverging inst carries info"))
+    };
+    // Roll the window back, youngest first, undoing renames.
+    let mut freed_rob = 0u32;
+    {
+        let th = &mut ctx.threads[tid];
+        while th.window.back().is_some_and(|b| b.seq > seq) {
+            let inst = th.window.pop_back().expect("checked");
+            ctx.stats.squashed += 1;
+            if inst.dispatched {
+                freed_rob += 1;
+                if let Some(dest) = inst.di.dest {
+                    let newp = inst.phys_dest.expect("dispatched with dest");
+                    th.rename_map[dest.flat_index()] =
+                        inst.prev_phys.expect("dispatched with dest");
+                    match dest.class() {
+                        RegClass::Int => ctx.free_int.push(newp),
+                        RegClass::Fp => ctx.free_fp.push(newp),
+                    }
+                }
+            }
+        }
+    }
+    ctx.rob_occ -= freed_rob;
+    // Every removed entry belongs to `tid`, so the length delta is the
+    // thread's pre-issue count adjustment.
+    let before = ctx.preissue_live();
+    ctx.fetch_buffer.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.decode_latch.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.rename_latch.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.iq_int.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
+    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32;
+
+    // Repair the speculative front-end state and redirect.
+    ctx.frontend.repair(&mut ctx.threads[tid].spec, &binfo, &di);
+    let th = &mut ctx.threads[tid];
+    th.ftq.clear();
+    th.diverged = false;
+    th.iblock_until = None;
+    th.pending_redirect = None;
+    // Squashed sequence numbers are reused: every structure was purged
+    // of them above, and window lookups rely on `seq` being contiguous.
+    th.next_seq = seq + 1;
+    th.next_fetch_pc = th.walker.pc();
+    debug_assert_eq!(th.next_fetch_pc, di.next_pc, "oracle redirect mismatch");
+}
+
+/// Tullsen & Brown's FLUSH: squash the thread's instructions younger
+/// than the long-latency load (from the first subsequent fetch block
+/// on), freeing the shared queues it would otherwise clog, and rewind
+/// the oracle so they are re-fetched when the miss returns.
+pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64) {
+    // A diverged thread's younger instructions are wrong-path and will
+    // be reclaimed by the normal redirect; flushing would fight it.
+    if ctx.threads[tid].diverged {
+        return;
+    }
+    // The flush boundary is the first branch after the load: its block
+    // checkpoint describes the exact front-end state to restore.
+    let boundary = {
+        let th = &ctx.threads[tid];
+        let head = match th.window.front() {
+            Some(h) => h.seq,
+            None => return,
+        };
+        let start = (load_seq + 1).max(head);
+        th.window
+            .iter()
+            .skip((start - head) as usize)
+            .find(|i| i.binfo.is_some())
+            .map(|i| (i.seq, i.binfo.as_ref().expect("checked").meta))
+    };
+    let Some((flush_seq, meta)) = boundary else {
+        return; // nothing younger worth flushing
+    };
+
+    let mut freed_rob = 0u32;
+    let mut rolled = 0u64;
+    {
+        let th = &mut ctx.threads[tid];
+        while th.window.back().is_some_and(|b| b.seq >= flush_seq) {
+            let inst = th.window.pop_back().expect("checked");
+            debug_assert!(!inst.di.wrong_path, "flush on an undiverged thread");
+            rolled += 1;
+            ctx.stats.squashed += 1;
+            if inst.dispatched {
+                freed_rob += 1;
+                if let Some(dest) = inst.di.dest {
+                    let newp = inst.phys_dest.expect("dispatched with dest");
+                    th.rename_map[dest.flat_index()] =
+                        inst.prev_phys.expect("dispatched with dest");
+                    match dest.class() {
+                        RegClass::Int => ctx.free_int.push(newp),
+                        RegClass::Fp => ctx.free_fp.push(newp),
+                    }
+                }
+            }
+        }
+    }
+    if rolled == 0 {
+        return;
+    }
+    ctx.rob_occ -= freed_rob;
+    // As in `squash_after`: all removed entries belong to `tid`.
+    let before = ctx.preissue_live();
+    ctx.fetch_buffer
+        .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.decode_latch
+        .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.rename_latch
+        .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.iq_int.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
+    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32;
+
+    let th = &mut ctx.threads[tid];
+    th.walker.rollback(rolled);
+    th.spec.hist = meta.hist;
+    th.spec.ras.restore(meta.ras);
+    th.spec.path = meta.path;
+    th.spec.stream_start = meta.stream_start;
+    th.ftq.clear();
+    th.iblock_until = None;
+    th.next_seq = flush_seq;
+    th.next_fetch_pc = th.walker.pc();
+    debug_assert!(th.pending_redirect.is_none());
+    ctx.stats.flushes += 1;
+}

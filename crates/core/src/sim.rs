@@ -14,24 +14,31 @@
 //! drains. The fetch stage implements both architectures of the paper:
 //! **1.X** (Figure 1: one thread per cycle, single I-cache port) and **2.X**
 //! (Figure 3: two threads, two ports, bank-conflict logic, merge).
+//!
+//! Each stage lives in [`crate::pipeline`] as its own `PipelineStage`
+//! struct; the `Simulator` here is the thin composition root: it builds the
+//! shared `PipelineCtx`, owns the stage structs, and ticks them in reverse
+//! pipeline order every [`Simulator::step`].
 
-// The pipeline stages use `expect` to assert invariants that the stage
-// protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
-// populated at dispatch). Construction is fallible and validated; once
-// built, these are genuine internal invariants, not input errors.
+// Construction asserts a handful of internal invariants with `expect`
+// (enough registers for the initial maps); inputs are validated first.
 // lint:allow-file(no-panic)
 
 use std::collections::VecDeque;
 
-use smt_bpred::{ObservedStream, ReturnStack};
-use smt_isa::{ArchReg, Cycle, Diagnostic, InstClass, RegClass, MAX_THREADS};
-use smt_mem::{DataOutcome, FetchOutcome, MemoryHierarchy};
+use smt_bpred::ReturnStack;
+use smt_isa::{ArchReg, Cycle, Diagnostic, MAX_THREADS};
+use smt_mem::MemoryHierarchy;
 use smt_workloads::Program;
 
-use crate::config::{FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, SimConfig};
-use crate::engine::{BranchInfo, Engine, PredictedBlock, LINE_BYTES};
+use crate::config::{FetchEngineKind, FetchPolicy, SimConfig};
+use crate::frontend::{AnyFrontEnd, FrontEnd};
 use crate::metrics::SimStats;
-use crate::thread::{FtqEntry, InFlight, PhysReg, ThreadState};
+use crate::pipeline::{
+    attribute_stalls, CommitStage, DecodeStage, DispatchStage, FetchStage, IssueStage, PipelineCtx,
+    PipelineStage, PredictStage, RenameStage, ResolveStage,
+};
+use crate::thread::{PhysReg, ThreadState};
 
 /// Error constructing a [`Simulator`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -135,110 +142,19 @@ impl SimBuilder {
     }
 }
 
-/// A data access slower than this many cycles counts as a long-latency
-/// (memory) miss for the STALL/FLUSH mechanisms and the MISSCOUNT metric —
-/// above the 10-cycle L2 hit, below the 100-cycle memory access.
-const LONG_LATENCY: u64 = 30;
-
-/// Issue-queue entry.
-#[derive(Clone, Copy, Debug)]
-struct IqEntry {
-    tid: usize,
-    seq: u64,
-    entered: Cycle,
-}
-
-/// Pipeline-latch entry.
-#[derive(Clone, Copy, Debug)]
-struct LatchEntry {
-    tid: usize,
-    seq: u64,
-    entered: Cycle,
-}
-
-/// Thread ids in fetch-priority order: a fixed-size list so the per-cycle
-/// priority computation needs no heap.
-#[derive(Clone, Copy, Debug)]
-struct Priorities {
-    tids: [usize; MAX_THREADS],
-    len: usize,
-}
-
-impl Priorities {
-    fn order(&self) -> &[usize] {
-        &self.tids[..self.len]
-    }
-}
-
-/// I-cache banks touched so far this cycle. The per-cycle fetch budget is at
-/// most 16 instructions (one 64-byte line, two if the start is unaligned) per
-/// port, so a small fixed array covers every reachable configuration.
-#[derive(Clone, Copy, Debug)]
-struct BankSet {
-    banks: [u64; 8],
-    len: usize,
-}
-
-impl BankSet {
-    fn new() -> Self {
-        BankSet {
-            banks: [0; 8],
-            len: 0,
-        }
-    }
-
-    fn contains(&self, bank: u64) -> bool {
-        self.banks[..self.len].contains(&bank)
-    }
-
-    fn push(&mut self, bank: u64) {
-        debug_assert!(self.len < self.banks.len(), "more lines than fetch width");
-        if self.len < self.banks.len() {
-            self.banks[self.len] = bank;
-            self.len += 1;
-        }
-    }
-}
-
-/// The SMT processor simulator.
+/// The SMT processor simulator: the shared pipeline context plus the eight
+/// stage structs, ticked in reverse pipeline order each cycle.
 #[derive(Clone, Debug)]
 pub struct Simulator {
-    cfg: SimConfig,
-    engine: Engine,
-    threads: Vec<ThreadState>,
-    mem: MemoryHierarchy,
-    cycle: Cycle,
-    fetch_buffer: VecDeque<LatchEntry>,
-    decode_latch: VecDeque<LatchEntry>,
-    rename_latch: VecDeque<LatchEntry>,
-    iq_int: Vec<IqEntry>,
-    iq_ls: Vec<IqEntry>,
-    iq_fp: Vec<IqEntry>,
-    /// Cycle at which statistics were last reset (for warmup exclusion).
-    stats_since: Cycle,
-    free_int: Vec<PhysReg>,
-    free_fp: Vec<PhysReg>,
-    /// Cycle at which each physical register's value is ready.
-    ready_at: Vec<Cycle>,
-    rob_occ: u32,
-    /// FLUSH requests discovered at issue, processed at the end of the
-    /// issue stage: `(thread, sequence number of the missing load)`.
-    pending_flushes: Vec<(usize, u64)>,
-    /// Reusable scratch for the prediction stage's per-cycle block list.
-    /// Cleared each use; its capacity (the FTQ depth) never grows, keeping
-    /// the steady-state loop allocation-free.
-    predict_scratch: Vec<PredictedBlock>,
-    /// Reusable scratch for the dispatch stage's kept-entry compaction
-    /// (same lifecycle as `predict_scratch`).
-    latch_scratch: Vec<LatchEntry>,
-    /// Per-thread entry count across the six pre-issue structures (fetch
-    /// buffer, decode/rename latches, three issue queues) — the ICOUNT
-    /// metric, maintained incrementally at each insert/remove so the
-    /// per-cycle priority computation does not rescan every queue. A debug
-    /// assertion in [`Simulator::priorities`] cross-checks it against the
-    /// full recount on every use.
-    preissue: [u32; MAX_THREADS],
-    stats: SimStats,
+    ctx: PipelineCtx,
+    resolve: ResolveStage,
+    commit: CommitStage,
+    issue: IssueStage,
+    dispatch: DispatchStage,
+    rename: RenameStage,
+    decode: DecodeStage,
+    fetch: FetchStage,
+    predict: PredictStage,
 }
 
 // The experiment harness moves each sweep cell's `Simulator` (and the
@@ -274,9 +190,9 @@ impl Simulator {
         if smt_isa::has_errors(&diags) {
             return Err(BuildError::InvalidConfig(diags));
         }
-        let engine =
-            Engine::build(engine_kind, &cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
-        let hist_bits = engine.history_bits();
+        let frontend = AnyFrontEnd::build(engine_kind, &cfg)
+            .map_err(|d| BuildError::InvalidConfig(vec![d]))?;
+        let hist_bits = frontend.history_bits();
 
         let total_regs = (cfg.regs_int + cfg.regs_fp) as usize;
         let mut free_int: Vec<PhysReg> = (0..cfg.regs_int).rev().collect();
@@ -318,17 +234,20 @@ impl Simulator {
         let mem = MemoryHierarchy::new(mem_cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
 
         let width = cfg.fetch_policy.width;
+        let ftq_depth = cfg.ftq_depth as usize;
+        let decode_width = cfg.decode_width as usize;
+        let fu_ls = cfg.fu_ls as usize;
         // Every queue is built at its configuration-derived high-water mark,
         // so the steady-state cycle loop never grows (= never reallocates)
         // any of them.
-        Ok(Simulator {
-            engine,
+        let ctx = PipelineCtx {
+            frontend,
             mem,
             threads,
             cycle: 0,
             fetch_buffer: VecDeque::with_capacity(cfg.fetch_buffer as usize),
-            decode_latch: VecDeque::with_capacity(cfg.decode_width as usize),
-            rename_latch: VecDeque::with_capacity(cfg.decode_width as usize),
+            decode_latch: VecDeque::with_capacity(decode_width),
+            rename_latch: VecDeque::with_capacity(decode_width),
             iq_int: Vec::with_capacity(cfg.iq_int as usize),
             iq_ls: Vec::with_capacity(cfg.iq_ls as usize),
             iq_fp: Vec::with_capacity(cfg.iq_fp as usize),
@@ -337,52 +256,61 @@ impl Simulator {
             free_fp,
             ready_at,
             rob_occ: 0,
-            // Only issued loads request flushes, at most one per L/S unit.
-            pending_flushes: Vec::with_capacity(cfg.fu_ls as usize),
-            predict_scratch: Vec::with_capacity(cfg.ftq_depth as usize),
-            latch_scratch: Vec::with_capacity(cfg.decode_width as usize),
             preissue: [0; MAX_THREADS],
+            stall_flags: [0; MAX_THREADS],
             stats: SimStats::new(width),
             cfg,
+        };
+        Ok(Simulator {
+            ctx,
+            resolve: ResolveStage,
+            commit: CommitStage,
+            // Only issued loads request flushes, at most one per L/S unit.
+            issue: IssueStage::new(fu_ls),
+            dispatch: DispatchStage::new(decode_width),
+            rename: RenameStage,
+            decode: DecodeStage,
+            fetch: FetchStage,
+            predict: PredictStage::new(ftq_depth),
         })
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &SimConfig {
-        &self.cfg
+        &self.ctx.cfg
     }
 
     /// The fetch engine in force.
     pub fn engine_kind(&self) -> FetchEngineKind {
-        self.engine.kind()
+        self.ctx.frontend.kind()
     }
 
     /// The fetch engine itself (predictor structures and their statistics).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    pub fn front_end(&self) -> &AnyFrontEnd {
+        &self.ctx.frontend
     }
 
     /// Number of hardware threads.
     pub fn num_threads(&self) -> usize {
-        self.threads.len()
+        self.ctx.threads.len()
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> Cycle {
-        self.cycle
+        self.ctx.cycle
     }
 
     /// Statistics since construction or the last [`Simulator::reset_stats`].
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        &self.ctx.stats
     }
 
     /// Clears the statistics while keeping all microarchitectural state
     /// (predictor tables, caches, in-flight instructions) — the standard way
     /// to exclude warmup from measurements.
     pub fn reset_stats(&mut self) {
-        self.stats = SimStats::new(self.cfg.fetch_policy.width);
-        self.stats_since = self.cycle;
+        self.ctx.stats = SimStats::new(self.ctx.cfg.fetch_policy.width);
+        self.ctx.stats_since = self.ctx.cycle;
     }
 
     /// Runs for `n` cycles and returns the cumulative statistics.
@@ -393,1049 +321,44 @@ impl Simulator {
         for _ in 0..n {
             self.step();
         }
-        &self.stats
+        &self.ctx.stats
     }
 
     /// Runs until `n` total instructions have committed (or `max_cycles`
     /// elapse), returning the cumulative statistics (borrowed, like
     /// [`Simulator::run_cycles`]).
     pub fn run_insts(&mut self, n: u64, max_cycles: u64) -> &SimStats {
-        let start = self.cycle;
-        while self.stats.total_committed() < n && self.cycle - start < max_cycles {
+        let start = self.ctx.cycle;
+        while self.ctx.stats.total_committed() < n && self.ctx.cycle - start < max_cycles {
             self.step();
         }
-        &self.stats
+        &self.ctx.stats
     }
 
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
+        let ctx = &mut self.ctx;
         // Resolve must precede commit: a mispredicted branch that completes
         // this cycle must squash and redirect before it can retire.
-        self.resolve_stage();
-        self.commit_stage();
-        self.issue_stage();
-        self.dispatch_stage();
-        self.rename_stage();
-        self.decode_stage();
-        self.fetch_stage();
-        self.predict_stage();
-        self.cycle += 1;
-        self.stats.cycles = self.cycle - self.stats_since;
+        self.resolve.tick(ctx);
+        self.commit.tick(ctx);
+        self.issue.tick(ctx);
+        self.dispatch.tick(ctx);
+        self.rename.tick(ctx);
+        self.decode.tick(ctx);
+        self.fetch.tick(ctx);
+        self.predict.tick(ctx);
+        // Charge each thread's cycle to its most severe observed stall.
+        attribute_stalls(ctx);
+        ctx.cycle += 1;
+        ctx.stats.cycles = ctx.cycle - ctx.stats_since;
     }
 
-    // ----- priorities -------------------------------------------------
-
-    /// Total entries across the six pre-issue structures (the quantity the
-    /// incremental `preissue` counters track, summed over threads).
-    fn preissue_live(&self) -> usize {
-        self.fetch_buffer.len()
-            + self.decode_latch.len()
-            + self.rename_latch.len()
-            + self.iq_int.len()
-            + self.iq_ls.len()
-            + self.iq_fp.len()
-    }
-
-    /// Per-thread pre-issue instruction counts recomputed from the queues —
-    /// the reference the incremental `preissue` counters are checked against
-    /// (debug builds) on every ICOUNT priority computation.
-    fn icounts(&self) -> [u32; MAX_THREADS] {
-        let mut c = [0u32; MAX_THREADS];
-        for e in self
-            .fetch_buffer
-            .iter()
-            .chain(self.decode_latch.iter())
-            .chain(self.rename_latch.iter())
-        {
-            c[e.tid] += 1;
-        }
-        for e in self
-            .iq_int
-            .iter()
-            .chain(self.iq_ls.iter())
-            .chain(self.iq_fp.iter())
-        {
-            c[e.tid] += 1;
-        }
-        c
-    }
-
-    /// Per-thread pre-issue *branch* counts (the BRCOUNT metric).
-    fn brcounts(&self) -> [u32; MAX_THREADS] {
-        let mut c = [0u32; MAX_THREADS];
-        let mut count = |tid: usize, seq: u64| {
-            if let Some(i) = self.threads[tid].inst(seq) {
-                if i.di.is_branch() {
-                    c[tid] += 1;
-                }
-            }
-        };
-        for e in self
-            .fetch_buffer
-            .iter()
-            .chain(self.decode_latch.iter())
-            .chain(self.rename_latch.iter())
-        {
-            count(e.tid, e.seq);
-        }
-        for e in self
-            .iq_int
-            .iter()
-            .chain(self.iq_ls.iter())
-            .chain(self.iq_fp.iter())
-        {
-            count(e.tid, e.seq);
-        }
-        c
-    }
-
-    /// Thread ids in fetch-priority order under the configured policy.
-    ///
-    /// Each thread's sort key is packed into one `u64` — the policy metric
-    /// in the high bits, the *rotated* thread id below it, the thread id
-    /// itself in the low byte for recovery — so the per-cycle sort compares
-    /// single words. The rotated id is unique per thread, so keys are unique
-    /// and the unstable (allocation-free) sort is deterministic; the metric
-    /// is bounded by the window size (≪ 2⁴⁸), so the fields never collide.
-    fn priorities(&self) -> Priorities {
-        let n = self.threads.len();
-        let mut tids = [0usize; MAX_THREADS];
-        if n == 1 {
-            return Priorities { tids, len: 1 };
-        }
-        let rot = (self.cycle as usize) % n;
-        let now = self.cycle;
-        let pack = |metric: u64, t: usize| {
-            debug_assert!(metric < 1 << 48);
-            (metric << 16) | ((((t + n - rot) % n) as u64) << 8) | t as u64
-        };
-        let mut keys = [0u64; MAX_THREADS];
-        match self.cfg.fetch_policy.kind {
-            PolicyKind::Icount => {
-                debug_assert_eq!(
-                    self.icounts(),
-                    self.preissue,
-                    "incremental ICOUNT counters diverged from the queues"
-                );
-                for (t, k) in keys.iter_mut().enumerate().take(n) {
-                    *k = pack(self.preissue[t] as u64, t);
-                }
-            }
-            PolicyKind::RoundRobin => {
-                // A pure rotation: construct the order directly.
-                for (i, slot) in tids.iter_mut().enumerate().take(n) {
-                    *slot = (rot + i) % n;
-                }
-                return Priorities { tids, len: n };
-            }
-            PolicyKind::BrCount => {
-                let bc = self.brcounts();
-                for (t, k) in keys.iter_mut().enumerate().take(n) {
-                    *k = pack(bc[t] as u64, t);
-                }
-            }
-            PolicyKind::MissCount => {
-                for (t, th) in self.threads.iter().enumerate() {
-                    let mc = th.outstanding_misses.iter().filter(|&&r| r > now).count();
-                    keys[t] = pack(mc as u64, t);
-                }
-            }
-        }
-        keys[..n].sort_unstable();
-        for (slot, &k) in tids.iter_mut().zip(keys.iter()).take(n) {
-            *slot = (k & 0xff) as usize;
-        }
-        Priorities { tids, len: n }
-    }
-
-    /// Whether STALL/FLUSH gating blocks `tid` from front-end service.
-    fn gated(&self, tid: usize) -> bool {
-        self.cfg.fetch_policy.long_latency != LongLatencyAction::None
-            && self.threads[tid]
-                .mem_stall_until
-                .is_some_and(|until| until > self.cycle)
-    }
-
-    // ----- predict stage ----------------------------------------------
-
-    fn predict_stage(&mut self) {
-        let ports = self.cfg.fetch_policy.threads_per_cycle as usize;
-        let width = self.cfg.fetch_policy.width;
-        let ftq_depth = self.cfg.ftq_depth as usize;
-        let gating = self.cfg.fetch_policy.long_latency != LongLatencyAction::None;
-        let now = self.cycle;
-        let order = self.priorities();
-        // Split the borrows by field so the engine can read the thread's
-        // program while updating its speculative state — no per-thread
-        // `Program` clone, no per-cycle block Vec.
-        let Simulator {
-            engine,
-            threads,
-            predict_scratch,
-            stats,
-            ..
-        } = self;
-        let mut served = 0usize;
-        for &tid in order.order() {
-            if served == ports {
-                break;
-            }
-            let th = &mut threads[tid];
-            let gated = gating && th.mem_stall_until.is_some_and(|until| until > now);
-            if th.ftq.len() >= ftq_depth || gated {
-                continue;
-            }
-            let pc = th.next_fetch_pc;
-            let space = ftq_depth - th.ftq.len();
-            predict_scratch.clear();
-            engine.predict_blocks_into(
-                tid,
-                pc,
-                &mut th.spec,
-                th.walker.program(),
-                width,
-                space,
-                predict_scratch,
-            );
-            debug_assert!(!predict_scratch.is_empty() && predict_scratch.len() <= space);
-            th.next_fetch_pc = predict_scratch.last().expect("non-empty").block.next_fetch;
-            stats.blocks_predicted += predict_scratch.len() as u64;
-            for &pb in predict_scratch.iter() {
-                th.ftq.push_back(FtqEntry { pb, consumed: 0 });
-            }
-            served += 1;
-        }
-    }
-
-    // ----- fetch stage --------------------------------------------------
-
-    fn fetch_stage(&mut self) {
-        let now = self.cycle;
-        let ports = self.cfg.fetch_policy.threads_per_cycle as usize;
-        let mut budget = self.cfg.fetch_policy.width;
-        let order = self.priorities();
-        let mut banks_used = BankSet::new();
-        let mut delivered_total = 0u32;
-        let mut attempted = false;
-        let mut buffer_full_seen = false;
-        let mut port = 0usize;
-        for &tid in order.order() {
-            if port == ports || budget == 0 {
-                break;
-            }
-            if !self.threads[tid].fetch_eligible(now) || self.gated(tid) {
-                continue;
-            }
-            if self.fetch_buffer.len() >= self.cfg.fetch_buffer as usize {
-                buffer_full_seen = true;
-                break;
-            }
-            let is_second = port > 0;
-            let (got, did_attempt) = self.fetch_from(tid, budget, &mut banks_used, is_second);
-            attempted |= did_attempt;
-            delivered_total += got;
-            budget -= got;
-            port += 1;
-        }
-        if attempted {
-            self.stats.fetch_cycles += 1;
-            self.stats.distribution.record(delivered_total);
-        }
-        if buffer_full_seen {
-            self.stats.fetch_buffer_stalls += 1;
-        }
-    }
-
-    /// Fetches up to `budget` instructions from `tid`'s FTQ head.
-    ///
-    /// Returns `(instructions delivered, whether an I-cache access was
-    /// attempted)`.
-    fn fetch_from(
-        &mut self,
-        tid: usize,
-        budget: u32,
-        banks_used: &mut BankSet,
-        second_port: bool,
-    ) -> (u32, bool) {
-        let now = self.cycle;
-        let mut budget = budget;
-        let mut delivered = 0u32;
-        let mut attempted = false;
-        let mut current_group: Option<u64> = None;
-        // A port normally consumes (part of) one FTQ entry per cycle — one
-        // I-cache access. Blocks sharing a trace-cache line are the
-        // exception: the trace storage supplies them all in one access.
-        loop {
-            let room = self.cfg.fetch_buffer as usize - self.fetch_buffer.len();
-            let Some(entry) = self.threads[tid].ftq.front() else {
-                break;
-            };
-            let group = entry.pb.trace_group;
-            if delivered > 0 && (group.is_none() || group != current_group) {
-                break;
-            }
-            current_group = group;
-            let is_trace = group.is_some();
-            let start_pc = entry.pb.block.start.add_insts(entry.consumed as u64);
-            let want = budget.min(entry.remaining()).min(room as u32);
-            if want == 0 {
-                break;
-            }
-
-            let mut allowed = want;
-            if is_trace {
-                // Trace-cache hit: instructions come from the trace line,
-                // no conventional I-cache access or bank constraint.
-                attempted = true;
-            } else {
-                // Touch every I-cache line the delivery spans (at most a
-                // few: the per-cycle budget is ≤ 16 instructions = one line).
-                let first_line = start_pc.line(LINE_BYTES);
-                let last_line = start_pc.add_insts(want as u64 - 1).line(LINE_BYTES);
-                let mut line = first_line;
-                loop {
-                    let insts_before_line = if line.raw() <= start_pc.raw() {
-                        0
-                    } else {
-                        ((line.raw() - start_pc.raw()) / 4) as u32
-                    };
-                    let bank = line.bank(LINE_BYTES, 8);
-                    if second_port && banks_used.contains(bank) {
-                        // Figure 3's bank-conflict logic: the lower-priority
-                        // thread loses the conflicting access this cycle.
-                        self.stats.bank_conflicts += 1;
-                        allowed = allowed.min(insts_before_line);
-                        break;
-                    }
-                    attempted = true;
-                    match self.mem.fetch(line, now) {
-                        FetchOutcome::Hit => {
-                            banks_used.push(bank);
-                        }
-                        FetchOutcome::Miss { ready } => {
-                            self.threads[tid].iblock_until = Some(ready);
-                            allowed = allowed.min(insts_before_line);
-                            break;
-                        }
-                        FetchOutcome::Stall => {
-                            allowed = allowed.min(insts_before_line);
-                            break;
-                        }
-                    }
-                    if line == last_line {
-                        break;
-                    }
-                    line += LINE_BYTES;
-                }
-            }
-
-            if allowed == 0 {
-                break;
-            }
-            self.deliver(tid, allowed);
-            delivered += allowed;
-            budget -= allowed;
-            // Continue across FTQ entries only within one trace line.
-            if !is_trace || budget == 0 {
-                break;
-            }
-            // If the thread diverged mid-trace, stop early; the remaining
-            // entries are squashed territory.
-            if self.threads[tid].diverged {
-                break;
-            }
-        }
-        (delivered, attempted)
-    }
-
-    /// Delivers `n` instructions from `tid`'s FTQ head into the window and
-    /// the fetch buffer, consulting the oracle walker.
-    fn deliver(&mut self, tid: usize, n: u32) {
-        let now = self.cycle;
-        let th = &mut self.threads[tid];
-        let entry = *th.ftq.front().expect("caller checked");
-        let block = entry.pb.block;
-        for i in 0..n {
-            let idx_in_block = entry.consumed + i;
-            let pc = block.start.add_insts(idx_in_block as u64);
-            let is_last = idx_in_block == block.len - 1;
-            let is_end = is_last && block.end_branch.is_some();
-            let spec_next = if is_last {
-                block.next_fetch
-            } else {
-                pc.add_insts(1)
-            };
-
-            let on_oracle = !th.diverged && th.walker.pc() == pc;
-            let di = if on_oracle {
-                th.walker.next_inst()
-            } else {
-                let (spec_taken, spec_target) = if is_end {
-                    let eb = block.end_branch.expect("is_end");
-                    (eb.predicted_taken, eb.predicted_target)
-                } else {
-                    (false, smt_isa::Addr::NULL)
-                };
-                th.walker.wrong_path(pc, spec_taken, spec_target)
-            };
-
-            let mut mispredicted = false;
-            if on_oracle && di.next_pc != spec_next {
-                mispredicted = true;
-                th.diverged = true;
-                debug_assert!(th.pending_redirect.is_none());
-                th.pending_redirect = Some(th.next_seq);
-                self.stats.control_mispredicts += 1;
-            }
-            // Misfetches a decoder can catch without executing: a direct
-            // unconditional branch whose (static) target disagrees with the
-            // speculative path, or a "branch" slot holding a non-branch.
-            let decode_redirect = mispredicted
-                && (matches!(
-                    di.class,
-                    InstClass::Branch(smt_isa::BranchKind::Jump)
-                        | InstClass::Branch(smt_isa::BranchKind::Call)
-                ) || !di.class.is_branch());
-
-            let binfo = if di.class.is_branch() || mispredicted {
-                Some(BranchInfo {
-                    block_start: block.start,
-                    is_end,
-                    spec_taken: if is_end {
-                        block.end_branch.map(|e| e.predicted_taken).unwrap_or(false)
-                    } else {
-                        false
-                    },
-                    spec_next,
-                    mispredicted,
-                    decode_redirect,
-                    meta: entry.pb.meta,
-                })
-            } else {
-                None
-            };
-
-            let seq = th.next_seq;
-            th.next_seq += 1;
-            if di.wrong_path {
-                self.stats.fetched_wrong_path += 1;
-            }
-            self.stats.fetched += 1;
-            th.window.push_back(InFlight {
-                seq,
-                di,
-                binfo,
-                fetched_at: now,
-                dispatched: false,
-                issued: false,
-                done_at: 0,
-                phys_dest: None,
-                prev_phys: None,
-                src_phys: [None, None],
-            });
-            self.fetch_buffer.push_back(LatchEntry {
-                tid,
-                seq,
-                entered: now,
-            });
-        }
-        let e = th.ftq.front_mut().expect("caller checked");
-        e.consumed += n;
-        if e.consumed == e.pb.block.len {
-            th.ftq.pop_front();
-        }
-        // Each delivered instruction occupies one fetch-buffer slot.
-        self.preissue[tid] += n;
-    }
-
-    // ----- decode / rename ----------------------------------------------
-
-    fn decode_stage(&mut self) {
-        let now = self.cycle;
-        let width = self.cfg.decode_width as usize;
-        let mut moved = 0;
-        while moved < width
-            && self.decode_latch.len() < width
-            && self.fetch_buffer.front().is_some_and(|e| e.entered < now)
-        {
-            let mut e = self.fetch_buffer.pop_front().expect("checked");
-            e.entered = now;
-            self.decode_latch.push_back(e);
-            moved += 1;
-        }
-    }
-
-    fn rename_stage(&mut self) {
-        let now = self.cycle;
-        let width = self.cfg.decode_width as usize;
-        let mut moved = 0;
-        while moved < width
-            && self.rename_latch.len() < width
-            && self.decode_latch.front().is_some_and(|e| e.entered < now)
-        {
-            let mut e = self.decode_latch.pop_front().expect("checked");
-            e.entered = now;
-            self.rename_latch.push_back(e);
-            moved += 1;
-        }
-    }
-
-    // ----- dispatch -------------------------------------------------------
-
-    fn queue_for(class: InstClass) -> usize {
-        match class {
-            InstClass::Load | InstClass::Store => 1,
-            InstClass::FpAlu => 2,
-            _ => 0,
-        }
-    }
-
-    fn dispatch_stage(&mut self) {
-        let now = self.cycle;
-        let mut budget = self.cfg.decode_width;
-        let mut stalled = [false; MAX_THREADS];
-        // Drain the latch through the persistent scratch buffer and refill
-        // it with the kept entries (same order), so the per-cycle filter
-        // allocates nothing.
-        let mut kept = std::mem::take(&mut self.latch_scratch);
-        debug_assert!(kept.is_empty());
-        while let Some(e) = self.rename_latch.pop_front() {
-            if budget == 0 || stalled[e.tid] || e.entered >= now {
-                kept.push(e);
-                continue;
-            }
-            // The window entry may have been squashed since renaming began.
-            let Some((class, dest, srcs)) = self.threads[e.tid]
-                .inst(e.seq)
-                .map(|i| (i.di.class, i.di.dest, i.di.srcs))
-            else {
-                // The entry evaporates: it left the pre-issue structures
-                // without moving to an issue queue.
-                self.preissue[e.tid] -= 1;
-                continue;
-            };
-            // Resource checks: shared ROB, issue-queue slot, physical
-            // register.
-            if self.rob_occ >= self.cfg.rob_size {
-                stalled[e.tid] = true;
-                kept.push(e);
-                continue;
-            }
-            let (qlen, qcap) = match Self::queue_for(class) {
-                0 => (self.iq_int.len(), self.cfg.iq_int as usize),
-                1 => (self.iq_ls.len(), self.cfg.iq_ls as usize),
-                _ => (self.iq_fp.len(), self.cfg.iq_fp as usize),
-            };
-            if qlen >= qcap {
-                stalled[e.tid] = true;
-                kept.push(e);
-                continue;
-            }
-            let need_reg = dest.map(|d| d.class());
-            let have_reg = match need_reg {
-                Some(RegClass::Int) => !self.free_int.is_empty(),
-                Some(RegClass::Fp) => !self.free_fp.is_empty(),
-                None => true,
-            };
-            if !have_reg {
-                stalled[e.tid] = true;
-                kept.push(e);
-                continue;
-            }
-
-            // Rename: sources first, then the destination.
-            let map = &self.threads[e.tid].rename_map;
-            let src_phys = [
-                srcs[0].map(|r| map[r.flat_index()]),
-                srcs[1].map(|r| map[r.flat_index()]),
-            ];
-            let (phys_dest, prev_phys) = match dest {
-                Some(d) => {
-                    let new = match d.class() {
-                        RegClass::Int => self.free_int.pop().expect("checked"),
-                        RegClass::Fp => self.free_fp.pop().expect("checked"),
-                    };
-                    self.ready_at[new as usize] = u64::MAX;
-                    let prev = self.threads[e.tid].rename_map[d.flat_index()];
-                    self.threads[e.tid].rename_map[d.flat_index()] = new;
-                    (Some(new), Some(prev))
-                }
-                None => (None, None),
-            };
-            {
-                let inst = self.threads[e.tid].inst_mut(e.seq).expect("present");
-                inst.dispatched = true;
-                inst.phys_dest = phys_dest;
-                inst.prev_phys = prev_phys;
-                inst.src_phys = src_phys;
-            }
-            self.rob_occ += 1;
-            let iq = IqEntry {
-                tid: e.tid,
-                seq: e.seq,
-                entered: now,
-            };
-            match Self::queue_for(class) {
-                0 => self.iq_int.push(iq),
-                1 => self.iq_ls.push(iq),
-                _ => self.iq_fp.push(iq),
-            }
-            budget -= 1;
-        }
-        self.rename_latch.extend(kept.drain(..));
-        self.latch_scratch = kept;
-    }
-
-    // ----- issue / execute ------------------------------------------------
-
-    fn issue_stage(&mut self) {
-        self.issue_queue(0);
-        self.issue_queue(1);
-        self.issue_queue(2);
-        // Take/restore rather than drain-by-value so the buffer keeps its
-        // capacity across cycles (flush_after_load never requests flushes).
-        let mut flushes = std::mem::take(&mut self.pending_flushes);
-        for &(tid, load_seq) in &flushes {
-            self.flush_after_load(tid, load_seq);
-        }
-        debug_assert!(self.pending_flushes.is_empty());
-        flushes.clear();
-        self.pending_flushes = flushes;
-    }
-
-    /// Tullsen & Brown's FLUSH: squash the thread's instructions younger
-    /// than the long-latency load (from the first subsequent fetch block
-    /// on), freeing the shared queues it would otherwise clog, and rewind
-    /// the oracle so they are re-fetched when the miss returns.
-    fn flush_after_load(&mut self, tid: usize, load_seq: u64) {
-        // A diverged thread's younger instructions are wrong-path and will
-        // be reclaimed by the normal redirect; flushing would fight it.
-        if self.threads[tid].diverged {
-            return;
-        }
-        // The flush boundary is the first branch after the load: its block
-        // checkpoint describes the exact front-end state to restore.
-        let boundary = {
-            let th = &self.threads[tid];
-            let head = match th.window.front() {
-                Some(h) => h.seq,
-                None => return,
-            };
-            let start = (load_seq + 1).max(head);
-            th.window
-                .iter()
-                .skip((start - head) as usize)
-                .find(|i| i.binfo.is_some())
-                .map(|i| (i.seq, i.binfo.as_ref().expect("checked").meta))
-        };
-        let Some((flush_seq, meta)) = boundary else {
-            return; // nothing younger worth flushing
-        };
-
-        let mut freed_rob = 0u32;
-        let mut rolled = 0u64;
-        {
-            let th = &mut self.threads[tid];
-            while th.window.back().is_some_and(|b| b.seq >= flush_seq) {
-                let inst = th.window.pop_back().expect("checked");
-                debug_assert!(!inst.di.wrong_path, "flush on an undiverged thread");
-                rolled += 1;
-                self.stats.squashed += 1;
-                if inst.dispatched {
-                    freed_rob += 1;
-                    if let Some(dest) = inst.di.dest {
-                        let newp = inst.phys_dest.expect("dispatched with dest");
-                        th.rename_map[dest.flat_index()] =
-                            inst.prev_phys.expect("dispatched with dest");
-                        match dest.class() {
-                            RegClass::Int => self.free_int.push(newp),
-                            RegClass::Fp => self.free_fp.push(newp),
-                        }
-                    }
-                }
-            }
-        }
-        if rolled == 0 {
-            return;
-        }
-        self.rob_occ -= freed_rob;
-        // As in `squash_after`: all removed entries belong to `tid`.
-        let before = self.preissue_live();
-        self.fetch_buffer
-            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.decode_latch
-            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.rename_latch
-            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.iq_int
-            .retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-        self.preissue[tid] -= (before - self.preissue_live()) as u32;
-
-        let th = &mut self.threads[tid];
-        th.walker.rollback(rolled);
-        th.spec.hist = meta.hist;
-        th.spec.ras.restore(meta.ras);
-        th.spec.path = meta.path;
-        th.spec.stream_start = meta.stream_start;
-        th.ftq.clear();
-        th.iblock_until = None;
-        th.next_seq = flush_seq;
-        th.next_fetch_pc = th.walker.pc();
-        debug_assert!(th.pending_redirect.is_none());
-        self.stats.flushes += 1;
-    }
-
-    fn issue_queue(&mut self, which: usize) {
-        let now = self.cycle;
-        let fu_limit = match which {
-            0 => self.cfg.fu_int,
-            1 => self.cfg.fu_ls,
-            _ => self.cfg.fu_fp,
-        };
-        let mut queue = std::mem::take(match which {
-            0 => &mut self.iq_int,
-            1 => &mut self.iq_ls,
-            _ => &mut self.iq_fp,
-        });
-        // In-place two-pointer compaction: `kept` trails the read index, so
-        // surviving entries shift down in order and the queue Vec is reused
-        // without a per-cycle allocation.
-        let mut kept = 0usize;
-        let mut issued = 0u32;
-        let len = queue.len();
-        for idx in 0..len {
-            let e = queue[idx];
-            if issued == fu_limit || e.entered >= now {
-                // Entries append in dispatch order, so `entered` is
-                // non-decreasing along the queue, and an exhausted FU limit
-                // stays exhausted: the whole tail is kept verbatim.
-                queue.copy_within(idx..len, kept);
-                kept += len - idx;
-                break;
-            }
-            // Squashed entries evaporate.
-            let Some(inst) = self.threads[e.tid].inst(e.seq) else {
-                self.preissue[e.tid] -= 1;
-                continue;
-            };
-            let ready = inst
-                .src_phys
-                .iter()
-                .flatten()
-                .all(|&p| self.ready_at[p as usize] <= now);
-            if !ready {
-                queue[kept] = e;
-                kept += 1;
-                continue;
-            }
-            let class = inst.di.class;
-            let mem_addr = inst.di.mem.map(|m| m.addr);
-            let wrong_path = inst.di.wrong_path;
-            let done_at = match class {
-                InstClass::Load => {
-                    let addr = mem_addr.expect("loads carry addresses");
-                    match self.mem.load(addr, now) {
-                        DataOutcome::Stall => {
-                            queue[kept] = e;
-                            kept += 1;
-                            continue;
-                        }
-                        DataOutcome::Done { ready } => {
-                            let done = ready.max(now) + 1;
-                            // Long-latency (memory) miss detection for the
-                            // MISSCOUNT metric and STALL/FLUSH mechanisms.
-                            // Only correct-path loads arm the mechanisms.
-                            if done - now > LONG_LATENCY && !wrong_path {
-                                // Drop expired entries first: consumers only
-                                // ever count `> now`, and this keeps the list
-                                // bounded by the in-flight load count (so the
-                                // pre-sized capacity is never exceeded).
-                                let th = &mut self.threads[e.tid];
-                                th.outstanding_misses.retain(|&r| r > now);
-                                th.outstanding_misses.push(done);
-                                match self.cfg.fetch_policy.long_latency {
-                                    LongLatencyAction::None => {}
-                                    LongLatencyAction::Stall => {
-                                        let th = &mut self.threads[e.tid];
-                                        th.mem_stall_until =
-                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
-                                    }
-                                    LongLatencyAction::Flush => {
-                                        let th = &mut self.threads[e.tid];
-                                        th.mem_stall_until =
-                                            Some(th.mem_stall_until.unwrap_or(0).max(done));
-                                        self.pending_flushes.push((e.tid, e.seq));
-                                    }
-                                }
-                            }
-                            done
-                        }
-                    }
-                }
-                other => now + other.default_latency(),
-            };
-            {
-                let inst = self.threads[e.tid].inst_mut(e.seq).expect("present");
-                inst.issued = true;
-                inst.done_at = done_at;
-                if let Some(p) = inst.phys_dest {
-                    self.ready_at[p as usize] = done_at;
-                }
-            }
-            issued += 1;
-            // Issued entries leave the pre-issue structures.
-            self.preissue[e.tid] -= 1;
-        }
-        queue.truncate(kept);
-        match which {
-            0 => self.iq_int = queue,
-            1 => self.iq_ls = queue,
-            _ => self.iq_fp = queue,
-        }
-    }
-
-    // ----- resolve (branch redirect) ---------------------------------------
-
-    fn resolve_stage(&mut self) {
-        let now = self.cycle;
-        for tid in 0..self.threads.len() {
-            let Some(seq) = self.threads[tid].pending_redirect else {
-                continue;
-            };
-            let resolved = self.threads[tid]
-                .inst(seq)
-                .map(|i| {
-                    // Decode-detectable misfetches redirect as soon as the
-                    // instruction reaches decode (one stage after fetch);
-                    // everything else waits for execution.
-                    let decode_ok = i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false)
-                        && now >= i.fetched_at + 2;
-                    decode_ok || i.completed(now)
-                })
-                .unwrap_or(false);
-            if resolved {
-                self.squash_after(tid, seq);
-            }
-        }
-    }
-
-    /// Squashes everything younger than `seq` in thread `tid` and redirects
-    /// its front end to the oracle path.
-    fn squash_after(&mut self, tid: usize, seq: u64) {
-        // Extract the branch's recovery info first (both payloads are
-        // `Copy`, so this is a plain read).
-        let (di, binfo) = {
-            let inst = self.threads[tid].inst(seq).expect("redirect target alive");
-            (inst.di, inst.binfo.expect("diverging inst carries info"))
-        };
-        // Roll the window back, youngest first, undoing renames.
-        let mut freed_rob = 0u32;
-        {
-            let th = &mut self.threads[tid];
-            while th.window.back().is_some_and(|b| b.seq > seq) {
-                let inst = th.window.pop_back().expect("checked");
-                self.stats.squashed += 1;
-                if inst.dispatched {
-                    freed_rob += 1;
-                    if let Some(dest) = inst.di.dest {
-                        let newp = inst.phys_dest.expect("dispatched with dest");
-                        th.rename_map[dest.flat_index()] =
-                            inst.prev_phys.expect("dispatched with dest");
-                        match dest.class() {
-                            RegClass::Int => self.free_int.push(newp),
-                            RegClass::Fp => self.free_fp.push(newp),
-                        }
-                    }
-                }
-            }
-        }
-        self.rob_occ -= freed_rob;
-        // Every removed entry belongs to `tid`, so the length delta is the
-        // thread's pre-issue count adjustment.
-        let before = self.preissue_live();
-        self.fetch_buffer.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.decode_latch.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.rename_latch.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.iq_int.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.iq_ls.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
-        self.preissue[tid] -= (before - self.preissue_live()) as u32;
-
-        // Repair the speculative front-end state and redirect.
-        self.engine.repair(&mut self.threads[tid].spec, &binfo, &di);
-        let th = &mut self.threads[tid];
-        th.ftq.clear();
-        th.diverged = false;
-        th.iblock_until = None;
-        th.pending_redirect = None;
-        // Squashed sequence numbers are reused: every structure was purged
-        // of them above, and window lookups rely on `seq` being contiguous.
-        th.next_seq = seq + 1;
-        th.next_fetch_pc = th.walker.pc();
-        debug_assert_eq!(th.next_fetch_pc, di.next_pc, "oracle redirect mismatch");
-    }
-
-    // ----- commit ----------------------------------------------------------
-
-    fn commit_stage(&mut self) {
-        let now = self.cycle;
-        let n = self.threads.len();
-        let mut budget = self.cfg.commit_width;
-        let start = (self.cycle as usize) % n;
-        for k in 0..n {
-            let tid = (start + k) % n;
-            while budget > 0 {
-                let committable = {
-                    let th = &self.threads[tid];
-                    th.window
-                        .front()
-                        .map(|i| i.dispatched && i.completed(now))
-                        .unwrap_or(false)
-                };
-                if !committable {
-                    break;
-                }
-                let inst = self.threads[tid].window.pop_front().expect("checked");
-                debug_assert!(!inst.di.wrong_path, "wrong-path instruction reached commit");
-                self.rob_occ -= 1;
-                if let Some(prev) = inst.prev_phys {
-                    let dest = inst.di.dest.expect("prev implies dest");
-                    match dest.class() {
-                        RegClass::Int => self.free_int.push(prev),
-                        RegClass::Fp => self.free_fp.push(prev),
-                    }
-                }
-                self.stats.committed[tid] += 1;
-                budget -= 1;
-
-                if inst.di.class == InstClass::Store {
-                    let addr = inst.di.mem.expect("stores carry addresses").addr;
-                    self.mem.store(addr, now);
-                }
-
-                // Trace-cache fill unit (no-op for other engines).
-                {
-                    let hist_end = self.threads[tid].commit_hist_end;
-                    let mut fill = std::mem::take(&mut self.threads[tid].trace_fill);
-                    self.engine.trace_fill_commit(&mut fill, &inst.di, hist_end);
-                    self.threads[tid].trace_fill = fill;
-                }
-                if inst.di.is_cond_branch()
-                    && inst.binfo.as_ref().map(|b| b.is_end).unwrap_or(false)
-                {
-                    let th = &mut self.threads[tid];
-                    th.commit_hist_end = (th.commit_hist_end << 1) | inst.di.taken as u64;
-                }
-
-                // Branch training and stream bookkeeping.
-                self.threads[tid].commit_stream_len += 1;
-                if inst.di.is_branch() {
-                    if let Some(info) = &inst.binfo {
-                        self.engine.train_resolve(info, &inst.di);
-                        if inst.di.is_cond_branch() {
-                            self.stats.cond_branches += 1;
-                            if info.spec_taken != inst.di.taken {
-                                self.stats.cond_mispredicts += 1;
-                            }
-                            if info.is_end {
-                                let bits = info.meta.hist.len().min(16);
-                                let mask = (1u64 << bits) - 1;
-                                if info.meta.hist.bits() & mask
-                                    != self.threads[tid].commit_hist & mask
-                                {
-                                    self.stats.hist_mismatches += 1;
-                                    // Counter check first: the env lookup
-                                    // (which may allocate) then runs at most
-                                    // six times per measurement window.
-                                    if self.stats.hist_mismatches <= 6
-                                        && std::env::var_os("SMT_DEBUG_HIST").is_some()
-                                    {
-                                        eprintln!(
-                                            "hist mismatch @cycle {} t{} pc {} ckpt {:016b} arch {:016b} taken {} spec_taken {}",
-                                            now, tid, inst.di.pc,
-                                            info.meta.hist.bits() & mask,
-                                            self.threads[tid].commit_hist & mask,
-                                            inst.di.taken, info.spec_taken
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    if inst.di.is_cond_branch() {
-                        let th = &mut self.threads[tid];
-                        th.commit_hist = (th.commit_hist << 1) | inst.di.taken as u64;
-                    }
-                    if inst.di.taken {
-                        let kind = inst.di.class.branch_kind().expect("branch");
-                        let (start_addr, path, len) = {
-                            let th = &self.threads[tid];
-                            (th.commit_stream_start, th.cpath, th.commit_stream_len)
-                        };
-                        self.engine.train_stream_commit(
-                            start_addr,
-                            &path,
-                            ObservedStream {
-                                len,
-                                kind,
-                                target: inst.di.next_pc,
-                            },
-                        );
-                        let th = &mut self.threads[tid];
-                        th.cpath.push(start_addr);
-                        th.commit_stream_start = inst.di.next_pc;
-                        th.commit_stream_len = 0;
-                    }
-                }
-            }
-            if budget == 0 {
-                break;
-            }
-        }
-    }
-}
-
-impl Simulator {
     /// Prints a debugging snapshot of the pipeline (intended for examples
     /// and interactive debugging, not part of the stable API).
     #[doc(hidden)]
     pub fn dump_state(&self) {
-        println!(
-            "cycle {} rob_occ {} fb {} dl {} rl {} iq {}/{}/{} free {}/{}",
-            self.cycle,
-            self.rob_occ,
-            self.fetch_buffer.len(),
-            self.decode_latch.len(),
-            self.rename_latch.len(),
-            self.iq_int.len(),
-            self.iq_ls.len(),
-            self.iq_fp.len(),
-            self.free_int.len(),
-            self.free_fp.len()
-        );
-        for th in &self.threads {
-            println!("t{}: window {} pending {:?} diverged {} iblock {:?} ftq {} next_pc {} walker_pc {}",
-                th.id, th.window.len(), th.pending_redirect, th.diverged, th.iblock_until,
-                th.ftq.len(), th.next_fetch_pc, th.walker.pc());
-            if let Some(h) = th.window.front() {
-                println!(
-                    "   head: seq {} {} dispatched {} issued {} done {} wp {}",
-                    h.seq, h.di, h.dispatched, h.issued, h.done_at, h.di.wrong_path
-                );
-            }
-            if let Some(seq) = th.pending_redirect {
-                if let Some(i) = th.inst(seq) {
-                    println!(
-                        "   redirect: seq {} {} dispatched {} issued {} done {} srcs {:?}",
-                        i.seq, i.di, i.dispatched, i.issued, i.done_at, i.src_phys
-                    );
-                } else {
-                    println!("   redirect inst MISSING");
-                }
-            }
-        }
+        self.ctx.dump();
     }
 }
 
@@ -1475,7 +398,7 @@ mod tests {
         assert_eq!(s.num_threads(), 2);
         assert_eq!(s.config().fetch_policy.width, 16);
         assert_eq!(s.cycle(), 0);
-        assert!(matches!(s.engine(), Engine::Stream { .. }));
+        assert!(matches!(s.front_end(), AnyFrontEnd::Stream(_)));
     }
 
     #[test]
@@ -1495,7 +418,7 @@ mod tests {
         let mut s = sim(FetchEngineKind::GshareBtb, FetchPolicy::icount(2, 8));
         for _ in 0..200 {
             s.run_cycles(50);
-            for th in &s.threads {
+            for th in &s.ctx.threads {
                 let mut prev = None;
                 for inst in th.window.iter() {
                     if let Some(p) = prev {
@@ -1512,23 +435,40 @@ mod tests {
     fn physical_registers_are_conserved() {
         // free + in-flight-held + architectural = total, at every point.
         let mut s = sim(FetchEngineKind::Stream, FetchPolicy::icount(2, 16));
-        let arch = 2 * smt_isa::ArchReg::flat_count() / 2; // 64 per thread
-        let _ = arch;
         for _ in 0..100 {
             s.run_cycles(100);
             let held: usize = s
+                .ctx
                 .threads
                 .iter()
                 .flat_map(|t| t.window.iter())
                 .filter(|i| i.dispatched && i.phys_dest.is_some())
                 .count();
             let mapped = 2 * smt_isa::ArchReg::flat_count();
-            let total = s.free_int.len() + s.free_fp.len() + held + mapped;
+            let total = s.ctx.free_int.len() + s.ctx.free_fp.len() + held + mapped;
             assert_eq!(
                 total,
-                (s.cfg.regs_int + s.cfg.regs_fp) as usize,
+                (s.ctx.cfg.regs_int + s.ctx.cfg.regs_fp) as usize,
                 "register leak or double-free"
             );
+        }
+    }
+
+    #[test]
+    fn stall_buckets_sum_to_cycles_per_thread() {
+        let mut s = sim(FetchEngineKind::GshareBtb, FetchPolicy::icount(2, 8));
+        let n = s.num_threads();
+        s.run_cycles(3_000);
+        let stats = s.stats();
+        for tid in 0..n {
+            assert_eq!(
+                stats.stalls.total(tid),
+                stats.cycles,
+                "stall buckets + residual must equal cycles for thread {tid}"
+            );
+        }
+        for tid in n..MAX_THREADS {
+            assert_eq!(stats.stalls.total(tid), 0, "inactive thread {tid} charged");
         }
     }
 }

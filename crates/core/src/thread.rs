@@ -7,7 +7,7 @@ use smt_bpred::StreamPath;
 use smt_isa::{Addr, Cycle, DynInst, ThreadId};
 use smt_workloads::{Program, Walker};
 
-use crate::engine::{BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
+use crate::frontend::{BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
 
 /// An FTQ entry: a predicted fetch block, partially consumed by the fetch
 /// stage (blocks longer than the fetch width span several cycles). `Copy` so
@@ -237,7 +237,7 @@ mod tests {
     fn iblock_gates_eligibility() {
         let mut t = thread();
         t.ftq.push_back(FtqEntry {
-            pb: crate::engine::PredictedBlock {
+            pb: crate::frontend::PredictedBlock {
                 block: smt_isa::FetchBlock {
                     thread: 0,
                     start: t.program().entry(),
@@ -246,12 +246,7 @@ mod tests {
                     end_branch: None,
                     next_fetch: t.program().entry().add_insts(4),
                 },
-                meta: crate::engine::BlockMeta {
-                    hist: t.spec.hist,
-                    ras: t.spec.ras.checkpoint(),
-                    path: t.spec.path,
-                    stream_start: t.spec.stream_start,
-                },
+                meta: crate::frontend::BlockMeta::capture(&t.spec),
                 trace_group: None,
             },
             consumed: 1,

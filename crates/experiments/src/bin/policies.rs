@@ -5,7 +5,7 @@
 //! fetch unit fetching from a single thread". This experiment compares the
 //! paper's configurations against the other classic policies — BRCOUNT and
 //! MISSCOUNT (Tullsen et al., ISCA'96) and the STALL / FLUSH long-latency
-//! mechanisms (Tullsen & Brown, MICRO 2001, the paper's reference [21]) —
+//! mechanisms (Tullsen & Brown, MICRO 2001, the paper's reference \[21\]) —
 //! reporting both raw throughput and fairness (min/max per-thread IPC):
 //! STALL and FLUSH buy their throughput by starving the memory-bound
 //! thread, while the paper's ICOUNT.1.X keeps it alive.

@@ -49,9 +49,12 @@ pub mod runner;
 pub mod sweep;
 
 pub use figures::{all, Experiment};
-pub use report::{render_grouped_bars, render_markdown, render_sweep_stats, render_table, Metric};
+pub use report::{
+    render_grouped_bars, render_markdown, render_stall_breakdown, render_sweep_stats, render_table,
+    Metric,
+};
 pub use runner::{
     preflight, preflight_default, run, run_matrix, run_matrix_parallel, run_matrix_sweep,
     RunLength, RunResult, EXP_SEED,
 };
-pub use sweep::{sweep_cells, sweep_indexed, CellStat, Jobs, JobsError, Sweep};
+pub use sweep::{report_level, sweep_cells, sweep_indexed, CellStat, Jobs, JobsError, Sweep};

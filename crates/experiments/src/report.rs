@@ -148,6 +148,56 @@ pub fn render_sweep_stats(title: &str, stats: &[CellStat]) -> String {
     out
 }
 
+/// Renders the per-thread stall attribution of a run as an aligned table:
+/// one row per thread, each bucket as a percentage of measured cycles. The
+/// buckets partition every cycle (the core charges exactly one cause per
+/// thread per cycle), so each row sums to 100% up to rounding; `useful` is
+/// the unstalled residual.
+pub fn render_stall_breakdown(title: &str, stats: &smt_core::SimStats, threads: usize) -> String {
+    let pct = |v: u64| -> String {
+        if stats.cycles == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v as f64 / stats.cycles as f64 * 100.0)
+        }
+    };
+    let s = &stats.stalls;
+    let rows: Vec<Vec<String>> = (0..threads)
+        .map(|t| {
+            vec![
+                format!("T{t}"),
+                stats.committed[t].to_string(),
+                pct(s.icache_miss[t]),
+                pct(s.bank_conflict[t]),
+                pct(s.fetch_starved[t]),
+                pct(s.rob_full[t]),
+                pct(s.issue_width[t]),
+                pct(s.dcache_miss[t]),
+                pct(s.residual[t]),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "{title}: stall breakdown over {} cycles (%)\n",
+        stats.cycles
+    );
+    out.push_str(&render_table(
+        &[
+            "thread",
+            "committed",
+            "icache",
+            "bank",
+            "starved",
+            "rob-full",
+            "issue",
+            "dcache",
+            "useful",
+        ],
+        &rows,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +249,37 @@ mod tests {
         assert!(lines[0].starts_with("name"));
         assert!(lines[2].starts_with("a"));
         assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn stall_breakdown_rows_cover_requested_threads() {
+        let mut stats = smt_core::SimStats {
+            cycles: 1_000,
+            ..Default::default()
+        };
+        stats.committed[0] = 1_500;
+        stats.committed[1] = 500;
+        stats.stalls.dcache_miss[0] = 250;
+        stats.stalls.residual[0] = 750;
+        stats.stalls.rob_full[1] = 1_000;
+        let s = render_stall_breakdown("2_MIX / stream / ICOUNT.2.8", &stats, 2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("1000 cycles"));
+        // Title + header + rule + one row per thread, nothing for inactive
+        // threads.
+        assert_eq!(lines.len(), 5);
+        let t0 = lines[3];
+        assert!(t0.starts_with("T0"), "{t0:?}");
+        assert!(t0.contains("25.0") && t0.contains("75.0"), "{t0:?}");
+        let t1 = lines[4];
+        assert!(t1.contains("100.0"), "{t1:?}");
+    }
+
+    #[test]
+    fn stall_breakdown_handles_zero_cycles() {
+        let stats = smt_core::SimStats::default();
+        let s = render_stall_breakdown("empty", &stats, 1);
+        assert!(s.lines().nth(3).unwrap().contains('-'));
     }
 
     #[test]

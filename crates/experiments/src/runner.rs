@@ -120,6 +120,22 @@ impl RunResult {
 /// The seed every experiment uses (reproducibility).
 pub const EXP_SEED: u64 = 2004;
 
+/// Prints the run's per-thread stall-attribution table to stderr when
+/// `SMT_SWEEP_REPORT` is 2 or higher. Pure function of the stats: enabling
+/// it cannot perturb results or golden snapshots (stdout is untouched).
+fn report_stalls(workload: &Workload, engine: FetchEngineKind, policy: FetchPolicy, s: &SimStats) {
+    if crate::sweep::report_level() >= 2 {
+        eprintln!(
+            "{}",
+            crate::report::render_stall_breakdown(
+                &format!("{} / {engine} / {policy}", workload.name()),
+                s,
+                workload.num_threads(),
+            )
+        );
+    }
+}
+
 /// Validates `cfg` for `threads` hardware contexts, printing every
 /// diagnostic (warnings included) to stderr.
 ///
@@ -177,6 +193,7 @@ pub fn run(
     sim.reset_stats();
     // Borrowed stats: sweeps summarize each cell without copying SimStats.
     let stats = sim.run_cycles(len.measure_cycles);
+    report_stalls(workload, engine, policy, stats);
     RunResult::from_stats(workload, engine, policy, stats)
 }
 
@@ -204,6 +221,7 @@ pub fn run_with_config(
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     let stats = sim.run_cycles(len.measure_cycles);
+    report_stalls(workload, engine, policy, stats);
     RunResult::from_stats(workload, engine, policy, stats)
 }
 

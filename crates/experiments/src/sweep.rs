@@ -312,10 +312,26 @@ where
     sweep_cells(n, jobs, 0, |i| format!("cell {i}"), f).results
 }
 
+/// Stderr report verbosity, from `SMT_SWEEP_REPORT`:
+///
+/// * `0` / unset — silent;
+/// * `1` (or any non-numeric value) — per-sweep progress reports;
+/// * `2` and up — progress plus a per-run stall-breakdown table.
+///
+/// Reports go to stderr only and never into golden snapshots; everything
+/// above level 0 is a pure function of the simulated stats, so enabling it
+/// cannot perturb results.
+pub fn report_level() -> u8 {
+    match std::env::var_os("SMT_SWEEP_REPORT") {
+        None => 0,
+        Some(v) => v.to_str().and_then(|s| s.parse::<u8>().ok()).unwrap_or(1),
+    }
+}
+
 /// Whether per-sweep progress reports should be printed to stderr
-/// (`SMT_SWEEP_REPORT` set to anything but `0`).
+/// (`SMT_SWEEP_REPORT` set to anything but `0`, i.e. [`report_level`] ≥ 1).
 pub fn progress_report_enabled() -> bool {
-    std::env::var_os("SMT_SWEEP_REPORT").is_some_and(|v| v != "0")
+    report_level() >= 1
 }
 
 #[cfg(test)]

@@ -20,11 +20,17 @@
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
 //! * **`no-alloc-in-step`** — *advisory*: `Vec::new()`, `VecDeque::new()` and
 //!   `.clone()` are flagged in the pipeline hot path
-//!   (`crates/core/src/sim.rs`), whose steady-state cycle loop is
-//!   allocation-free (proven by the counting-allocator gate in
-//!   `tests/alloc_gate.rs`). Construction-time allocations carry audited
-//!   `lint:allow` escapes pinned by `tests/static_checks.rs`. Advisory rules
-//!   are printed by the CLI but do not fail it.
+//!   (`crates/core/src/sim.rs` and every `crates/core/src/pipeline/` stage,
+//!   see [`is_hot_path`]), whose steady-state cycle loop is allocation-free
+//!   (proven by the counting-allocator gate in `tests/alloc_gate.rs`).
+//!   Construction-time allocations carry audited `lint:allow` escapes pinned
+//!   by `tests/static_checks.rs`. Advisory rules are printed by the CLI but
+//!   do not fail it.
+//! * **`module-size`** — *advisory*: modules under `crates/core/src` with
+//!   more than [`MODULE_SIZE_LIMIT`] non-test lines are flagged; the
+//!   simulator core stays decomposed (the refactor that split the monolithic
+//!   cycle loop into `pipeline/` stages is pinned by
+//!   `tests/static_checks.rs`).
 //!
 //! Escape hatches, for the rare deliberate exception:
 //!
@@ -55,9 +61,26 @@ pub const SIM_CRATES: [&str; 5] = ["isa", "workloads", "bpred", "mem", "core"];
 /// `smt-bench`.)
 pub const CLOCK_CRATES: [&str; 6] = ["isa", "workloads", "bpred", "mem", "core", "experiments"];
 
-/// The single file subject to the `no-alloc-in-step` rule: the pipeline's
-/// steady-state cycle loop, which must not allocate per cycle.
+/// The cycle-loop composition root, subject to the `no-alloc-in-step` rule
+/// together with every pipeline stage module (see [`is_hot_path`]).
 pub const HOT_PATH_FILE: &str = "crates/core/src/sim.rs";
+
+/// Directory prefix of the pipeline stage modules, all of which are in the
+/// steady-state hot path.
+pub const HOT_PATH_DIR: &str = "crates/core/src/pipeline/";
+
+/// Directory whose modules are subject to the advisory `module-size` rule.
+pub const MODULE_SIZE_DIR: &str = "crates/core/src/";
+
+/// Advisory ceiling on non-test lines per module under [`MODULE_SIZE_DIR`].
+pub const MODULE_SIZE_LIMIT: usize = 800;
+
+/// Whether `path` is in the pipeline hot path whose steady-state cycle loop
+/// must not allocate: the composition root (`sim.rs`) plus every stage
+/// module under `crates/core/src/pipeline/`.
+pub fn is_hot_path(path: &str) -> bool {
+    path == HOT_PATH_FILE || path.starts_with(HOT_PATH_DIR)
+}
 
 /// The lint rules, as stable machine-readable names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,6 +95,8 @@ pub enum Rule {
     DenyUnsafe,
     /// Heap-allocating tokens flagged in the pipeline hot path (advisory).
     NoAllocInStep,
+    /// Core modules above the non-test line ceiling (advisory).
+    ModuleSize,
 }
 
 impl Rule {
@@ -83,6 +108,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::DenyUnsafe => "deny-unsafe",
             Rule::NoAllocInStep => "no-alloc-in-step",
+            Rule::ModuleSize => "module-size",
         }
     }
 
@@ -91,7 +117,7 @@ impl Rule {
     /// *enforced* by the counting-allocator test; the lint is an early,
     /// line-precise pointer to the likely culprit.)
     pub fn is_advisory(self) -> bool {
-        matches!(self, Rule::NoAllocInStep)
+        matches!(self, Rule::NoAllocInStep | Rule::ModuleSize)
     }
 }
 
@@ -315,7 +341,27 @@ pub fn check_file(path: &str, contents: &str) -> Vec<Violation> {
     let clock_applies = crate_of(path).is_some_and(|c| CLOCK_CRATES.contains(&c))
         && !file_allows(Rule::NoWallClock);
     let panic_applies = is_library_source(path) && !file_allows(Rule::NoPanic);
-    let alloc_applies = path == HOT_PATH_FILE && !file_allows(Rule::NoAllocInStep);
+    let alloc_applies = is_hot_path(path) && !file_allows(Rule::NoAllocInStep);
+
+    // module-size: whole-file advisory keeping the simulator core
+    // decomposed. Test modules don't count — they are co-located by
+    // convention and don't add reader burden to the library code.
+    if path.starts_with(MODULE_SIZE_DIR) && !file_allows(Rule::ModuleSize) {
+        let non_test = test_region_flags(&raw_lines)
+            .iter()
+            .filter(|&&in_test| !in_test)
+            .count();
+        if non_test > MODULE_SIZE_LIMIT {
+            violations.push(Violation {
+                rule: Rule::ModuleSize,
+                path: path.to_string(),
+                line: 0,
+                what: format!(
+                    "{non_test} non-test lines (advisory ceiling {MODULE_SIZE_LIMIT}) — consider splitting the module"
+                ),
+            });
+        }
+    }
 
     if !(hash_applies || clock_applies || panic_applies || alloc_applies) {
         return violations;
@@ -536,8 +582,21 @@ mod tests {
         let v = check_file(HOT_PATH_FILE, src);
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|v| v.rule == Rule::NoAllocInStep));
+        // Every pipeline stage module is hot path too.
+        let v = check_file("crates/core/src/pipeline/issue.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::NoAllocInStep));
         // The same tokens anywhere else are not this rule's business.
-        assert!(check_file("crates/core/src/engine.rs", src).is_empty());
+        assert!(check_file("crates/core/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_covers_sim_and_pipeline_stages() {
+        assert!(is_hot_path(HOT_PATH_FILE));
+        assert!(is_hot_path("crates/core/src/pipeline/mod.rs"));
+        assert!(is_hot_path("crates/core/src/pipeline/fetch.rs"));
+        assert!(!is_hot_path("crates/core/src/config.rs"));
+        assert!(!is_hot_path("crates/core/src/frontend/mod.rs"));
     }
 
     #[test]
@@ -548,8 +607,9 @@ mod tests {
     }
 
     #[test]
-    fn only_the_alloc_rule_is_advisory() {
+    fn only_the_alloc_and_size_rules_are_advisory() {
         assert!(Rule::NoAllocInStep.is_advisory());
+        assert!(Rule::ModuleSize.is_advisory());
         for rule in [
             Rule::NoHashCollections,
             Rule::NoWallClock,
@@ -558,6 +618,34 @@ mod tests {
         ] {
             assert!(!rule.is_advisory(), "{rule} must stay enforced");
         }
+    }
+
+    #[test]
+    fn oversized_core_modules_flagged() {
+        let src = "fn f() {}\n".repeat(MODULE_SIZE_LIMIT + 1);
+        let v = check_file("crates/core/src/big.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ModuleSize);
+        assert_eq!(v[0].line, 0);
+        // Only core modules are in scope.
+        assert!(check_file("crates/bpred/src/big.rs", &src).is_empty());
+        // At the ceiling is fine.
+        let src = "fn f() {}\n".repeat(MODULE_SIZE_LIMIT);
+        assert!(check_file("crates/core/src/big.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn module_size_ignores_test_regions_and_honours_escape() {
+        // A short library section plus a huge co-located test module is fine.
+        let tests = "    fn t() {}\n".repeat(MODULE_SIZE_LIMIT + 1);
+        let src = format!("fn lib() {{}}\n#[cfg(test)]\nmod tests {{\n{tests}}}\n");
+        assert!(check_file("crates/core/src/big.rs", &src).is_empty());
+        // The file-level escape waives the rule.
+        let src = format!(
+            "// lint:allow-file(module-size)\n{}",
+            "fn f() {}\n".repeat(MODULE_SIZE_LIMIT + 1)
+        );
+        assert!(check_file("crates/core/src/big.rs", &src).is_empty());
     }
 
     #[test]

@@ -387,3 +387,114 @@ fn validated_configs_always_build() {
         "only {built}/200 random configs validated clean"
     );
 }
+
+/// `Display` and `FromStr` are exact inverses for every fetch-engine kind
+/// and for randomized fetch policies (all four mnemonics, both n values,
+/// random widths, with and without the -STALL/-FLUSH suffixes).
+#[test]
+fn engine_and_policy_names_round_trip() {
+    use smtfetch::core::{PolicyKind, FRONT_ENDS};
+
+    for kind in FetchEngineKind::all_with_trace_cache() {
+        let name = kind.to_string();
+        let parsed: FetchEngineKind = name.parse().unwrap_or_else(|e| {
+            panic!("engine name {name:?} failed to parse back: {e:?}");
+        });
+        assert_eq!(parsed, kind, "engine round-trip changed the kind");
+        // The registry spelling is the Display spelling, so CLI flags,
+        // report headers, and the registry can never drift apart.
+        let entry = FRONT_ENDS
+            .iter()
+            .find(|e| e.kind == kind)
+            .expect("registered");
+        assert_eq!(entry.name, name, "registry name diverged from Display");
+    }
+
+    let kinds = [
+        PolicyKind::Icount,
+        PolicyKind::RoundRobin,
+        PolicyKind::BrCount,
+        PolicyKind::MissCount,
+    ];
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x90117 ^ case);
+        let base = match kinds[rng.range(0, 4) as usize] {
+            PolicyKind::Icount => FetchPolicy::icount,
+            PolicyKind::RoundRobin => FetchPolicy::round_robin,
+            PolicyKind::BrCount => FetchPolicy::br_count,
+            PolicyKind::MissCount => FetchPolicy::miss_count,
+        };
+        let mut policy = base(1 + rng.range(0, 2) as u32, 1 + rng.range(0, 63) as u32);
+        policy = match rng.range(0, 3) {
+            0 => policy,
+            1 => policy.with_stall(),
+            _ => policy.with_flush(),
+        };
+        let text = policy.to_string();
+        let parsed: FetchPolicy = text.parse().unwrap_or_else(|e| {
+            panic!("policy {text:?} failed to parse back (case {case}): {e:?}");
+        });
+        assert_eq!(parsed, policy, "policy round-trip drifted (case {case})");
+        assert_eq!(
+            parsed.long_latency, policy.long_latency,
+            "long-latency suffix lost (case {case})"
+        );
+    }
+
+    // Rejections carry the documented diagnostic codes.
+    let err = "frobnicator".parse::<FetchEngineKind>().unwrap_err();
+    assert_eq!(err.code, "E0016");
+    for junk in [
+        "ICOUNT",
+        "ICOUNT.3.8",
+        "ICOUNT.2.0",
+        "WRONG.1.8",
+        "ICOUNT-SPIN.1.8",
+    ] {
+        let err = junk.parse::<FetchPolicy>().unwrap_err();
+        assert_eq!(err.code, "E0017", "{junk:?} accepted or wrong code");
+    }
+}
+
+/// The per-stage stall attribution partitions time: for every active
+/// thread, the seven buckets (six stall causes + useful residual) sum to
+/// exactly the measured cycles, under every engine and fetch policy shape.
+#[test]
+fn stall_buckets_partition_cycles_for_every_engine_and_policy() {
+    let policies = [
+        FetchPolicy::icount(1, 8),
+        FetchPolicy::icount(2, 8),
+        FetchPolicy::round_robin(2, 16),
+        FetchPolicy::miss_count(1, 8).with_flush(),
+    ];
+    for engine in FetchEngineKind::all_with_trace_cache() {
+        for policy in policies {
+            let programs = Workload::mix4().programs(7).unwrap();
+            let n = programs.len();
+            let mut sim = SimBuilder::new(programs)
+                .fetch_engine(engine)
+                .fetch_policy(policy)
+                .build()
+                .unwrap();
+            // Across a reset boundary too: the buckets are part of the
+            // resettable stats, so the invariant must hold per window.
+            sim.run_cycles(500);
+            sim.reset_stats();
+            let stats = sim.run_cycles(2_000);
+            for tid in 0..n {
+                assert_eq!(
+                    stats.stalls.total(tid),
+                    stats.cycles,
+                    "{engine} / {policy}: thread {tid} buckets do not partition cycles"
+                );
+            }
+            for tid in n..smtfetch::isa::MAX_THREADS {
+                assert_eq!(
+                    stats.stalls.total(tid),
+                    0,
+                    "{engine} / {policy}: inactive thread {tid} charged"
+                );
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! 2. every configuration the experiment suite simulates passes the
 //!    semantic validator with zero errors.
 
-use smt_lint::{check_file, check_workspace, Rule, HOT_PATH_FILE};
+use smt_lint::{check_file, check_workspace, is_hot_path, Rule, HOT_PATH_FILE, MODULE_SIZE_LIMIT};
 use smtfetch::core::{FetchPolicy, SimConfig};
 use smtfetch::isa::MAX_THREADS;
 
@@ -59,12 +59,20 @@ fn linter_detects_seeded_violations() {
     let v = check_file("crates/core/src/lib.rs", "pub fn f() {}\n");
     assert!(v.iter().any(|x| x.rule == Rule::DenyUnsafe), "{v:?}");
 
-    // An allocation token in the pipeline hot path (advisory rule).
-    let v = check_file(
-        HOT_PATH_FILE,
-        "pub fn step(v: &[u32]) { let _scratch: Vec<u32> = v.to_vec().clone(); }\n",
-    );
+    // An allocation token in the pipeline hot path (advisory rule) —
+    // both in the composition root and in a stage module.
+    let seeded = "pub fn step(v: &[u32]) { let _scratch: Vec<u32> = v.to_vec().clone(); }\n";
+    let v = check_file(HOT_PATH_FILE, seeded);
     assert!(v.iter().any(|x| x.rule == Rule::NoAllocInStep), "{v:?}");
+    let v = check_file("crates/core/src/pipeline/fetch.rs", seeded);
+    assert!(v.iter().any(|x| x.rule == Rule::NoAllocInStep), "{v:?}");
+
+    // An oversized core module (advisory rule).
+    let v = check_file(
+        "crates/core/src/fake.rs",
+        &"pub fn f() {}\n".repeat(MODULE_SIZE_LIMIT + 1),
+    );
+    assert!(v.iter().any(|x| x.rule == Rule::ModuleSize), "{v:?}");
 }
 
 /// The experiments crate is wall-clock-banned (results must be pure
@@ -114,44 +122,118 @@ fn experiments_wall_clock_exception_is_confined_to_the_sweep_timer() {
     );
 }
 
-/// The hot path (`crates/core/src/sim.rs`) is subject to the advisory
+/// The hot path — `crates/core/src/sim.rs` plus every stage module under
+/// `crates/core/src/pipeline/` — is subject to the advisory
 /// `no-alloc-in-step` rule; the zero-allocation property itself is proven at
 /// runtime by `tests/alloc_gate.rs`. This test pins the audited escape set:
 /// exactly the construction-time clones in `Simulator::new` (the seeded RAS
 /// template and the memory-config copy), which run once per simulator, never
-/// per cycle. A new `lint:allow(no-alloc-in-step)` anywhere else must be
-/// argued past this list instead of slipping in silently.
+/// per cycle. Stage modules carry none: their scratch buffers are allocated
+/// by the stage constructors in `sim.rs` and reused via `mem::take`. A new
+/// `lint:allow(no-alloc-in-step)` anywhere in the hot path must be argued
+/// past this list instead of slipping in silently.
 #[test]
 fn hot_path_alloc_escapes_are_pinned() {
-    let sim = std::fs::read_to_string(workspace_root().join(HOT_PATH_FILE)).expect("read sim.rs");
-    let escapes: Vec<&str> = sim
-        .lines()
-        .filter(|l| l.contains("lint:allow(no-alloc-in-step)"))
-        .map(str::trim)
-        .collect();
-    let pinned = ["ras.clone()", "cfg.mem.clone()"];
+    let root = workspace_root();
+    let mut hot_files = vec![HOT_PATH_FILE.to_string()];
+    for entry in std::fs::read_dir(root.join("crates/core/src/pipeline")).expect("read pipeline/") {
+        let name = entry.expect("dir entry").file_name();
+        hot_files.push(format!(
+            "crates/core/src/pipeline/{}",
+            name.to_string_lossy()
+        ));
+    }
+    hot_files.sort();
+
+    let mut escapes = Vec::new();
+    for rel in &hot_files {
+        assert!(is_hot_path(rel), "{rel} must be covered by the alloc rule");
+        let text = std::fs::read_to_string(root.join(rel)).expect("read hot-path file");
+        escapes.extend(
+            text.lines()
+                .filter(|l| l.contains("lint:allow(no-alloc-in-step)"))
+                .map(|l| (rel.clone(), l.trim().to_string())),
+        );
+        // With the escapes in place the rule reports nothing on the shipped
+        // file (also covered by `workspace_is_lint_clean`, restated here so
+        // a failure names the advisory rule directly).
+        let advisories: Vec<_> = check_file(rel, &text)
+            .into_iter()
+            .filter(|v| v.rule == Rule::NoAllocInStep)
+            .collect();
+        assert!(
+            advisories.is_empty(),
+            "hot-path allocations: {advisories:?}"
+        );
+    }
+
+    let pinned = [
+        (HOT_PATH_FILE, "ras.clone()"),
+        (HOT_PATH_FILE, "cfg.mem.clone()"),
+    ];
     assert_eq!(
         escapes.len(),
         pinned.len(),
         "escape set changed — audit it here:\n{escapes:#?}"
     );
-    for (escape, expect) in escapes.iter().zip(pinned) {
+    for ((path, escape), (expect_path, expect)) in escapes.iter().zip(pinned) {
+        assert_eq!(path, expect_path, "escape moved to an unaudited file");
         assert!(
             escape.contains(expect),
             "escaped line {escape:?} is not the audited {expect:?}"
         );
     }
-    // With those escapes in place the rule reports nothing on the shipped
-    // file (also covered by `workspace_is_lint_clean`, restated here so a
-    // failure names the advisory rule directly).
-    let advisories: Vec<_> = check_file(HOT_PATH_FILE, &sim)
-        .into_iter()
-        .filter(|v| v.rule == Rule::NoAllocInStep)
+}
+
+/// Pins the post-refactor decomposition of the simulator core: the cycle
+/// loop lives in a slim composition root (`sim.rs`) that only sequences the
+/// stage modules under `pipeline/`. A regrown monolith — new logic piling
+/// into `sim.rs`, a stage module ballooning past the advisory ceiling, or a
+/// stage file appearing/disappearing — fails here and must update this pin
+/// deliberately.
+#[test]
+fn core_pipeline_decomposition_is_pinned() {
+    let root = workspace_root();
+
+    let mut stages: Vec<String> = std::fs::read_dir(root.join("crates/core/src/pipeline"))
+        .expect("read pipeline/")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
         .collect();
-    assert!(
-        advisories.is_empty(),
-        "hot-path allocations: {advisories:?}"
+    stages.sort();
+    assert_eq!(
+        stages,
+        [
+            "commit.rs",
+            "decode_rename.rs",
+            "fetch.rs",
+            "issue.rs",
+            "mod.rs",
+            "recovery.rs",
+        ],
+        "pipeline stage set changed — update the pin and DESIGN.md §10"
     );
+
+    let sim = std::fs::read_to_string(root.join(HOT_PATH_FILE)).expect("read sim.rs");
+    let sim_lines = sim.lines().count();
+    assert!(
+        sim_lines < 500,
+        "sim.rs grew to {sim_lines} lines — stage logic belongs in pipeline/"
+    );
+
+    for name in &stages {
+        let text = std::fs::read_to_string(root.join("crates/core/src/pipeline").join(name))
+            .expect("read stage module");
+        let lines = text.lines().count();
+        assert!(
+            lines <= MODULE_SIZE_LIMIT,
+            "pipeline/{name} grew to {lines} lines (ceiling {MODULE_SIZE_LIMIT})"
+        );
+    }
 }
 
 #[test]
