@@ -18,15 +18,25 @@
 //!   root, not cargo's bench cwd).
 //! * `--baseline PATH` — compare against a previous report; prints a
 //!   `WARNING` for any cell whose committed-instructions throughput dropped
-//!   more than 15%, but always exits 0 (the baseline is advisory: absolute
-//!   wall-time depends on the host).
+//!   more than 15% and, without `--gate`, always exits 0 (the baseline is
+//!   advisory: absolute wall-time depends on the host).
+//! * `--gate` — with `--baseline`, exit 1 if any cell fell more than 30%
+//!   below the baseline. The wide margin absorbs host noise; a genuine
+//!   hot-path regression shows up far larger than 30%.
 //! * `--smoke` — small matrix (one workload, short run) for CI.
 //!
 //! Per cell the report holds the *best of [`SAMPLES_PER_CELL`] samples*
 //! (minimum wall time — the least noisy estimator for CPU-bound code):
-//! simulated cycles/sec, committed instructions/sec, and IPC as a sanity
-//! anchor. A trailing `matrix` row times one full serial sweep and one
-//! `--jobs N` sweep through the production `run_matrix_parallel` executor.
+//! simulated cycles/sec, committed instructions/sec, the stddev of the
+//! per-sample committed-instructions rate (how noisy this cell was on this
+//! host), and IPC as a sanity anchor. A trailing `matrix` row times one
+//! full serial sweep and one `--jobs N` sweep through the production
+//! `run_matrix_parallel` executor.
+//!
+//! **Re-blessing the baseline**: after an intentional performance change
+//! (or on new hardware), run `cargo bench -p smt-bench --bench throughput`
+//! from the workspace root — it rewrites `BENCH_SIM.json` in place — and
+//! commit the new file together with the change that explains it.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -47,6 +57,7 @@ struct Options {
     out: String,
     baseline: Option<String>,
     smoke: bool,
+    gate: bool,
 }
 
 fn parse_args() -> Options {
@@ -56,6 +67,7 @@ fn parse_args() -> Options {
         out: std::env::var("SMT_BENCH_OUT").unwrap_or_else(|_| "BENCH_SIM.json".to_string()),
         baseline: None,
         smoke: false,
+        gate: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +83,7 @@ fn parse_args() -> Options {
             }
             "--out" => o.out = value("--out"),
             "--baseline" => o.baseline = Some(value("--baseline")),
+            "--gate" => o.gate = true,
             "--smoke" => o.smoke = true,
             "--bench" => {} // passed through by `cargo bench`
             other => panic!("unknown argument {other:?}"),
@@ -88,11 +101,19 @@ struct CellResult {
     policy: String,
     cycles_per_sec: f64,
     insts_per_sec: f64,
+    /// Population stddev of the per-sample committed-instructions rate —
+    /// the cell's measurement noise on this host.
+    insts_per_sec_stddev: f64,
     ipc: f64,
 }
 
 fn build(w: &Workload, engine: FetchEngineKind, policy: FetchPolicy) -> Simulator {
-    SimBuilder::new(w.programs(SEED).expect("table 2 workloads always build"))
+    // Shared programs: all cells for one workload reference the same
+    // cached `Arc<Program>`s, so cell setup cost excludes program synthesis.
+    let programs = w
+        .programs_shared(SEED)
+        .expect("table 2 workloads always build");
+    SimBuilder::new_shared(programs)
         .fetch_engine(engine)
         .fetch_policy(policy)
         .build()
@@ -112,22 +133,27 @@ fn time_cell(
     sim.run_cycles(len.warmup_cycles);
     let mut best_secs = f64::INFINITY;
     let mut best_committed = 0u64;
-    for _ in 0..SAMPLES_PER_CELL {
+    let mut rates = [0.0f64; SAMPLES_PER_CELL as usize];
+    for rate in &mut rates {
         sim.reset_stats();
         let start = Instant::now();
         sim.run_cycles(len.measure_cycles);
         let secs = start.elapsed().as_secs_f64().max(1e-12);
+        *rate = sim.stats().total_committed() as f64 / secs;
         if secs < best_secs {
             best_secs = secs;
             best_committed = sim.stats().total_committed();
         }
     }
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let variance = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
     CellResult {
         workload: w.name().to_string(),
         engine: engine.to_string(),
         policy: policy.to_string(),
         cycles_per_sec: len.measure_cycles as f64 / best_secs,
         insts_per_sec: best_committed as f64 / best_secs,
+        insts_per_sec_stddev: variance.sqrt(),
         ipc: best_committed as f64 / len.measure_cycles as f64,
     }
 }
@@ -143,7 +169,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"smtfetch-bench-sim/1\",");
+    let _ = writeln!(s, "  \"schema\": \"smtfetch-bench-sim/2\",");
     let _ = writeln!(s, "  \"measure_cycles\": {},", len.measure_cycles);
     let _ = writeln!(s, "  \"warmup_cycles\": {},", len.warmup_cycles);
     let _ = writeln!(s, "  \"samples_per_cell\": {SAMPLES_PER_CELL},");
@@ -153,8 +179,14 @@ fn render_json(
             s,
             "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"policy\": \"{}\", \
              \"sim_cycles_per_sec\": {:.1}, \"committed_insts_per_sec\": {:.1}, \
-             \"ipc\": {:.4}}}",
-            c.workload, c.engine, c.policy, c.cycles_per_sec, c.insts_per_sec, c.ipc
+             \"committed_insts_per_sec_stddev\": {:.1}, \"ipc\": {:.4}}}",
+            c.workload,
+            c.engine,
+            c.policy,
+            c.cycles_per_sec,
+            c.insts_per_sec,
+            c.insts_per_sec_stddev,
+            c.ipc
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -190,11 +222,17 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
     line[start..start + end].parse().ok()
 }
 
-/// Compares committed-instruction throughput against a previous report,
-/// warning (never failing) on >15% per-cell regressions.
-fn compare_with_baseline(baseline: &str, cells: &[CellResult]) {
+/// Compares committed-instruction throughput against a previous report.
+///
+/// Regressions beyond 15% print a `WARNING`; regressions beyond 30% are
+/// *gate failures*, returned as a count so `--gate` can fail the run. To
+/// accept an intentional slowdown, re-bless the baseline (see the module
+/// docs).
+fn compare_with_baseline(baseline: &str, cells: &[CellResult]) -> u32 {
     const TOLERANCE: f64 = 0.85;
+    const GATE_TOLERANCE: f64 = 0.70;
     let mut warned = 0u32;
+    let mut gate_failures = 0u32;
     for line in baseline.lines() {
         let (Some(w), Some(e), Some(p), Some(base)) = (
             json_str(line, "workload"),
@@ -210,7 +248,14 @@ fn compare_with_baseline(baseline: &str, cells: &[CellResult]) {
         else {
             continue;
         };
-        if base > 0.0 && cell.insts_per_sec < base * TOLERANCE {
+        if base > 0.0 && cell.insts_per_sec < base * GATE_TOLERANCE {
+            println!(
+                "GATE: {w} | {e} | {p}: committed insts/sec fell \
+                 {base:.0} -> {:.0} (more than 30% below baseline)",
+                cell.insts_per_sec
+            );
+            gate_failures += 1;
+        } else if base > 0.0 && cell.insts_per_sec < base * TOLERANCE {
             println!(
                 "WARNING: {w} | {e} | {p}: committed insts/sec fell \
                  {base:.0} -> {:.0} (more than 15% below baseline)",
@@ -219,11 +264,15 @@ fn compare_with_baseline(baseline: &str, cells: &[CellResult]) {
             warned += 1;
         }
     }
-    if warned == 0 {
+    if warned == 0 && gate_failures == 0 {
         println!("baseline check: no cell more than 15% below baseline");
     } else {
-        println!("baseline check: {warned} cell(s) regressed (advisory only)");
+        println!(
+            "baseline check: {} cell(s) regressed ({gate_failures} beyond the 30% gate)",
+            warned + gate_failures
+        );
     }
+    gate_failures
 }
 
 /// Cargo runs bench binaries with the *package* directory as cwd
@@ -299,7 +348,16 @@ fn main() {
 
     if let Some(path) = &o.baseline {
         match std::fs::read_to_string(resolve(path)) {
-            Ok(baseline) => compare_with_baseline(&baseline, &cells),
+            Ok(baseline) => {
+                let gate_failures = compare_with_baseline(&baseline, &cells);
+                if o.gate && gate_failures > 0 {
+                    println!(
+                        "bench gate: {gate_failures} cell(s) more than 30% below baseline; \
+                         re-bless BENCH_SIM.json if the slowdown is intentional"
+                    );
+                    std::process::exit(1);
+                }
+            }
             Err(e) => println!("baseline check skipped: cannot read {path}: {e}"),
         }
     }

@@ -56,15 +56,30 @@ impl Default for TwoBit {
     }
 }
 
-/// A table of 2-bit counters of power-of-two size.
+/// A table of 2-bit counters of power-of-two size, bit-packed 32 counters
+/// per `u64` word.
+///
+/// The packed layout quarters the table footprint versus one byte per
+/// counter, so the large gshare/gskew banks (Table 3: up to 64K entries)
+/// fit in 16 KB instead of 64 KB and stay resident in the host L1/L2 while
+/// the simulator runs. Packing is an implementation detail: the API is
+/// value-based ([`TwoBit`] in, [`TwoBit`] out) and behaves identically to
+/// the byte-array layout — proven by the differential property test in
+/// `tests/properties.rs` (`packed_counter_table_matches_byte_reference`).
 #[derive(Clone, Debug)]
 pub struct CounterTable {
-    counters: Vec<TwoBit>,
+    /// 32 two-bit counters per word, counter `i` at bits `2*(i%32)..`.
+    words: Vec<u64>,
+    entries: usize,
     mask: u64,
 }
 
+/// Every counter in a fresh table starts weakly taken (state 2,
+/// `0b10` — replicated across a word this is `0xAAAA_AAAA_AAAA_AAAA`).
+const INIT_WORD: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
 impl CounterTable {
-    /// Creates a table with `entries` counters.
+    /// Creates a table with `entries` counters, all weakly taken.
     ///
     /// # Errors
     ///
@@ -79,34 +94,50 @@ impl CounterTable {
             ));
         }
         Ok(CounterTable {
-            counters: vec![TwoBit::default(); entries],
+            words: vec![INIT_WORD; entries.div_ceil(32)],
+            entries,
             mask: entries as u64 - 1,
         })
     }
 
     /// Number of counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.entries
     }
 
     /// Whether the table is empty (never: construction requires ≥ 1).
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.entries == 0
     }
 
     /// The counter at `index` (wrapped into range).
     pub fn get(&self, index: u64) -> TwoBit {
-        self.counters[(index & self.mask) as usize]
+        let i = (index & self.mask) as usize;
+        TwoBit(((self.words[i >> 5] >> ((i & 31) * 2)) & 0b11) as u8)
     }
 
     /// Trains the counter at `index` (wrapped into range).
     pub fn update(&mut self, index: u64, taken: bool) {
-        self.counters[(index & self.mask) as usize].update(taken);
+        let i = (index & self.mask) as usize;
+        let shift = (i & 31) * 2;
+        let word = &mut self.words[i >> 5];
+        let state = ((*word >> shift) & 0b11) as u8;
+        let next = if taken {
+            (state + 1).min(3)
+        } else {
+            state.saturating_sub(1)
+        };
+        *word = (*word & !(0b11 << shift)) | (u64::from(next) << shift);
     }
 
     /// Index mask (`len - 1`).
     pub fn mask(&self) -> u64 {
         self.mask
+    }
+
+    /// Bytes of storage actually held (packed words).
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -159,6 +190,43 @@ mod tests {
         t.update(3 + 16, false);
         assert!(!t.get(3).taken());
         assert_eq!(t.get(3), t.get(19));
+    }
+
+    #[test]
+    fn packed_table_initialises_weakly_taken() {
+        let t = CounterTable::new(128).unwrap();
+        for i in 0..128 {
+            assert_eq!(t.get(i), TwoBit::WEAK_T, "counter {i}");
+        }
+        // 128 counters × 2 bits = 32 bytes, a quarter of the byte layout.
+        assert_eq!(t.storage_bytes(), 32);
+    }
+
+    #[test]
+    fn packed_neighbours_are_independent() {
+        // Updates to a counter never disturb the other 31 sharing its word.
+        let mut t = CounterTable::new(64).unwrap();
+        t.update(33, false);
+        t.update(33, false);
+        assert_eq!(t.get(33), TwoBit::STRONG_NT);
+        t.update(34, true);
+        assert_eq!(t.get(34), TwoBit::STRONG_T);
+        assert_eq!(t.get(32), TwoBit::WEAK_T);
+        assert_eq!(t.get(35), TwoBit::WEAK_T);
+        assert_eq!(t.get(33), TwoBit::STRONG_NT);
+    }
+
+    #[test]
+    fn sub_word_table_works() {
+        // Tables smaller than one packed word still hold `entries` counters.
+        let mut t = CounterTable::new(2).unwrap();
+        assert_eq!(t.len(), 2);
+        t.update(0, false);
+        t.update(1, true);
+        assert!(!t.get(0).taken());
+        assert!(t.get(1).taken());
+        // Index 2 wraps onto 0.
+        assert_eq!(t.get(2), t.get(0));
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl Gshare {
         self.table.len()
     }
 
-    /// Hardware budget in bytes (2 bits per entry).
+    /// Hardware budget in bytes (2 bits per entry). Since the counter bank
+    /// is bit-packed 32-per-u64, this is also the simulator's actual table
+    /// footprint — the model budget and the host memory cost coincide.
     pub fn budget_bytes(&self) -> usize {
         self.table.len() / 4
     }

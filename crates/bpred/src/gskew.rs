@@ -30,7 +30,9 @@ const SALTS: [u64; BANKS] = [
 /// * on a misprediction, all banks are trained toward the actual outcome.
 ///
 /// The paper pairs a 3 × 32K-entry gskew with 15 bits of history and the FTB
-/// (Table 3), which [`Gskew::hpca2004`] reproduces.
+/// (Table 3), which [`Gskew::hpca2004`] reproduces. Each bank is a
+/// bit-packed [`CounterTable`] (32 counters per `u64`), so the three
+/// hpca2004 banks together occupy 24 KB of host memory rather than 96 KB.
 #[derive(Clone, Debug)]
 pub struct Gskew {
     banks: [CounterTable; BANKS],

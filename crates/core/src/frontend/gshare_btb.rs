@@ -1,6 +1,6 @@
 //! The baseline gshare+BTB front-end: one basic block per cycle.
 
-use smt_bpred::{Btb, Gshare};
+use smt_bpred::{Btb, GlobalHistory, Gshare};
 use smt_isa::{Addr, Diagnostic, DynInst, ThreadId};
 use smt_workloads::Program;
 
@@ -71,11 +71,12 @@ impl FrontEnd for GshareBtb {
         }
     }
 
-    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+    fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst) {
+        let _ = info;
         if di.is_cond_branch() {
             // Every correct-path conditional ends a block under this engine,
             // so each one was genuinely predicted.
-            self.gshare.update(di.pc, info.meta.hist, di.taken);
+            self.gshare.update(di.pc, hist, di.taken);
         }
         if di.taken {
             let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
@@ -83,8 +84,8 @@ impl FrontEnd for GshareBtb {
         }
     }
 
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
-        repair_spec(spec, info, di, true);
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst) {
+        repair_spec(spec, info, meta, di, true);
     }
 }
 

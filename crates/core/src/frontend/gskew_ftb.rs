@@ -1,7 +1,7 @@
 //! The gskew+FTB front-end: learned fetch blocks with embedded
 //! never-taken branches.
 
-use smt_bpred::{Ftb, Gskew, ObservedEnd};
+use smt_bpred::{Ftb, GlobalHistory, Gskew, ObservedEnd};
 use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, ThreadId};
 use smt_workloads::Program;
 
@@ -112,9 +112,9 @@ impl FrontEnd for GskewFtb {
         }
     }
 
-    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+    fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst) {
         if info.is_end && di.is_cond_branch() {
-            self.gskew.update(di.pc, info.meta.hist, di.taken);
+            self.gskew.update(di.pc, hist, di.taken);
         }
         if di.taken {
             let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
@@ -131,8 +131,8 @@ impl FrontEnd for GskewFtb {
         }
     }
 
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
-        repair_spec(spec, info, di, true);
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst) {
+        repair_spec(spec, info, meta, di, true);
     }
 }
 
@@ -184,9 +184,8 @@ mod tests {
             spec_next: di.pc.add_insts(1),
             mispredicted: true,
             decode_redirect: false,
-            meta: pb.meta,
         };
-        e.train_resolve(&info, &di);
+        e.train_resolve(&info, pb.meta.hist, &di);
         let pb2 = e.predict_block(0, pc, &mut spec, &prog, 8);
         assert_eq!(pb2.block.len, 3, "FTB learned the block extent");
         assert_eq!(pb2.block.end_branch.unwrap().pc, di.pc);

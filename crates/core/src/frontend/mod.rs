@@ -41,6 +41,8 @@ use smt_bpred::{
 use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, ThreadId};
 use smt_workloads::Program;
 
+use std::collections::VecDeque;
+
 use crate::config::{FetchEngineKind, SimConfig};
 
 /// I-cache line size in bytes (Table 3) — bounds classical fetch blocks.
@@ -102,6 +104,11 @@ impl BlockMeta {
 /// Per-branch information carried through the pipeline for training and
 /// recovery. `Copy` (a handful of words) so in-flight instructions can carry
 /// it inline without boxing or per-branch heap traffic.
+///
+/// The bulky [`BlockMeta`] checkpoint is deliberately *not* part of this
+/// struct: it lives in the owning thread's seq-indexed checkpoint ring
+/// ([`crate::thread::ThreadState::meta`]), so the per-instruction window
+/// entries stay small and window pushes/pops never copy the checkpoint.
 #[derive(Clone, Copy, Debug)]
 pub struct BranchInfo {
     /// Start address of the fetch block that contained the branch.
@@ -120,8 +127,6 @@ pub struct BranchInfo {
     /// next PC, or a predicted branch that is not a branch at all), so the
     /// redirect fires from the decode stage instead of execute.
     pub decode_redirect: bool,
-    /// Block checkpoints for recovery.
-    pub meta: BlockMeta,
 }
 
 /// A predicted fetch block plus its recovery metadata. `Copy` so the FTQ and
@@ -163,8 +168,8 @@ pub struct PredictedBlock {
 /// * [`trace_fill_commit`](FrontEnd::trace_fill_commit) — called once per
 ///   committed instruction; only the trace cache's fill unit listens.
 /// * [`repair`](FrontEnd::repair) — called on a squash. Must restore `spec`
-///   from the checkpoint in `info.meta`, then apply the *actual* outcome of
-///   the squashing branch (`di`). Must not touch predictor tables (training
+///   from the `meta` checkpoint, then apply the *actual* outcome of the
+///   squashing branch (`di`). Must not touch predictor tables (training
 ///   happens at commit, on the correct path only).
 pub trait FrontEnd {
     /// Which config-facing engine this is.
@@ -188,8 +193,9 @@ pub trait FrontEnd {
     ) -> PredictedBlock;
 
     /// Predicts up to `max_blocks` fetch blocks in one cycle, appending to
-    /// `out` (which the caller clears and reuses across cycles so the
-    /// steady-state prediction stage performs no heap allocation).
+    /// `out` — the thread's FTQ itself, pre-sized by the simulator, so each
+    /// block is written once with no intermediate scratch copy and the
+    /// steady-state prediction stage performs no heap allocation.
     ///
     /// The default emits exactly one block; multi-block engines (the trace
     /// cache) override it.
@@ -202,17 +208,18 @@ pub trait FrontEnd {
         program: &Program,
         width: u32,
         max_blocks: usize,
-        out: &mut Vec<PredictedBlock>,
+        out: &mut VecDeque<PredictedBlock>,
     ) {
         let _ = max_blocks;
-        out.push(self.predict_block(thread, pc, spec, program, width));
+        out.push_back(self.predict_block(thread, pc, spec, program, width));
     }
 
     /// Trains the engine with a resolved correct-path branch.
     ///
-    /// Called by the back end when the branch commits. `info` carries the
-    /// prediction-time checkpoints; `di` the actual outcome.
-    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst);
+    /// Called by the back end when the branch commits. `info` and `hist`
+    /// carry the prediction-time state (`hist` is the history the direction
+    /// prediction was made under); `di` the actual outcome.
+    fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst);
 
     /// Trains the engine with an instruction stream completed at commit
     /// (a taken branch closed the stream). No-op by default; the stream
@@ -235,8 +242,9 @@ pub trait FrontEnd {
 
     /// Repairs the speculative state after the mispredicted branch described
     /// by `info`/`di` squashes everything younger, then applies the branch's
-    /// actual outcome.
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst);
+    /// actual outcome. `meta` is the block checkpoint captured when the
+    /// branch's fetch block was predicted.
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst);
 }
 
 /// Shared [`FrontEnd::repair`] body: restore every checkpointed register,
@@ -255,19 +263,20 @@ pub trait FrontEnd {
 pub(crate) fn repair_spec(
     spec: &mut SpecState,
     info: &BranchInfo,
+    meta: &BlockMeta,
     di: &DynInst,
     push_cond_hist: bool,
 ) {
     // History: restore, then shift in the actual direction if this branch
     // was a predicted (block-ending) conditional.
-    spec.hist = info.meta.hist;
+    spec.hist = meta.hist;
     if push_cond_hist && di.is_cond_branch() && info.is_end {
         spec.hist.push(di.taken);
     }
     // RAS and stream registers: restore the checkpoints.
-    spec.ras.restore(info.meta.ras);
-    spec.path = info.meta.path;
-    spec.stream_start = info.meta.stream_start;
+    spec.ras.restore(meta.ras);
+    spec.path = meta.path;
+    spec.stream_start = meta.stream_start;
     // A taken branch applies its call/return effect and closes the stream.
     if di.taken {
         match di.class.branch_kind() {
@@ -277,7 +286,7 @@ pub(crate) fn repair_spec(
             }
             _ => {}
         }
-        spec.path.push(info.meta.stream_start);
+        spec.path.push(meta.stream_start);
         spec.stream_start = di.next_pc;
     }
 }
@@ -523,7 +532,7 @@ impl FrontEnd for AnyFrontEnd {
         program: &Program,
         width: u32,
         max_blocks: usize,
-        out: &mut Vec<PredictedBlock>,
+        out: &mut VecDeque<PredictedBlock>,
     ) {
         match self {
             AnyFrontEnd::GshareBtb(e) => {
@@ -541,12 +550,12 @@ impl FrontEnd for AnyFrontEnd {
         }
     }
 
-    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+    fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst) {
         match self {
-            AnyFrontEnd::GshareBtb(e) => e.train_resolve(info, di),
-            AnyFrontEnd::GskewFtb(e) => e.train_resolve(info, di),
-            AnyFrontEnd::Stream(e) => e.train_resolve(info, di),
-            AnyFrontEnd::TraceCache(e) => e.train_resolve(info, di),
+            AnyFrontEnd::GshareBtb(e) => e.train_resolve(info, hist, di),
+            AnyFrontEnd::GskewFtb(e) => e.train_resolve(info, hist, di),
+            AnyFrontEnd::Stream(e) => e.train_resolve(info, hist, di),
+            AnyFrontEnd::TraceCache(e) => e.train_resolve(info, hist, di),
         }
     }
 
@@ -573,12 +582,12 @@ impl FrontEnd for AnyFrontEnd {
         }
     }
 
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst) {
         match self {
-            AnyFrontEnd::GshareBtb(e) => e.repair(spec, info, di),
-            AnyFrontEnd::GskewFtb(e) => e.repair(spec, info, di),
-            AnyFrontEnd::Stream(e) => e.repair(spec, info, di),
-            AnyFrontEnd::TraceCache(e) => e.repair(spec, info, di),
+            AnyFrontEnd::GshareBtb(e) => e.repair(spec, info, meta, di),
+            AnyFrontEnd::GskewFtb(e) => e.repair(spec, info, meta, di),
+            AnyFrontEnd::Stream(e) => e.repair(spec, info, meta, di),
+            AnyFrontEnd::TraceCache(e) => e.repair(spec, info, meta, di),
         }
     }
 }
@@ -663,9 +672,8 @@ mod tests {
             spec_next: Addr::new(0x40_0104),
             mispredicted: true,
             decode_redirect: false,
-            meta,
         };
-        e.repair(&mut spec, &info, &di);
+        e.repair(&mut spec, &info, &meta, &di);
         // History = checkpoint + actual outcome (taken).
         let mut expect = meta.hist;
         expect.push(true);
@@ -713,9 +721,8 @@ mod tests {
                 spec_next: Addr::new(0x40_0200),
                 mispredicted: true,
                 decode_redirect: false,
-                meta,
             };
-            e.repair(&mut spec, &info, &di);
+            e.repair(&mut spec, &info, &meta, &di);
             assert_eq!(spec.ras.depth(), depth_at_ckpt, "{kind}: RAS depth");
             assert_eq!(
                 spec.ras.peek(),

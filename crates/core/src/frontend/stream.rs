@@ -1,7 +1,7 @@
 //! The stream front-end: learned instruction streams, no per-branch
 //! direction predictor.
 
-use smt_bpred::{ObservedStream, StreamPath, StreamPredictor};
+use smt_bpred::{GlobalHistory, ObservedStream, StreamPath, StreamPredictor};
 use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, ThreadId};
 use smt_workloads::Program;
 
@@ -109,7 +109,7 @@ impl FrontEnd for Stream {
         }
     }
 
-    fn train_resolve(&mut self, _info: &BranchInfo, _di: &DynInst) {
+    fn train_resolve(&mut self, _info: &BranchInfo, _hist: GlobalHistory, _di: &DynInst) {
         // Stream training happens at commit, on completed streams.
     }
 
@@ -117,9 +117,9 @@ impl FrontEnd for Stream {
         self.predictor.train(start, path, obs);
     }
 
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst) {
         // No direction predictor, so the speculative history never shifts.
-        repair_spec(spec, info, di, false);
+        repair_spec(spec, info, meta, di, false);
     }
 }
 

@@ -5,6 +5,8 @@ use smt_bpred::{Btb, GlobalHistory, Gshare, Trace, TraceCache as TraceStore, Tra
 use smt_isa::{Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, InstClass, ThreadId};
 use smt_workloads::Program;
 
+use std::collections::VecDeque;
+
 use crate::config::{FetchEngineKind, SimConfig};
 
 use super::{
@@ -89,7 +91,7 @@ impl TraceCache {
         program: &Program,
         width: u32,
         max_blocks: usize,
-        out: &mut Vec<PredictedBlock>,
+        out: &mut VecDeque<PredictedBlock>,
     ) {
         // Multiple-branch prediction: up to 3 segment-end directions,
         // indexed by (start + i, incrementally updated history).
@@ -140,7 +142,7 @@ impl TraceCache {
                         }
                         _ => fall,
                     };
-                    out.push(PredictedBlock {
+                    out.push_back(PredictedBlock {
                         block: FetchBlock {
                             thread,
                             start: seg.start,
@@ -154,7 +156,7 @@ impl TraceCache {
                     });
                 }
             }
-            None => out.push(self.predict_block(thread, pc, spec, program, width)),
+            None => out.push_back(self.predict_block(thread, pc, spec, program, width)),
         }
     }
 }
@@ -201,17 +203,17 @@ impl FrontEnd for TraceCache {
         program: &Program,
         width: u32,
         max_blocks: usize,
-        out: &mut Vec<PredictedBlock>,
+        out: &mut VecDeque<PredictedBlock>,
     ) {
         self.predict_trace(thread, pc, spec, program, width, max_blocks.max(1), out);
     }
 
-    fn train_resolve(&mut self, info: &BranchInfo, di: &DynInst) {
+    fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst) {
         // The core fetch unit trains like gshare+BTB; the trace cache
         // itself and the multiple-branch predictor are trained by the fill
         // unit at commit.
         if info.is_end && di.is_cond_branch() {
-            self.gshare.update(di.pc, info.meta.hist, di.taken);
+            self.gshare.update(di.pc, hist, di.taken);
         }
         if di.taken {
             let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
@@ -289,8 +291,8 @@ impl FrontEnd for TraceCache {
         });
     }
 
-    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, di: &DynInst) {
-        repair_spec(spec, info, di, true);
+    fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst) {
+        repair_spec(spec, info, meta, di, true);
     }
 }
 
@@ -318,8 +320,8 @@ mod tests {
         prog: &Program,
         width: u32,
         max_blocks: usize,
-    ) -> Vec<PredictedBlock> {
-        let mut out = Vec::new();
+    ) -> VecDeque<PredictedBlock> {
+        let mut out = VecDeque::new();
         e.predict_blocks_into(0, pc, spec, prog, width, max_blocks, &mut out);
         out
     }

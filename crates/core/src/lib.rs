@@ -53,4 +53,4 @@ pub use metrics::StallBreakdown;
 pub use metrics::{FetchDistribution, SimStats};
 pub use sim::{BuildError, SimBuilder, Simulator};
 pub use smt_isa::{has_errors, Diagnostic, Severity};
-pub use thread::{FtqEntry, InFlight, PhysReg, ThreadState};
+pub use thread::{InFlight, PhysReg, ThreadState};

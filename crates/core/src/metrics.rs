@@ -142,6 +142,9 @@ pub struct SimStats {
     pub flushes: u64,
     /// Per-thread stall attribution (one bucket per thread per cycle).
     pub stalls: StallBreakdown,
+    /// Cycles skipped by the idle fast-forward (already included in
+    /// `cycles`; diagnostic for how much of the run was provably idle).
+    pub ff_cycles: u64,
 }
 
 impl SimStats {

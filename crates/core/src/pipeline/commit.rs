@@ -25,6 +25,9 @@ impl PipelineStage for CommitStage {
         let n = ctx.threads.len();
         let mut budget = ctx.cfg.commit_width;
         let start = (ctx.cycle as usize) % n;
+        // Only the trace cache's fill unit consumes committed instructions;
+        // skip the per-instruction buffer shuffle entirely for the others.
+        let trace_fill_active = matches!(ctx.frontend, crate::frontend::AnyFrontEnd::TraceCache(_));
         for k in 0..n {
             let tid = (start + k) % n;
             while budget > 0 {
@@ -57,7 +60,7 @@ impl PipelineStage for CommitStage {
                 }
 
                 // Trace-cache fill unit (no-op for other engines).
-                {
+                if trace_fill_active {
                     let hist_end = ctx.threads[tid].commit_hist_end;
                     let mut fill = std::mem::take(&mut ctx.threads[tid].trace_fill);
                     ctx.frontend
@@ -75,18 +78,20 @@ impl PipelineStage for CommitStage {
                 ctx.threads[tid].commit_stream_len += 1;
                 if inst.di.is_branch() {
                     if let Some(info) = &inst.binfo {
-                        ctx.frontend.train_resolve(info, &inst.di);
+                        // The slot cannot have been reused: the instruction
+                        // left the window this very cycle, and fetch runs
+                        // after commit within the tick.
+                        let meta_hist = ctx.threads[tid].meta(inst.seq).hist;
+                        ctx.frontend.train_resolve(info, meta_hist, &inst.di);
                         if inst.di.is_cond_branch() {
                             ctx.stats.cond_branches += 1;
                             if info.spec_taken != inst.di.taken {
                                 ctx.stats.cond_mispredicts += 1;
                             }
                             if info.is_end {
-                                let bits = info.meta.hist.len().min(16);
+                                let bits = meta_hist.len().min(16);
                                 let mask = (1u64 << bits) - 1;
-                                if info.meta.hist.bits() & mask
-                                    != ctx.threads[tid].commit_hist & mask
-                                {
+                                if meta_hist.bits() & mask != ctx.threads[tid].commit_hist & mask {
                                     ctx.stats.hist_mismatches += 1;
                                     // Counter check first: the env lookup
                                     // (which may allocate) then runs at most
@@ -97,7 +102,7 @@ impl PipelineStage for CommitStage {
                                         eprintln!(
                                             "hist mismatch @cycle {} t{} pc {} ckpt {:016b} arch {:016b} taken {} spec_taken {}",
                                             now, tid, inst.di.pc,
-                                            info.meta.hist.bits() & mask,
+                                            meta_hist.bits() & mask,
                                             ctx.threads[tid].commit_hist & mask,
                                             inst.di.taken, info.spec_taken
                                         );

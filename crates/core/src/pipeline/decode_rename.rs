@@ -93,9 +93,16 @@ impl PipelineStage for DispatchStage {
                 continue;
             }
             // The window entry may have been squashed since renaming began.
-            let Some((class, dest, srcs)) = ctx.threads[e.tid]
-                .inst(e.seq)
-                .map(|i| (i.di.class, i.di.dest, i.di.srcs))
+            let Some((class, dest, srcs, mem_addr, wrong_path)) =
+                ctx.threads[e.tid].inst(e.seq).map(|i| {
+                    (
+                        i.di.class,
+                        i.di.dest,
+                        i.di.srcs,
+                        i.di.mem.map(|m| m.addr),
+                        i.di.wrong_path,
+                    )
+                })
             else {
                 // The entry evaporates: it left the pre-issue structures
                 // without moving to an issue queue.
@@ -163,6 +170,12 @@ impl PipelineStage for DispatchStage {
                 tid: e.tid,
                 seq: e.seq,
                 entered: now,
+                // Entries age one cycle before they can issue.
+                wake: now + 1,
+                src_phys,
+                class,
+                wrong_path,
+                mem_addr,
             };
             match PipelineCtx::queue_for(class) {
                 0 => ctx.iq_int.push(iq),

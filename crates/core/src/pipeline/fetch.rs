@@ -9,12 +9,12 @@
 // built, these are genuine internal invariants, not input errors.
 // lint:allow-file(no-panic)
 
-use smt_isa::{InstClass, MAX_THREADS};
+use smt_isa::{Addr, DynInst, InstClass, MAX_THREADS};
 use smt_mem::FetchOutcome;
 
 use crate::config::LongLatencyAction;
-use crate::frontend::{BranchInfo, FrontEnd, PredictedBlock, LINE_BYTES};
-use crate::thread::{FtqEntry, InFlight};
+use crate::frontend::{BranchInfo, FrontEnd, LINE_BYTES};
+use crate::thread::InFlight;
 
 use super::{
     BankSet, LatchEntry, PipelineCtx, PipelineStage, STALL_BANK_CONFLICT, STALL_FETCH_STARVED,
@@ -22,22 +22,10 @@ use super::{
 };
 
 /// The prediction stage: serves up to `n` threads per cycle, asking the
-/// front-end engine for fetch blocks and pushing them into per-thread FTQs.
+/// front-end engine for fetch blocks. The engine appends straight into the
+/// served thread's FTQ — each predicted block is written exactly once.
 #[derive(Clone, Debug)]
-pub(crate) struct PredictStage {
-    /// Reusable scratch for the per-cycle block list. Cleared each use; its
-    /// capacity (the FTQ depth) never grows, keeping the steady-state loop
-    /// allocation-free.
-    scratch: Vec<PredictedBlock>,
-}
-
-impl PredictStage {
-    pub(crate) fn new(ftq_depth: usize) -> Self {
-        PredictStage {
-            scratch: Vec::with_capacity(ftq_depth),
-        }
-    }
-}
+pub(crate) struct PredictStage;
 
 impl PipelineStage for PredictStage {
     fn tick(&mut self, ctx: &mut PipelineCtx) {
@@ -48,15 +36,14 @@ impl PipelineStage for PredictStage {
         let now = ctx.cycle;
         let order = ctx.priorities();
         // Split the borrows by field so the engine can read the thread's
-        // program while updating its speculative state — no per-thread
-        // `Program` clone, no per-cycle block Vec.
+        // program while updating its speculative state and FTQ — no
+        // per-thread `Program` clone, no per-cycle block Vec.
         let PipelineCtx {
             frontend,
             threads,
             stats,
             ..
         } = ctx;
-        let scratch = &mut self.scratch;
         let mut served = 0usize;
         for &tid in order.order() {
             if served == ports {
@@ -64,12 +51,12 @@ impl PipelineStage for PredictStage {
             }
             let th = &mut threads[tid];
             let gated = gating && th.mem_stall_until.is_some_and(|until| until > now);
-            if th.ftq.len() >= ftq_depth || gated {
+            let depth = th.ftq.len();
+            if depth >= ftq_depth || gated {
                 continue;
             }
             let pc = th.next_fetch_pc;
-            let space = ftq_depth - th.ftq.len();
-            scratch.clear();
+            let space = ftq_depth - depth;
             frontend.predict_blocks_into(
                 tid,
                 pc,
@@ -77,23 +64,49 @@ impl PipelineStage for PredictStage {
                 th.walker.program(),
                 width,
                 space,
-                scratch,
+                &mut th.ftq,
             );
-            debug_assert!(!scratch.is_empty() && scratch.len() <= space);
-            th.next_fetch_pc = scratch.last().expect("non-empty").block.next_fetch;
-            stats.blocks_predicted += scratch.len() as u64;
-            for &pb in scratch.iter() {
-                th.ftq.push_back(FtqEntry { pb, consumed: 0 });
-            }
+            debug_assert!(th.ftq.len() > depth && th.ftq.len() <= ftq_depth);
+            th.next_fetch_pc = th.ftq.back().expect("non-empty").block.next_fetch;
+            stats.blocks_predicted += (th.ftq.len() - depth) as u64;
             served += 1;
         }
     }
 }
 
+/// Placeholder [`DynInst`] used to pre-fill the fetch stage's bulk-decode
+/// scratch; every slot is overwritten by the walker before it is read.
+const SCRATCH_FILL: DynInst = DynInst {
+    thread: 0,
+    static_id: 0,
+    pc: Addr::NULL,
+    class: InstClass::IntAlu,
+    dest: None,
+    srcs: [None, None],
+    mem: None,
+    taken: false,
+    next_pc: Addr::NULL,
+    wrong_path: false,
+};
+
 /// The fetch stage: drains FTQ heads through the I-cache into the shared
 /// fetch buffer, under the policy's port/width budget.
 #[derive(Clone, Debug)]
-pub(crate) struct FetchStage;
+pub(crate) struct FetchStage {
+    /// Reusable scratch for the walker's bulk block decode
+    /// ([`Walker::next_block`](smt_workloads::Walker::next_block)). Sized to
+    /// the fetch width at construction and never grows, so the steady-state
+    /// loop stays allocation-free.
+    scratch: Vec<DynInst>,
+}
+
+impl FetchStage {
+    pub(crate) fn new(width: u32) -> Self {
+        FetchStage {
+            scratch: vec![SCRATCH_FILL; width as usize],
+        }
+    }
+}
 
 impl PipelineStage for FetchStage {
     fn tick(&mut self, ctx: &mut PipelineCtx) {
@@ -128,7 +141,14 @@ impl PipelineStage for FetchStage {
                 break;
             }
             let is_second = port > 0;
-            let (got, did_attempt) = fetch_from(ctx, tid, budget, &mut banks_used, is_second);
+            let (got, did_attempt) = fetch_from(
+                ctx,
+                tid,
+                budget,
+                &mut banks_used,
+                is_second,
+                &mut self.scratch,
+            );
             attempted |= did_attempt;
             delivered_total += got;
             budget -= got;
@@ -162,6 +182,7 @@ fn fetch_from(
     budget: u32,
     banks_used: &mut BankSet,
     second_port: bool,
+    scratch: &mut [DynInst],
 ) -> (u32, bool) {
     let now = ctx.cycle;
     let mut budget = budget;
@@ -173,17 +194,23 @@ fn fetch_from(
     // exception: the trace storage supplies them all in one access.
     loop {
         let room = ctx.cfg.fetch_buffer as usize - ctx.fetch_buffer.len();
-        let Some(entry) = ctx.threads[tid].ftq.front() else {
-            break;
+        let (group, start_pc, remaining) = {
+            let th = &ctx.threads[tid];
+            let Some(head) = th.ftq.front() else {
+                break;
+            };
+            (
+                head.trace_group,
+                head.block.start.add_insts(th.ftq_consumed as u64),
+                head.block.len - th.ftq_consumed,
+            )
         };
-        let group = entry.pb.trace_group;
         if delivered > 0 && (group.is_none() || group != current_group) {
             break;
         }
         current_group = group;
         let is_trace = group.is_some();
-        let start_pc = entry.pb.block.start.add_insts(entry.consumed as u64);
-        let want = budget.min(entry.remaining()).min(room as u32);
+        let want = budget.min(remaining).min(room as u32);
         if want == 0 {
             break;
         }
@@ -240,7 +267,7 @@ fn fetch_from(
         if allowed == 0 {
             break;
         }
-        deliver(ctx, tid, allowed);
+        deliver(ctx, tid, allowed, scratch);
         delivered += allowed;
         budget -= allowed;
         // Continue across FTQ entries only within one trace line.
@@ -258,13 +285,28 @@ fn fetch_from(
 
 /// Delivers `n` instructions from `tid`'s FTQ head into the window and
 /// the fetch buffer, consulting the oracle walker.
-fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
+///
+/// The on-oracle prefix of the delivery is decoded in one bulk
+/// [`next_block`](smt_workloads::Walker::next_block) call into `scratch`.
+/// The walker stops the bulk run after the first redirecting instruction,
+/// which is exactly where this loop either finishes the block (correctly
+/// predicted end branch) or detects a misprediction and diverges — so the
+/// per-position results are identical to single-stepping.
+fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
     let now = ctx.cycle;
     let th = &mut ctx.threads[tid];
-    let entry = *th.ftq.front().expect("caller checked");
-    let block = entry.pb.block;
+    // Copy out only the block descriptor (a few words); the bulky block
+    // checkpoint stays in the FTQ head until a branch needs it recorded.
+    let consumed = th.ftq_consumed;
+    let block = th.ftq.front().expect("caller checked").block;
+    let first_pc = block.start.add_insts(consumed as u64);
+    let bulk = if !th.diverged && th.walker.pc() == first_pc {
+        th.walker.next_block(&mut scratch[..n as usize], n as usize)
+    } else {
+        0
+    };
     for i in 0..n {
-        let idx_in_block = entry.consumed + i;
+        let idx_in_block = consumed + i;
         let pc = block.start.add_insts(idx_in_block as u64);
         let is_last = idx_in_block == block.len - 1;
         let is_end = is_last && block.end_branch.is_some();
@@ -274,8 +316,12 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
             pc.add_insts(1)
         };
 
-        let on_oracle = !th.diverged && th.walker.pc() == pc;
-        let di = if on_oracle {
+        let bulk_hit = (i as usize) < bulk;
+        let on_oracle = bulk_hit || (!th.diverged && th.walker.pc() == pc);
+        let di = if bulk_hit {
+            debug_assert_eq!(scratch[i as usize].pc, pc);
+            scratch[i as usize]
+        } else if on_oracle {
             th.walker.next_inst()
         } else {
             let (spec_taken, spec_target) = if is_end {
@@ -317,7 +363,6 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
                 spec_next,
                 mispredicted,
                 decode_redirect,
-                meta: entry.pb.meta,
             })
         } else {
             None
@@ -325,6 +370,11 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
 
         let seq = th.next_seq;
         th.next_seq += 1;
+        // The checkpoint rides in the thread's seq-indexed ring, not the
+        // window entry, so the window slot stays small (see `meta_ring`).
+        if binfo.is_some() {
+            th.set_meta_from_ftq_head(seq);
+        }
         if di.wrong_path {
             ctx.stats.fetched_wrong_path += 1;
         }
@@ -347,10 +397,10 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
             entered: now,
         });
     }
-    let e = th.ftq.front_mut().expect("caller checked");
-    e.consumed += n;
-    if e.consumed == e.pb.block.len {
+    th.ftq_consumed += n;
+    if th.ftq_consumed == block.len {
         th.ftq.pop_front();
+        th.ftq_consumed = 0;
     }
     // Each delivered instruction occupies one fetch-buffer slot.
     ctx.preissue[tid] += n;

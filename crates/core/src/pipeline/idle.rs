@@ -1,0 +1,148 @@
+//! Idle-cycle fast-forward: when every active thread is provably stalled
+//! until a known wake-up cycle, advance the clock in one step instead of
+//! ticking eight no-op stages per cycle.
+//!
+//! The predicate below is *exact*, not heuristic: a cycle is skipped only
+//! when replaying it through `Simulator::step` would mutate nothing but the
+//! cycle counter and the stall-attribution buckets. Both of those are
+//! reproduced here for every skipped cycle (the per-thread stall flags are
+//! provably constant across the skipped window), so all statistics —
+//! including the `stalls.total(tid) == cycles` partition invariant — stay
+//! bit-identical to the step-by-step execution. The step-equivalence
+//! property tests compare whole `SimStats` snapshots to lock this in.
+//!
+//! Windows large enough to matter arise from I-cache misses that block
+//! every thread at once and, far more often, from the STALL/FLUSH
+//! long-latency policies (§5 of the paper), which deliberately idle a
+//! thread for the full memory latency.
+
+use smt_isa::InstClass;
+
+use super::{IqEntry, PipelineCtx};
+
+/// Tightens the wake-up bound.
+#[inline]
+fn bound(wake: &mut u64, at: u64) {
+    *wake = (*wake).min(at);
+}
+
+/// Scans one issue queue; returns `false` if any entry could issue at
+/// `now` (or needs issue-stage cleanup), tightening `wake` otherwise.
+fn queue_idle(ctx: &PipelineCtx, queue: &[IqEntry], now: u64, wake: &mut u64) -> bool {
+    for e in queue {
+        // Queue entries never outlive their window instructions (squash and
+        // flush purge the queues eagerly), so the cached sources are live.
+        debug_assert!(ctx.threads[e.tid].inst(e.seq).is_some());
+        // First cycle the entry could issue: it must have aged one cycle
+        // and every renamed source must be ready. An un-issued producer
+        // leaves `ready_at` at `u64::MAX`; such entries are unbounded here
+        // but their producers' own queue entries bound the wake-up.
+        let mut ready = e.entered + 1;
+        for &p in e.src_phys.iter().flatten() {
+            ready = ready.max(ctx.ready_at[p as usize]);
+        }
+        if ready <= now {
+            return false;
+        }
+        if ready != u64::MAX {
+            bound(wake, ready);
+        }
+    }
+    true
+}
+
+/// If the machine is provably idle at `ctx.cycle`, advances the clock by up
+/// to `max` cycles (bounded by the earliest wake-up), charging the same
+/// per-cycle stall buckets the stages would have, and returns the number of
+/// cycles skipped. Returns 0 when any stage could act this cycle.
+pub(crate) fn fast_forward(ctx: &mut PipelineCtx, max: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    // Any in-flight pre-dispatch instruction means decode/rename/dispatch
+    // will act. With all three empty, every window instruction is
+    // dispatched.
+    if !ctx.fetch_buffer.is_empty() || !ctx.decode_latch.is_empty() || !ctx.rename_latch.is_empty()
+    {
+        return 0;
+    }
+    let now = ctx.cycle;
+    let ftq_depth = ctx.cfg.ftq_depth as usize;
+    let mut wake = u64::MAX;
+    for (tid, th) in ctx.threads.iter().enumerate() {
+        // Mis-speculation in flight: resolve/squash can fire on its own
+        // schedule (decode-detectable redirects are purely time-based).
+        if th.pending_redirect.is_some() || th.diverged {
+            return 0;
+        }
+        let gated = ctx.gated(tid);
+        // The prediction stage fills any ungated thread with FTQ space.
+        if th.ftq.len() < ftq_depth && !gated {
+            return 0;
+        }
+        // The fetch stage serves any eligible ungated thread (the fetch
+        // buffer is empty, so it always has room to deliver).
+        if th.fetch_eligible(now) && !gated {
+            return 0;
+        }
+        if let Some(m) = th.mem_stall_until {
+            if m > now {
+                bound(&mut wake, m);
+            }
+        }
+        // Keep the I-cache-miss stall flag constant across the window.
+        if !th.ftq.is_empty() {
+            if let Some(r) = th.iblock_until {
+                if r > now {
+                    bound(&mut wake, r);
+                }
+            }
+        }
+        if let Some(head) = th.window.front() {
+            debug_assert!(head.dispatched, "undispatched head with empty latches");
+            if head.completed(now) {
+                return 0; // commit would retire it
+            }
+            if head.issued {
+                bound(&mut wake, head.done_at);
+            }
+        }
+    }
+    if !queue_idle(ctx, &ctx.iq_int, now, &mut wake)
+        || !queue_idle(ctx, &ctx.iq_ls, now, &mut wake)
+        || !queue_idle(ctx, &ctx.iq_fp, now, &mut wake)
+    {
+        return 0;
+    }
+    if wake <= now || wake == u64::MAX {
+        return 0;
+    }
+    let skip = (wake - now).min(max);
+    // Charge each skipped cycle's stall attribution. The observable flags
+    // are constant across the window (each bound above guarantees the
+    // condition it depends on outlasts `wake`), so per thread the whole
+    // window lands in one bucket, with the same severity resolution as
+    // `attribute_stalls`: dcache-miss outranks icache-miss; no other stage
+    // observes anything while the machine is idle.
+    for tid in 0..ctx.threads.len() {
+        debug_assert_eq!(ctx.stall_flags[tid], 0, "unconsumed stall flags");
+        let th = &ctx.threads[tid];
+        let dcache = th.window.front().is_some_and(|h| {
+            h.dispatched && h.issued && !h.completed(now) && h.di.class == InstClass::Load
+        });
+        let icache = !th.ftq.is_empty() && th.iblock_until.is_some_and(|r| r > now);
+        let s = &mut ctx.stats.stalls;
+        let bucket = if dcache {
+            &mut s.dcache_miss
+        } else if icache {
+            &mut s.icache_miss
+        } else {
+            &mut s.residual
+        };
+        bucket[tid] += skip;
+    }
+    ctx.cycle += skip;
+    ctx.stats.cycles = ctx.cycle - ctx.stats_since;
+    ctx.stats.ff_cycles += skip;
+    skip
+}

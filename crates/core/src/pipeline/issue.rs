@@ -69,8 +69,7 @@ impl IssueStage {
         let mut issued = 0u32;
         let len = queue.len();
         for idx in 0..len {
-            let e = queue[idx];
-            if issued == fu_limit || e.entered >= now {
+            if issued == fu_limit || queue[idx].entered >= now {
                 // Entries append in dispatch order, so `entered` is
                 // non-decreasing along the queue, and an exhausted FU limit
                 // stays exhausted: the whole tail is kept verbatim.
@@ -83,34 +82,58 @@ impl IssueStage {
                         }
                     }
                 }
-                queue.copy_within(idx..len, kept);
+                if kept != idx {
+                    queue.copy_within(idx..len, kept);
+                }
                 kept += len - idx;
                 break;
             }
-            // Squashed entries evaporate.
-            let Some(inst) = ctx.threads[e.tid].inst(e.seq) else {
-                ctx.preissue[e.tid] -= 1;
-                continue;
-            };
-            let ready = inst
-                .src_phys
-                .iter()
-                .flatten()
-                .all(|&p| ctx.ready_at[p as usize] <= now);
-            if !ready {
-                queue[kept] = e;
+            // Operand-blocked entries park behind their cached wake-up
+            // cycle: one compare, no window deref (see `IqEntry::wake`).
+            // Compaction copies only happen once an earlier entry has left
+            // the queue (`kept != idx`); the steady-state prefix of waiting
+            // entries is scanned in place.
+            if queue[idx].wake > now {
+                if kept != idx {
+                    queue[kept] = queue[idx];
+                }
                 kept += 1;
                 continue;
             }
-            let class = inst.di.class;
-            let mem_addr = inst.di.mem.map(|m| m.addr);
-            let wrong_path = inst.di.wrong_path;
+            // Queue entries never outlive their window instructions (squash
+            // and flush purge the queues eagerly), so the cached operand
+            // and class fields are always live.
+            debug_assert!(ctx.threads[queue[idx].tid].inst(queue[idx].seq).is_some());
+            let mut ready_cycle = 0u64;
+            let mut unresolved = false;
+            for &p in queue[idx].src_phys.iter().flatten() {
+                let r = ctx.ready_at[p as usize];
+                unresolved |= r == u64::MAX;
+                ready_cycle = ready_cycle.max(r);
+            }
+            if ready_cycle > now {
+                // An unresolved source (producer not yet issued) must be
+                // re-examined next cycle; a finite bound is exact and lets
+                // the entry sleep until it arrives.
+                if kept != idx {
+                    queue[kept] = queue[idx];
+                }
+                queue[kept].wake = if unresolved { now + 1 } else { ready_cycle };
+                kept += 1;
+                continue;
+            }
+            let e = queue[idx];
+            let class = e.class;
+            let mem_addr = e.mem_addr;
+            let wrong_path = e.wrong_path;
             let done_at = match class {
                 InstClass::Load => {
                     let addr = mem_addr.expect("loads carry addresses");
                     match ctx.mem.load(addr, now) {
                         DataOutcome::Stall => {
-                            queue[kept] = e;
+                            if kept != idx {
+                                queue[kept] = e;
+                            }
                             kept += 1;
                             continue;
                         }

@@ -23,12 +23,13 @@
 pub(crate) mod commit;
 pub(crate) mod decode_rename;
 pub(crate) mod fetch;
+pub(crate) mod idle;
 pub(crate) mod issue;
 pub(crate) mod recovery;
 
 use std::collections::VecDeque;
 
-use smt_isa::{Cycle, InstClass, MAX_THREADS};
+use smt_isa::{Addr, Cycle, InstClass, MAX_THREADS};
 use smt_mem::MemoryHierarchy;
 
 use crate::config::{LongLatencyAction, PolicyKind, SimConfig};
@@ -70,11 +71,40 @@ pub(crate) const STALL_ISSUE_WIDTH: u8 = 1 << 4;
 pub(crate) const STALL_DCACHE_MISS: u8 = 1 << 5;
 
 /// Issue-queue entry.
+///
+/// Besides the identifying `(tid, seq)` pair, the entry caches everything
+/// the issue scan needs from the in-flight instruction — renamed sources,
+/// class, memory address, wrong-path bit — all of which are immutable after
+/// dispatch. The per-cycle wakeup scan therefore runs over the contiguous
+/// queue `Vec` alone, never chasing into the per-thread window deques; the
+/// window entry is only touched on actual issue (to record `issued` /
+/// `done_at`). Sound because a queue entry cannot outlive its window
+/// instruction: squash and flush purge the queues in the same call that
+/// rolls the window back, and commit only retires already-issued heads.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct IqEntry {
     pub(crate) tid: usize,
     pub(crate) seq: u64,
     pub(crate) entered: Cycle,
+    /// Cached earliest cycle this entry could issue — an *exact* bound, not
+    /// a heuristic: `entered + 1` until the sources are examined, then the
+    /// max source `ready_at` once every source is finite (finite `ready_at`
+    /// values never change while a consumer is in flight: the producer's
+    /// register cannot be reallocated before the consumer commits). Entries
+    /// with an unresolved (`u64::MAX`) source are re-examined every cycle.
+    /// Lets the issue scan skip operand-blocked entries with one compare
+    /// instead of `ready_at` loads, without changing the issue order or
+    /// timing by a single cycle.
+    pub(crate) wake: Cycle,
+    /// Renamed source registers, fixed at dispatch.
+    pub(crate) src_phys: [Option<PhysReg>; 2],
+    /// Instruction class (selects latency and, for loads/stores, the data
+    /// cache path).
+    pub(crate) class: InstClass,
+    /// Wrong-path bit (wrong-path loads never arm STALL/FLUSH).
+    pub(crate) wrong_path: bool,
+    /// Data address for loads and stores.
+    pub(crate) mem_addr: Option<Addr>,
 }
 
 /// Pipeline-latch entry.

@@ -49,12 +49,13 @@ impl PipelineStage for ResolveStage {
 /// Squashes everything younger than `seq` in thread `tid` and redirects
 /// its front end to the oracle path.
 pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
-    // Extract the branch's recovery info first (both payloads are
+    // Extract the branch's recovery info first (all payloads are
     // `Copy`, so this is a plain read).
     let (di, binfo) = {
         let inst = ctx.threads[tid].inst(seq).expect("redirect target alive");
         (inst.di, inst.binfo.expect("diverging inst carries info"))
     };
+    let meta = *ctx.threads[tid].meta(seq);
     // Roll the window back, youngest first, undoing renames.
     let mut freed_rob = 0u32;
     {
@@ -89,9 +90,11 @@ pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
     ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32;
 
     // Repair the speculative front-end state and redirect.
-    ctx.frontend.repair(&mut ctx.threads[tid].spec, &binfo, &di);
+    ctx.frontend
+        .repair(&mut ctx.threads[tid].spec, &binfo, &meta, &di);
     let th = &mut ctx.threads[tid];
     th.ftq.clear();
+    th.ftq_consumed = 0;
     th.diverged = false;
     th.iblock_until = None;
     th.pending_redirect = None;
@@ -125,7 +128,7 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
             .iter()
             .skip((start - head) as usize)
             .find(|i| i.binfo.is_some())
-            .map(|i| (i.seq, i.binfo.as_ref().expect("checked").meta))
+            .map(|i| (i.seq, *th.meta(i.seq)))
     };
     let Some((flush_seq, meta)) = boundary else {
         return; // nothing younger worth flushing
@@ -178,6 +181,7 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
     th.spec.path = meta.path;
     th.spec.stream_start = meta.stream_start;
     th.ftq.clear();
+    th.ftq_consumed = 0;
     th.iblock_until = None;
     th.next_seq = flush_seq;
     th.next_fetch_pc = th.walker.pc();

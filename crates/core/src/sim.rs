@@ -25,6 +25,7 @@
 // lint:allow-file(no-panic)
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use smt_bpred::ReturnStack;
 use smt_isa::{ArchReg, Cycle, Diagnostic, MAX_THREADS};
@@ -99,7 +100,7 @@ impl std::error::Error for BuildError {}
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimBuilder {
-    programs: Vec<Program>,
+    programs: Vec<Arc<Program>>,
     engine: FetchEngineKind,
     cfg: SimConfig,
 }
@@ -107,6 +108,16 @@ pub struct SimBuilder {
 impl SimBuilder {
     /// Starts a builder for the given per-thread programs.
     pub fn new(programs: Vec<Program>) -> Self {
+        SimBuilder::new_shared(programs.into_iter().map(Arc::new).collect())
+    }
+
+    /// Starts a builder for already-shared per-thread programs.
+    ///
+    /// Programs are immutable once built, so sweep cells (and threads
+    /// running the same binary) can hand the same `Arc` to many simulators
+    /// instead of deep-cloning megabytes of instruction and behavior
+    /// tables per cell.
+    pub fn new_shared(programs: Vec<Arc<Program>>) -> Self {
         SimBuilder {
             programs,
             engine: FetchEngineKind::GshareBtb,
@@ -173,7 +184,7 @@ const _: () = {
 
 impl Simulator {
     fn new(
-        programs: Vec<Program>,
+        programs: Vec<Arc<Program>>,
         engine_kind: FetchEngineKind,
         cfg: SimConfig,
     ) -> Result<Self, BuildError> {
@@ -234,7 +245,6 @@ impl Simulator {
         let mem = MemoryHierarchy::new(mem_cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
 
         let width = cfg.fetch_policy.width;
-        let ftq_depth = cfg.ftq_depth as usize;
         let decode_width = cfg.decode_width as usize;
         let fu_ls = cfg.fu_ls as usize;
         // Every queue is built at its configuration-derived high-water mark,
@@ -270,8 +280,8 @@ impl Simulator {
             dispatch: DispatchStage::new(decode_width),
             rename: RenameStage,
             decode: DecodeStage,
-            fetch: FetchStage,
-            predict: PredictStage::new(ftq_depth),
+            fetch: FetchStage::new(width),
+            predict: PredictStage,
         })
     }
 
@@ -318,8 +328,15 @@ impl Simulator {
     /// The return value borrows the simulator's own counters (clone it if
     /// you need the snapshot to outlive further stepping).
     pub fn run_cycles(&mut self, n: u64) -> &SimStats {
-        for _ in 0..n {
-            self.step();
+        let mut left = n;
+        while left > 0 {
+            match crate::pipeline::idle::fast_forward(&mut self.ctx, left) {
+                0 => {
+                    self.step();
+                    left -= 1;
+                }
+                k => left -= k,
+            }
         }
         &self.ctx.stats
     }
@@ -330,7 +347,12 @@ impl Simulator {
     pub fn run_insts(&mut self, n: u64, max_cycles: u64) -> &SimStats {
         let start = self.ctx.cycle;
         while self.ctx.stats.total_committed() < n && self.ctx.cycle - start < max_cycles {
-            self.step();
+            // Nothing commits during an idle window, so fast-forwarding up
+            // to the cycle budget can never overshoot the instruction goal.
+            let budget = max_cycles - (self.ctx.cycle - start);
+            if crate::pipeline::idle::fast_forward(&mut self.ctx, budget) == 0 {
+                self.step();
+            }
         }
         &self.ctx.stats
     }

@@ -2,30 +2,13 @@
 //! instruction window.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use smt_bpred::StreamPath;
 use smt_isa::{Addr, Cycle, DynInst, ThreadId};
 use smt_workloads::{Program, Walker};
 
-use crate::frontend::{BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
-
-/// An FTQ entry: a predicted fetch block, partially consumed by the fetch
-/// stage (blocks longer than the fetch width span several cycles). `Copy` so
-/// the fetch stage reads entries by value without heap traffic.
-#[derive(Clone, Copy, Debug)]
-pub struct FtqEntry {
-    /// The predicted block plus recovery metadata.
-    pub pb: PredictedBlock,
-    /// Instructions already delivered from this block.
-    pub consumed: u32,
-}
-
-impl FtqEntry {
-    /// Instructions not yet delivered.
-    pub fn remaining(&self) -> u32 {
-        self.pb.block.len - self.consumed
-    }
-}
+use crate::frontend::{BlockMeta, BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
 
 /// Physical register id (dense across int + fp spaces).
 pub type PhysReg = u32;
@@ -38,8 +21,10 @@ pub struct InFlight {
     /// The dynamic instruction.
     pub di: DynInst,
     /// Branch/recovery metadata (branches and diverging instructions).
-    /// Stored inline (not boxed): the few extra words per window slot buy a
-    /// heap-allocation-free fetch path.
+    /// Stored inline (not boxed): a handful of words per window slot buys a
+    /// heap-allocation-free fetch path. The bulky [`BlockMeta`] checkpoint
+    /// lives in the thread's seq-indexed ring ([`ThreadState::meta`]), so
+    /// window pushes and pops never copy it.
     pub binfo: Option<BranchInfo>,
     /// Cycle the instruction was fetched.
     pub fetched_at: Cycle,
@@ -79,8 +64,15 @@ pub struct ThreadState {
     pub diverged: bool,
     /// Set while an I-cache miss blocks this thread's fetch.
     pub iblock_until: Option<Cycle>,
-    /// Fetch target queue.
-    pub ftq: VecDeque<FtqEntry>,
+    /// Fetch target queue. Prediction pushes blocks in directly (no
+    /// intermediate scratch copy); fetch consumes strictly from the head,
+    /// so only the head block can be partially delivered and a single
+    /// [`ftq_consumed`](ThreadState::ftq_consumed) counter tracks it.
+    pub ftq: VecDeque<PredictedBlock>,
+    /// Instructions already delivered from the FTQ head block (blocks
+    /// longer than the fetch width span several cycles). Reset to zero
+    /// whenever the head is popped or the FTQ is cleared.
+    pub ftq_consumed: u32,
     /// In-flight instructions in fetch order (front = oldest).
     pub window: VecDeque<InFlight>,
     /// Sequence number for the next fetched instruction.
@@ -110,12 +102,25 @@ pub struct ThreadState {
     /// Completion times of outstanding long-latency data misses (the
     /// MISSCOUNT metric); expired entries are drained lazily.
     pub outstanding_misses: Vec<Cycle>,
+    /// Block checkpoints for in-flight instructions carrying a
+    /// [`BranchInfo`], indexed by `seq & meta_mask`. The capacity exceeds
+    /// the window bound, and window sequence numbers are contiguous, so a
+    /// live instruction's slot cannot be reused before it retires or
+    /// squashes. Slots of instructions without a `binfo` are stale garbage
+    /// and never read. Keeping the checkpoints out of [`InFlight`] keeps
+    /// the window entries small: pushes, pops, and the commit path never
+    /// copy the ~100-byte checkpoint.
+    meta_ring: Vec<BlockMeta>,
+    /// Power-of-two mask for `meta_ring` indexing.
+    meta_mask: u64,
 }
 
 impl ThreadState {
-    /// Creates thread state for `program`, with the rename map filled by the
-    /// caller.
-    pub fn new(id: ThreadId, program: Program, hist_bits: u32) -> Self {
+    /// Creates thread state for `program` (shared, not cloned — every
+    /// thread and sweep cell running the same program references one
+    /// allocation), with the rename map filled by the caller.
+    pub fn new(id: ThreadId, program: impl Into<Arc<Program>>, hist_bits: u32) -> Self {
+        let program = program.into();
         let entry = program.entry();
         ThreadState {
             id,
@@ -125,6 +130,7 @@ impl ThreadState {
             diverged: false,
             iblock_until: None,
             ftq: VecDeque::new(),
+            ftq_consumed: 0,
             window: VecDeque::new(),
             next_seq: 0,
             rename_map: Vec::new(),
@@ -137,6 +143,8 @@ impl ThreadState {
             trace_fill: TraceFillBuffer::default(),
             mem_stall_until: None,
             outstanding_misses: Vec::new(),
+            meta_ring: Vec::new(),
+            meta_mask: 0,
         }
     }
 
@@ -150,6 +158,36 @@ impl ThreadState {
         self.ftq.reserve(ftq_depth);
         self.window.reserve(window_cap);
         self.outstanding_misses.reserve(window_cap);
+        // Strictly larger than the window bound so `seq & meta_mask` cannot
+        // collide between two live instructions (window seqs are
+        // contiguous). The placeholder fill is deterministic and never read.
+        let cap = (window_cap + 1).next_power_of_two();
+        self.meta_ring = vec![BlockMeta::capture(&self.spec); cap];
+        self.meta_mask = cap as u64 - 1;
+    }
+
+    /// The block checkpoint recorded for in-flight instruction `seq`.
+    ///
+    /// Valid only for sequence numbers of window instructions carrying a
+    /// [`BranchInfo`] (fetch records a checkpoint exactly when it attaches
+    /// one), or an instruction popped from the window this same cycle.
+    pub fn meta(&self, seq: u64) -> &BlockMeta {
+        &self.meta_ring[(seq & self.meta_mask) as usize]
+    }
+
+    /// Records the block checkpoint for in-flight instruction `seq`.
+    pub fn set_meta(&mut self, seq: u64, meta: &BlockMeta) {
+        self.meta_ring[(seq & self.meta_mask) as usize] = *meta;
+    }
+
+    /// Records the checkpoint for `seq` straight from the FTQ head's
+    /// predicted block — the fetch stage's common case — so the ~100-byte
+    /// value moves FTQ → ring once instead of via a stack copy of the
+    /// whole entry.
+    pub fn set_meta_from_ftq_head(&mut self, seq: u64) {
+        // The fetch stage checked the head exists. lint:allow(no-panic)
+        let meta = self.ftq.front().expect("fetch consumes the head").meta;
+        self.meta_ring[(seq & self.meta_mask) as usize] = meta;
     }
 
     /// Number of long-latency misses still outstanding at `now`.
@@ -236,22 +274,20 @@ mod tests {
     #[test]
     fn iblock_gates_eligibility() {
         let mut t = thread();
-        t.ftq.push_back(FtqEntry {
-            pb: crate::frontend::PredictedBlock {
-                block: smt_isa::FetchBlock {
-                    thread: 0,
-                    start: t.program().entry(),
-                    len: 4,
-                    embedded_branches: 0,
-                    end_branch: None,
-                    next_fetch: t.program().entry().add_insts(4),
-                },
-                meta: crate::frontend::BlockMeta::capture(&t.spec),
-                trace_group: None,
+        t.ftq.push_back(crate::frontend::PredictedBlock {
+            block: smt_isa::FetchBlock {
+                thread: 0,
+                start: t.program().entry(),
+                len: 4,
+                embedded_branches: 0,
+                end_branch: None,
+                next_fetch: t.program().entry().add_insts(4),
             },
-            consumed: 1,
+            meta: crate::frontend::BlockMeta::capture(&t.spec),
+            trace_group: None,
         });
-        assert_eq!(t.ftq.front().unwrap().remaining(), 3);
+        t.ftq_consumed = 1;
+        assert_eq!(t.ftq.front().unwrap().block.len - t.ftq_consumed, 3);
         assert!(t.fetch_eligible(0));
         t.iblock_until = Some(10);
         assert!(!t.fetch_eligible(5));

@@ -181,10 +181,12 @@ pub fn run(
         ..SimConfig::default()
     };
     preflight(&cfg, workload.num_threads());
+    // Shared programs: every sweep cell for this workload reuses the same
+    // cached `Arc<Program>`s instead of re-synthesising them per cell.
     let programs = workload
-        .programs(EXP_SEED)
+        .programs_shared(EXP_SEED)
         .expect("table 2 workloads always build"); // lint:allow(no-panic)
-    let mut sim = SimBuilder::new(programs)
+    let mut sim = SimBuilder::new_shared(programs)
         .fetch_engine(engine)
         .fetch_policy(policy)
         .build()
@@ -211,9 +213,9 @@ pub fn run_with_config(
     let policy = cfg.fetch_policy;
     preflight(&cfg, workload.num_threads());
     let programs = workload
-        .programs(EXP_SEED)
+        .programs_shared(EXP_SEED)
         .expect("table 2 workloads always build"); // lint:allow(no-panic)
-    let mut sim = SimBuilder::new(programs)
+    let mut sim = SimBuilder::new_shared(programs)
         .fetch_engine(engine)
         .config(cfg)
         .build()

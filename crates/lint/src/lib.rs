@@ -20,7 +20,8 @@
 //!   `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
 //! * **`no-alloc-in-step`** — *advisory*: `Vec::new()`, `VecDeque::new()` and
 //!   `.clone()` are flagged in the pipeline hot path
-//!   (`crates/core/src/sim.rs` and every `crates/core/src/pipeline/` stage,
+//!   (`crates/core/src/sim.rs`, every `crates/core/src/pipeline/` stage, and
+//!   the per-cycle instruction generator `crates/workloads/src/walker.rs`,
 //!   see [`is_hot_path`]), whose steady-state cycle loop is allocation-free
 //!   (proven by the counting-allocator gate in `tests/alloc_gate.rs`).
 //!   Construction-time allocations carry audited `lint:allow` escapes pinned
@@ -69,6 +70,11 @@ pub const HOT_PATH_FILE: &str = "crates/core/src/sim.rs";
 /// steady-state hot path.
 pub const HOT_PATH_DIR: &str = "crates/core/src/pipeline/";
 
+/// The workload instruction generator, called by the fetch stage every
+/// delivered instruction (and in bulk via `Walker::next_block`) — as hot as
+/// the stages themselves.
+pub const HOT_PATH_WALKER: &str = "crates/workloads/src/walker.rs";
+
 /// Directory whose modules are subject to the advisory `module-size` rule.
 pub const MODULE_SIZE_DIR: &str = "crates/core/src/";
 
@@ -76,10 +82,11 @@ pub const MODULE_SIZE_DIR: &str = "crates/core/src/";
 pub const MODULE_SIZE_LIMIT: usize = 800;
 
 /// Whether `path` is in the pipeline hot path whose steady-state cycle loop
-/// must not allocate: the composition root (`sim.rs`) plus every stage
-/// module under `crates/core/src/pipeline/`.
+/// must not allocate: the composition root (`sim.rs`), every stage module
+/// under `crates/core/src/pipeline/`, and the workload walker that fetch
+/// drives once per delivered instruction.
 pub fn is_hot_path(path: &str) -> bool {
-    path == HOT_PATH_FILE || path.starts_with(HOT_PATH_DIR)
+    path == HOT_PATH_FILE || path == HOT_PATH_WALKER || path.starts_with(HOT_PATH_DIR)
 }
 
 /// The lint rules, as stable machine-readable names.
@@ -595,8 +602,11 @@ mod tests {
         assert!(is_hot_path(HOT_PATH_FILE));
         assert!(is_hot_path("crates/core/src/pipeline/mod.rs"));
         assert!(is_hot_path("crates/core/src/pipeline/fetch.rs"));
+        assert!(is_hot_path("crates/core/src/pipeline/idle.rs"));
+        assert!(is_hot_path(HOT_PATH_WALKER));
         assert!(!is_hot_path("crates/core/src/config.rs"));
         assert!(!is_hot_path("crates/core/src/frontend/mod.rs"));
+        assert!(!is_hot_path("crates/workloads/src/builder.rs"));
     }
 
     #[test]

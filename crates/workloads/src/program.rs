@@ -16,15 +16,24 @@ use crate::behavior::Behavior;
 ///
 /// Instructions occupy a contiguous address range starting at
 /// [`Program::base`]; instruction `i` lives at `base + 4*i`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     name: String,
     base: Addr,
     entry: Addr,
     insts: Arc<Vec<StaticInst>>,
     behaviors: Arc<Vec<Behavior>>,
+    /// Block-extent table: `branch_dist[i]` is the distance (in
+    /// instructions) from static index `i` to the first branch at or after
+    /// it, or [`NO_BRANCH`] if none exists before the end of the program.
+    /// Precomputed once so the fetch hot path resolves block boundaries in
+    /// O(1) instead of scanning the instruction table.
+    branch_dist: Arc<Vec<u32>>,
     data_footprint: u64,
 }
+
+/// Sentinel in the block-extent table: no branch between here and the end.
+const NO_BRANCH: u32 = u32::MAX;
 
 impl Program {
     /// Assembles a program from parallel instruction/behaviour tables.
@@ -52,12 +61,25 @@ impl Program {
             );
             assert_eq!(inst.id, i as StaticInstId, "id/index mismatch at {i}");
         }
+        // Block-extent table, built by one reverse sweep: each slot holds
+        // the distance to the next branch at or after it.
+        let mut branch_dist = vec![NO_BRANCH; insts.len()];
+        let mut next: u32 = NO_BRANCH;
+        for (i, inst) in insts.iter().enumerate().rev() {
+            if inst.class.is_branch() {
+                next = 0;
+            } else if next != NO_BRANCH {
+                next += 1;
+            }
+            branch_dist[i] = next;
+        }
         let prog = Program {
             name: name.into(),
             base,
             entry,
             insts: Arc::new(insts),
             behaviors: Arc::new(behaviors),
+            branch_dist: Arc::new(branch_dist),
             data_footprint,
         };
         assert!(prog.contains(entry), "entry point outside program");
@@ -151,15 +173,24 @@ impl Program {
     /// information a classical fetch unit obtains from predecode bits /
     /// BTB probes: where the current basic block ends.
     pub fn first_branch_at_or_after(&self, pc: Addr, max_insts: u64) -> Option<(u64, &StaticInst)> {
-        let start = self.inst_at(pc)?.id as u64;
-        let limit = (start + max_insts).min(self.insts.len() as u64);
-        for idx in start..limit {
-            let inst = &self.insts[idx as usize];
-            if inst.class.is_branch() {
-                return Some((idx - start, inst));
-            }
+        let start = self.inst_at(pc)?.id as usize;
+        let dist = self.branch_dist[start];
+        if dist == NO_BRANCH || u64::from(dist) >= max_insts {
+            return None;
         }
-        None
+        Some((u64::from(dist), &self.insts[start + dist as usize]))
+    }
+
+    /// Distance (in instructions) from static index `id` to the first
+    /// branch at or after it, or `None` if the rest of the program is
+    /// straight-line code. `Some(0)` means `id` itself is a branch.
+    ///
+    /// O(1): read from the precomputed block-extent table. This is what
+    /// lets [`crate::Walker::next_block`] decode a whole straight-line run
+    /// with one bounds check and no per-instruction class dispatch.
+    pub fn dist_to_branch(&self, id: StaticInstId) -> Option<u32> {
+        let dist = self.branch_dist[id as usize];
+        (dist != NO_BRANCH).then_some(dist)
     }
 
     /// Iterates over the static instructions.
@@ -288,6 +319,38 @@ mod tests {
         assert_eq!(dist, 0);
         // Scan past the last branch runs off the end.
         assert!(p.first_branch_at_or_after(Addr::new(0x100c), 16).is_none());
+    }
+
+    #[test]
+    fn extent_table_matches_linear_scan() {
+        // The O(1) lookup must agree with the definitional linear scan for
+        // every (start, max) pair on a real generated program.
+        let p = crate::ProgramBuilder::new(crate::BenchmarkProfile::by_name("gzip").unwrap())
+            .seed(7)
+            .build();
+        let linear = |pc: Addr, max: u64| -> Option<(u64, u32)> {
+            let start = p.inst_at(pc)?.id as u64;
+            let limit = (start + max).min(p.len() as u64);
+            (start..limit).find_map(|idx| {
+                let inst = p.inst(idx as u32);
+                inst.class.is_branch().then_some((idx - start, inst.id))
+            })
+        };
+        for idx in (0..p.len() as u64).step_by(7) {
+            let pc = p.base().add_insts(idx);
+            for max in [0u64, 1, 2, 8, 16, 1_000_000] {
+                let got = p
+                    .first_branch_at_or_after(pc, max)
+                    .map(|(d, inst)| (d, inst.id));
+                assert_eq!(got, linear(pc, max), "start {idx}, max {max}");
+            }
+        }
+        // dist_to_branch agrees with the (max-unbounded) lookup.
+        for idx in (0..p.len() as u32).step_by(13) {
+            let pc = p.base().add_insts(u64::from(idx));
+            let via_scan = p.first_branch_at_or_after(pc, u64::MAX).map(|(d, _)| d);
+            assert_eq!(p.dist_to_branch(idx).map(u64::from), via_scan, "id {idx}");
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 // bug, not an input error, so it panics loudly rather than guessing.
 // lint:allow-file(no-panic)
 
+use std::fmt;
+use std::sync::Arc;
+
 use smt_isa::{Addr, BranchKind, DynInst, InstClass, MemAccess, ThreadId};
 
 use crate::behavior::Behavior;
@@ -24,7 +27,9 @@ const MAX_CALL_DEPTH: usize = 1024;
 
 /// Maximum number of instructions a walker can roll back
 /// ([`Walker::rollback`]); sized to cover any realistic in-flight window.
+/// A power of two so the undo ring wraps by masking, not division.
 const UNDO_DEPTH: usize = 2048;
+const _: () = assert!(UNDO_DEPTH.is_power_of_two());
 
 /// Undo-log record for one produced instruction.
 #[derive(Clone, Copy, Debug)]
@@ -43,10 +48,82 @@ enum StackOp {
     Popped(Addr),
 }
 
+/// Fixed-capacity inline ring of the last [`UNDO_DEPTH`] undo records.
+///
+/// Replaces the former `VecDeque`: the storage is an array embedded in the
+/// walker (no heap indirection, no reallocation ever) and the write/read
+/// cursors wrap by masking (no modulo or branchy capacity checks on the
+/// per-instruction hot path). Pushing beyond capacity overwrites the oldest
+/// record, exactly like the old bounded deque.
+#[derive(Clone)]
+struct UndoRing {
+    buf: [UndoRecord; UNDO_DEPTH],
+    /// Index of the oldest live record.
+    head: usize,
+    /// Number of live records (≤ `UNDO_DEPTH`).
+    len: usize,
+}
+
+impl UndoRing {
+    fn new() -> Self {
+        const EMPTY: UndoRecord = UndoRecord {
+            pc_before: Addr::NULL,
+            static_id: 0,
+            path_hist_before: 0,
+            stack_op: StackOp::None,
+        };
+        UndoRing {
+            buf: [EMPTY; UNDO_DEPTH],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends a record, overwriting the oldest once full.
+    #[inline]
+    fn push(&mut self, rec: UndoRecord) {
+        const MASK: usize = UNDO_DEPTH - 1;
+        if self.len == UNDO_DEPTH {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) & MASK;
+        } else {
+            self.buf[(self.head + self.len) & MASK] = rec;
+            self.len += 1;
+        }
+    }
+
+    /// Removes and returns the newest record.
+    #[inline]
+    fn pop(&mut self) -> Option<UndoRecord> {
+        const MASK: usize = UNDO_DEPTH - 1;
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.buf[(self.head + self.len) & MASK])
+    }
+}
+
+impl fmt::Debug for UndoRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The 2048-slot buffer is noise; report the live extent only.
+        f.debug_struct("UndoRing")
+            .field("head", &self.head)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
 /// Deterministic generator of one thread's dynamic instruction stream.
 #[derive(Clone, Debug)]
 pub struct Walker {
-    program: Program,
+    /// Shared, immutable program: walkers (and their clones across sweep
+    /// cells) reference one `Program` instead of each owning a copy.
+    program: Arc<Program>,
     thread: ThreadId,
     pc: Addr,
     counters: Vec<u64>,
@@ -56,12 +133,18 @@ pub struct Walker {
     /// the input of `BranchBehavior::Correlated` generators.
     path_hist: u64,
     /// Ring of undo records for [`Walker::rollback`].
-    undo: std::collections::VecDeque<UndoRecord>,
+    undo: UndoRing,
 }
 
 impl Walker {
     /// Creates a walker positioned at the program's entry point.
-    pub fn new(program: Program, thread: ThreadId) -> Self {
+    ///
+    /// Accepts either a bare [`Program`] (wrapped into an `Arc`) or an
+    /// already-shared `Arc<Program>`; passing the latter lets every thread
+    /// of a workload — and every sweep cell simulating it — share one
+    /// program allocation.
+    pub fn new(program: impl Into<Arc<Program>>, thread: ThreadId) -> Self {
+        let program = program.into();
         let n = program.len();
         let pc = program.entry();
         Walker {
@@ -74,7 +157,7 @@ impl Walker {
             ret_stack: Vec::with_capacity(MAX_CALL_DEPTH),
             produced: 0,
             path_hist: 0,
-            undo: std::collections::VecDeque::with_capacity(UNDO_DEPTH),
+            undo: UndoRing::new(),
         }
     }
 
@@ -188,10 +271,7 @@ impl Walker {
 
         self.pc = next_pc;
         self.produced += 1;
-        if self.undo.len() == UNDO_DEPTH {
-            self.undo.pop_front();
-        }
-        self.undo.push_back(undo);
+        self.undo.push(undo);
         DynInst {
             thread: self.thread,
             static_id: inst.id,
@@ -204,6 +284,98 @@ impl Walker {
             next_pc,
             wrong_path: false,
         }
+    }
+
+    /// Produces up to `min(max, out.len())` correct-path instructions into
+    /// `out` in one call, returning the number written.
+    ///
+    /// Decoding stops early after any instruction whose `next_pc` is not
+    /// the sequential successor (a taken branch or other control transfer),
+    /// so each call yields one *straight-line fetch run*. The result — the
+    /// instructions, every architectural side effect (counters, call stack,
+    /// path history, undo log) and the final [`Walker::pc`] — is exactly
+    /// what the same number of [`Walker::next_inst`] calls would produce;
+    /// [`Walker::rollback`] works across bulk-produced instructions
+    /// unchanged. Proven by `next_block_equals_repeated_next_inst`.
+    ///
+    /// The fast path: the program's precomputed block-extent table
+    /// ([`Program::dist_to_branch`]) identifies the whole non-branch run up
+    /// front, which amortizes the per-instruction `inst_at` bounds check
+    /// and skips behaviour dispatch for everything but loads and stores.
+    /// Branches fall back to the full [`Walker::next_inst`] logic.
+    ///
+    /// # Panics
+    ///
+    /// As [`Walker::next_inst`], if the PC left the program or the call
+    /// stack over/underflows.
+    pub fn next_block(&mut self, out: &mut [DynInst], max: usize) -> usize {
+        let cap = max.min(out.len());
+        let mut produced = 0usize;
+        while produced < cap {
+            let first = *self
+                .program
+                .inst_at(self.pc)
+                .unwrap_or_else(|| panic!("correct-path pc {} outside program", self.pc));
+            let to_end = self.program.len() - first.id as usize;
+            // Length of the straight-line (branch-free) run starting here:
+            // up to the next branch, or to the end of the program.
+            let straight = match self.program.dist_to_branch(first.id) {
+                Some(d) => d as usize,
+                None => to_end,
+            };
+            if straight == 0 {
+                // A branch heads the run: take the full decode path.
+                let di = self.next_inst();
+                out[produced] = di;
+                produced += 1;
+                if di.next_pc != di.pc.add_insts(1) {
+                    break;
+                }
+                continue;
+            }
+            let run = straight.min(cap - produced);
+            for k in 0..run {
+                let id = first.id + k as u32;
+                let inst = *self.program.inst(id);
+                let n = self.counters[id as usize];
+                self.counters[id as usize] = n + 1;
+                let mem = match inst.class {
+                    InstClass::Load | InstClass::Store => {
+                        let m = match self.program.behavior(id) {
+                            Behavior::Mem(m) => m,
+                            other => panic!("mem inst {} with behavior {other:?}", inst.addr),
+                        };
+                        Some(MemAccess {
+                            addr: m.address(n),
+                            chased: m.is_chase(),
+                        })
+                    }
+                    _ => None,
+                };
+                self.undo.push(UndoRecord {
+                    pc_before: inst.addr,
+                    static_id: id,
+                    path_hist_before: self.path_hist,
+                    stack_op: StackOp::None,
+                });
+                out[produced + k] = DynInst {
+                    thread: self.thread,
+                    static_id: id,
+                    pc: inst.addr,
+                    class: inst.class,
+                    dest: inst.dest,
+                    srcs: inst.srcs,
+                    mem,
+                    taken: false,
+                    next_pc: inst.fall_through(),
+                    wrong_path: false,
+                };
+            }
+            self.pc = first.addr.add_insts(run as u64);
+            self.produced += run as u64;
+            produced += run;
+        }
+        produced
     }
 
     /// Rolls the walker back by `n` instructions, exactly undoing the last
@@ -225,7 +397,7 @@ impl Walker {
             self.undo.len()
         );
         for _ in 0..n {
-            let u = self.undo.pop_back().expect("checked");
+            let u = self.undo.pop().expect("checked");
             self.pc = u.pc_before;
             self.path_hist = u.path_hist_before;
             self.counters[u.static_id as usize] -= 1;
@@ -452,6 +624,99 @@ mod tests {
             "mean stream/bb ratio {:.2}",
             ratio_sum / 3.0
         );
+    }
+
+    /// Placeholder for pre-sizing `next_block` scratch buffers in tests.
+    fn dummy_inst() -> DynInst {
+        DynInst {
+            thread: 0,
+            static_id: 0,
+            pc: Addr::NULL,
+            class: InstClass::IntAlu,
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            taken: false,
+            next_pc: Addr::NULL,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn next_block_equals_repeated_next_inst() {
+        // Across every benchmark profile: a bulk walker and a single-step
+        // walker over the same shared program produce identical instruction
+        // streams and identical architectural state after every block —
+        // including across mid-block rollbacks on both sides.
+        for (pi, profile) in BenchmarkProfile::all().iter().enumerate() {
+            let prog = std::sync::Arc::new(
+                ProgramBuilder::new(profile.clone())
+                    .seed(0x600d ^ pi as u64)
+                    .build(),
+            );
+            let mut bulk = Walker::new(prog.clone(), 0);
+            let mut single = Walker::new(prog, 0);
+            let mut rng = crate::Srng::new(0xb10c ^ pi as u64);
+            let mut buf = vec![dummy_inst(); 16];
+            for round in 0..3_000u64 {
+                let max = 1 + rng.range(0, 16) as usize;
+                let k = bulk.next_block(&mut buf, max);
+                assert!(
+                    k >= 1 && k <= max,
+                    "{}: produced {k} of {max}",
+                    profile.name
+                );
+                for slot in buf.iter().take(k) {
+                    assert_eq!(*slot, single.next_inst(), "{} round {round}", profile.name);
+                }
+                // The stop contract: everything before the last produced
+                // instruction is sequential; a short block ends at a
+                // control transfer.
+                for slot in buf.iter().take(k - 1) {
+                    assert_eq!(slot.next_pc, slot.pc.add_insts(1), "{}", profile.name);
+                }
+                if k < max.min(buf.len()) {
+                    assert_ne!(
+                        buf[k - 1].next_pc,
+                        buf[k - 1].pc.add_insts(1),
+                        "{}: short block must end at a control transfer",
+                        profile.name
+                    );
+                }
+                assert_eq!(bulk.pc(), single.pc(), "{} round {round}", profile.name);
+                assert_eq!(bulk.produced(), single.produced(), "{}", profile.name);
+                assert_eq!(bulk.call_depth(), single.call_depth(), "{}", profile.name);
+                // Mid-block rollback: rewind both walkers into the block
+                // just produced and replay.
+                if rng.chance(0.2) && k > 1 {
+                    let back = 1 + rng.range(0, k as u64 - 1);
+                    bulk.rollback(back);
+                    single.rollback(back);
+                    assert_eq!(bulk.pc(), single.pc(), "{} rollback {back}", profile.name);
+                    for _ in 0..back {
+                        let j = bulk.next_block(&mut buf, 1);
+                        assert_eq!(j, 1);
+                        assert_eq!(buf[0], single.next_inst(), "{} replay", profile.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_respects_buffer_and_max_caps() {
+        let mut w = walker("gzip", 42);
+        let mut buf = vec![dummy_inst(); 4];
+        // Slice shorter than max: the slice wins.
+        let k = w.next_block(&mut buf, 100);
+        assert!(k <= 4);
+        // max shorter than slice: max wins.
+        let k = w.next_block(&mut buf, 2);
+        assert!(k <= 2);
+        // A zero-length request produces nothing and moves nothing.
+        let pc = w.pc();
+        assert_eq!(w.next_block(&mut buf, 0), 0);
+        assert_eq!(w.pc(), pc);
     }
 
     #[test]

@@ -6,11 +6,24 @@
 //! (**MIX**). As in the paper, MEM workloads only exist for 2 and 4 threads
 //! (SPECint2000 has few truly memory-bounded benchmarks).
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
 use smt_isa::Addr;
 
 use crate::builder::ProgramBuilder;
 use crate::program::Program;
 use crate::spec::BenchmarkProfile;
+
+/// Cache key: everything that determines a program's contents —
+/// benchmark name, base address, and the thread-mixed seed.
+type ProgramKey = (&'static str, u64, u64);
+
+/// Process-wide cache of built programs for [`Workload::programs_shared`].
+/// Sweep harnesses build the same (workload, seed) pair for dozens of
+/// cells; with the cache each distinct program is synthesised once and
+/// every cell shares the `Arc`.
+static PROGRAM_CACHE: Mutex<BTreeMap<ProgramKey, Arc<Program>>> = Mutex::new(BTreeMap::new());
 
 /// Workload classification (Table 2 vocabulary).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -240,22 +253,74 @@ impl Workload {
             .iter()
             .enumerate()
             .map(|(t, name)| {
-                let profile =
-                    BenchmarkProfile::by_name(name).ok_or_else(|| UnknownBenchmarkError {
-                        name: (*name).to_string(),
-                    })?;
-                // Stagger bases by a non-power-of-two amount in addition to
-                // the per-thread space: with pure power-of-two spacing every
-                // thread's hot lines would map to the *same* cache sets
-                // (page-coloring pathology a real OS's physical mapping
-                // avoids), and 4+ threads would thrash the 2-way L1I forever.
-                let stagger = t as u64 * 0x1_1040;
+                let (profile, base, mixed) = self.thread_recipe(t, name, seed)?;
                 Ok(ProgramBuilder::new(profile)
-                    .base(Addr::new(0x0040_0000 + t as u64 * THREAD_SPACE + stagger))
-                    .seed(seed ^ (t as u64).wrapping_mul(0x9e37_79b9))
+                    .base(Addr::new(base))
+                    .seed(mixed)
                     .build())
             })
             .collect()
+    }
+
+    /// Like [`Workload::programs`], but serves each distinct program from a
+    /// process-wide cache as a shared [`Arc`].
+    ///
+    /// Programs are immutable once built, so all consumers of the same
+    /// (benchmark, thread slot, seed) triple — every sweep cell running
+    /// this workload, in particular — share one allocation instead of
+    /// re-synthesising and copying megabytes of instruction and behaviour
+    /// tables per simulator. The cache is keyed by everything that
+    /// determines the program bytes, so a hit is bit-identical to a fresh
+    /// build.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a benchmark name is unknown (impossible for the
+    /// built-in Table 2 workloads).
+    pub fn programs_shared(&self, seed: u64) -> Result<Vec<Arc<Program>>, UnknownBenchmarkError> {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(t, name)| {
+                let (profile, base, mixed) = self.thread_recipe(t, name, seed)?;
+                let mut cache = PROGRAM_CACHE.lock().expect("program cache poisoned"); // lint:allow(no-panic)
+                if let Some(p) = cache.get(&(*name, base, mixed)) {
+                    return Ok(Arc::clone(p));
+                }
+                let p = Arc::new(
+                    ProgramBuilder::new(profile)
+                        .base(Addr::new(base))
+                        .seed(mixed)
+                        .build(),
+                );
+                cache.insert((*name, base, mixed), Arc::clone(&p));
+                Ok(p)
+            })
+            .collect()
+    }
+
+    /// The (profile, base address, mixed seed) triple that fully determines
+    /// thread `t`'s program.
+    fn thread_recipe(
+        &self,
+        t: usize,
+        name: &'static str,
+        seed: u64,
+    ) -> Result<(BenchmarkProfile, u64, u64), UnknownBenchmarkError> {
+        let profile = BenchmarkProfile::by_name(name).ok_or_else(|| UnknownBenchmarkError {
+            name: name.to_string(),
+        })?;
+        // Stagger bases by a non-power-of-two amount in addition to
+        // the per-thread space: with pure power-of-two spacing every
+        // thread's hot lines would map to the *same* cache sets
+        // (page-coloring pathology a real OS's physical mapping
+        // avoids), and 4+ threads would thrash the 2-way L1I forever.
+        let stagger = t as u64 * 0x1_1040;
+        Ok((
+            profile,
+            0x0040_0000 + t as u64 * THREAD_SPACE + stagger,
+            seed ^ (t as u64).wrapping_mul(0x9e37_79b9),
+        ))
     }
 }
 
@@ -327,6 +392,26 @@ mod tests {
         assert_ne!(progs[0].base(), progs[1].base());
         // Instruction streams differ because the seeds mix the thread index.
         assert_ne!(progs[0].len(), progs[1].len());
+    }
+
+    #[test]
+    fn shared_programs_match_owned_builds_and_hit_the_cache() {
+        let w = Workload::mix4();
+        let owned = w.programs(1234).unwrap();
+        let shared = w.programs_shared(1234).unwrap();
+        assert_eq!(owned.len(), shared.len());
+        for (o, s) in owned.iter().zip(shared.iter()) {
+            assert_eq!(o, s.as_ref(), "cache served different program bytes");
+        }
+        // A second request serves the very same allocations.
+        let again = w.programs_shared(1234).unwrap();
+        for (a, b) in shared.iter().zip(again.iter()) {
+            assert!(Arc::ptr_eq(a, b), "cache missed on identical recipe");
+        }
+        // A different seed is a different program.
+        let other = w.programs_shared(1235).unwrap();
+        assert!(!Arc::ptr_eq(&shared[0], &other[0]));
+        assert_ne!(shared[0].as_ref(), other[0].as_ref());
     }
 
     #[test]

@@ -140,6 +140,37 @@ fn steady_state_is_allocation_free_across_policies() {
     }
 }
 
+/// The idle fast-forward path stays inside the gate: drive the
+/// memory-bound workload under FLUSH — which drains the pipeline during
+/// ~100-cycle memory stalls, producing the whole-machine idle windows the
+/// fast-forward skips — and require both that the fast path actually
+/// engaged in the measured window and that it allocated nothing.
+#[test]
+fn fast_forward_heavy_steady_state_is_allocation_free() {
+    let mut sim = SimBuilder::new(
+        Workload::mem2()
+            .programs(2004)
+            .expect("table 2 workloads always build"),
+    )
+    .fetch_policy(FetchPolicy::icount(1, 8).with_flush())
+    .build()
+    .expect("valid configuration");
+    sim.run_cycles(WARMUP_CYCLES);
+    let ff_before = sim.stats().ff_cycles;
+    let before = allocations_so_far();
+    sim.run_cycles(MEASURE_CYCLES);
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "{allocated} heap allocations in {MEASURE_CYCLES} fast-forward-heavy \
+         post-warmup cycles"
+    );
+    assert!(
+        sim.stats().ff_cycles > ff_before,
+        "fast-forward never engaged in the measured window"
+    );
+}
+
 /// The counter itself works: an intentional allocation is observed. Guards
 /// against the gate silently passing because counting broke.
 #[test]

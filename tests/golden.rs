@@ -192,18 +192,23 @@ fn golden_matrix_order() {
     check("matrix_order", &results);
 }
 
-/// Same-seed equivalence contract for the allocation-free `step()`: two
-/// identically-seeded simulators — one driven through `run_cycles`, one
-/// stepped cycle by cycle — produce `==`-equal `SimStats` (all integer
-/// counters, so equality is exact) for every fetch engine and both fetch
-/// architectures. Together with the snapshot families above (which compare
-/// against the checked-in `tests/golden/*.txt` bit-for-bit without
-/// re-blessing), this pins the optimized hot path to the original
+/// Same-seed equivalence contract for the allocation-free `step()` and the
+/// idle fast-forward: two identically-seeded simulators — one driven
+/// through `run_cycles` (which may skip provably-idle windows), one stepped
+/// cycle by cycle (which never does) — produce `==`-equal `SimStats` (all
+/// integer counters, so equality is exact) for every fetch engine and both
+/// fetch architectures. Only the `ff_cycles` diagnostic may differ between
+/// the two drive modes; it is normalized away before comparing and
+/// separately required to be non-zero, so the fast path is proven both
+/// *exercised* and *invisible*. Together with the snapshot families above
+/// (which compare against the checked-in `tests/golden/*.txt` bit-for-bit
+/// without re-blessing), this pins the optimized hot path to the original
 /// semantics.
 #[test]
 fn optimized_step_matches_run_cycles_same_seed() {
     use smtfetch::core::SimBuilder;
     const CYCLES: u64 = 6_000;
+    let mut total_ff = 0;
     for engine in FetchEngineKind::all() {
         for policy in [FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)] {
             let build = || {
@@ -219,12 +224,56 @@ fn optimized_step_matches_run_cycles_same_seed() {
             for _ in 0..CYCLES {
                 b.step();
             }
+            let mut fast = a.stats().clone();
+            assert_eq!(b.stats().ff_cycles, 0, "step() must never fast-forward");
+            total_ff += fast.ff_cycles;
+            fast.ff_cycles = 0;
             assert_eq!(
-                a.stats(),
+                &fast,
                 b.stats(),
                 "{engine} × {policy}: same-seed runs diverged"
             );
         }
+    }
+    assert!(total_ff > 0, "fast-forward never engaged across the matrix");
+}
+
+/// The long-latency STALL/FLUSH policies (§5) idle a thread for the full
+/// memory latency, which is where the fast-forward earns its keep. Drive
+/// the memory-bound workload under both policies and re-assert exact
+/// equivalence, requiring a substantial share of the run to be skipped
+/// under FLUSH (which drains the queues and leaves whole-machine idle
+/// windows).
+#[test]
+fn fast_forward_matches_stepping_under_long_latency_policies() {
+    use smtfetch::core::SimBuilder;
+    const CYCLES: u64 = 12_000;
+    for (policy, min_ff) in [
+        (FetchPolicy::icount(1, 8).with_stall(), 0),
+        (FetchPolicy::icount(2, 8).with_stall(), 0),
+        (FetchPolicy::icount(1, 8).with_flush(), CYCLES / 10),
+        (FetchPolicy::icount(2, 8).with_flush(), CYCLES / 10),
+    ] {
+        let build = || {
+            SimBuilder::new(Workload::mem2().programs(2004).expect("programs"))
+                .fetch_policy(policy)
+                .build()
+                .expect("valid configuration")
+        };
+        let mut a = build();
+        let mut b = build();
+        a.run_cycles(CYCLES);
+        for _ in 0..CYCLES {
+            b.step();
+        }
+        let mut fast = a.stats().clone();
+        assert!(
+            fast.ff_cycles >= min_ff,
+            "{policy}: expected >= {min_ff} fast-forwarded cycles, got {}",
+            fast.ff_cycles
+        );
+        fast.ff_cycles = 0;
+        assert_eq!(&fast, b.stats(), "{policy}: same-seed runs diverged");
     }
 }
 

@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use smtfetch::bpred::{Btb, Ftb, GlobalHistory, Gskew, ObservedEnd, ReturnStack, SetAssoc};
+use smtfetch::bpred::{
+    Btb, CounterTable, Ftb, GlobalHistory, Gskew, ObservedEnd, ReturnStack, SetAssoc, TwoBit,
+};
 use smtfetch::core::{FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats};
 use smtfetch::experiments::{sweep_indexed, Jobs};
 use smtfetch::isa::{Addr, BranchKind};
@@ -87,6 +89,37 @@ fn ras_checkpoint_roundtrip() {
         ras.restore(ckpt);
         assert_eq!(ras.depth(), depth_before, "case {case}");
         assert_eq!(ras.peek(), top_before, "case {case}");
+    }
+}
+
+/// The bit-packed counter table is observably identical to the plain
+/// byte-array reference model: over random interleaved update/read
+/// sequences on random power-of-two geometries, every read agrees.
+#[test]
+fn packed_counter_table_matches_byte_reference() {
+    for case in 0..CASES {
+        let mut rng = Srng::new(0x2b17 ^ case);
+        // Sizes straddle the 32-counters-per-word boundary on purpose.
+        let entries = 1usize << rng.range(0, 12);
+        let mut packed = CounterTable::new(entries).unwrap();
+        let mut reference: Vec<TwoBit> = vec![TwoBit::default(); entries];
+        let ops = 1 + rng.range(0, 2_000);
+        for _ in 0..ops {
+            // Indices beyond the table exercise the wrap-around path too.
+            let index = rng.range(0, 4 * entries as u64);
+            if rng.chance(0.7) {
+                let taken = rng.chance(0.5);
+                packed.update(index, taken);
+                reference[index as usize & (entries - 1)].update(taken);
+            }
+            let got = packed.get(index);
+            let want = reference[index as usize & (entries - 1)];
+            assert_eq!(got, want, "index {index} of {entries} (case {case})");
+        }
+        // Full sweep at the end: no neighbour was silently disturbed.
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(packed.get(i as u64), *want, "sweep {i} (case {case})");
+        }
     }
 }
 

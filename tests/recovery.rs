@@ -193,9 +193,8 @@ mod spec_state {
                     spec_next: pb.block.next_fetch,
                     mispredicted: true,
                     decode_redirect: false,
-                    meta,
                 };
-                e.repair(&mut spec, &info, &di);
+                e.repair(&mut spec, &info, &meta, &di);
 
                 // History: checkpoint + the actual direction, iff the engine
                 // keeps per-branch history (the stream front-end does not).

@@ -7,7 +7,10 @@
 //! 2. every configuration the experiment suite simulates passes the
 //!    semantic validator with zero errors.
 
-use smt_lint::{check_file, check_workspace, is_hot_path, Rule, HOT_PATH_FILE, MODULE_SIZE_LIMIT};
+use smt_lint::{
+    check_file, check_workspace, is_hot_path, Rule, HOT_PATH_FILE, HOT_PATH_WALKER,
+    MODULE_SIZE_LIMIT,
+};
 use smtfetch::core::{FetchPolicy, SimConfig};
 use smtfetch::isa::MAX_THREADS;
 
@@ -122,20 +125,23 @@ fn experiments_wall_clock_exception_is_confined_to_the_sweep_timer() {
     );
 }
 
-/// The hot path — `crates/core/src/sim.rs` plus every stage module under
-/// `crates/core/src/pipeline/` — is subject to the advisory
+/// The hot path — `crates/core/src/sim.rs`, every stage module under
+/// `crates/core/src/pipeline/`, and the per-instruction workload walker
+/// (`crates/workloads/src/walker.rs`) — is subject to the advisory
 /// `no-alloc-in-step` rule; the zero-allocation property itself is proven at
 /// runtime by `tests/alloc_gate.rs`. This test pins the audited escape set:
 /// exactly the construction-time clones in `Simulator::new` (the seeded RAS
 /// template and the memory-config copy), which run once per simulator, never
-/// per cycle. Stage modules carry none: their scratch buffers are allocated
-/// by the stage constructors in `sim.rs` and reused via `mem::take`. A new
+/// per cycle. Stage modules and the walker carry none: the stages' scratch
+/// buffers are allocated by the stage constructors in `sim.rs` and reused
+/// via `mem::take`, and the walker (including its `UndoRing` and the bulk
+/// `next_block` path) is fixed-capacity inline state. A new
 /// `lint:allow(no-alloc-in-step)` anywhere in the hot path must be argued
 /// past this list instead of slipping in silently.
 #[test]
 fn hot_path_alloc_escapes_are_pinned() {
     let root = workspace_root();
-    let mut hot_files = vec![HOT_PATH_FILE.to_string()];
+    let mut hot_files = vec![HOT_PATH_FILE.to_string(), HOT_PATH_WALKER.to_string()];
     for entry in std::fs::read_dir(root.join("crates/core/src/pipeline")).expect("read pipeline/") {
         let name = entry.expect("dir entry").file_name();
         hot_files.push(format!(
@@ -211,6 +217,7 @@ fn core_pipeline_decomposition_is_pinned() {
             "commit.rs",
             "decode_rename.rs",
             "fetch.rs",
+            "idle.rs",
             "issue.rs",
             "mod.rs",
             "recovery.rs",
