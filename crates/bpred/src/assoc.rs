@@ -139,7 +139,7 @@ impl<E> SetAssoc<E> {
         let victim = ways
             .iter_mut()
             .min_by_key(|w| w.lru)
-            .expect("set is non-empty: ways.len() == cap > 0"); // lint:allow(no-panic)
+            .expect("set is non-empty: ways.len() == cap > 0"); // lint:allow(no-panic): ways.len() == cap > 0, so the set is never empty
         let old_tag = victim.tag;
         victim.tag = tag;
         victim.lru = tick;

@@ -42,7 +42,7 @@ impl Btb {
 
     /// The paper's configuration: 2K entries, 4-way associative.
     pub fn hpca2004() -> Self {
-        Btb::new(2048, 4).expect("preset geometry is valid") // lint:allow(no-panic)
+        Btb::new(2048, 4).expect("preset geometry is valid") // lint:allow(no-panic): preset geometry is valid by construction
     }
 
     fn set_and_tag(&self, pc: Addr) -> (u64, u64) {

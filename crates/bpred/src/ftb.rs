@@ -98,7 +98,7 @@ impl Ftb {
 
     /// The paper's configuration: 2K entries, 4-way, 16-instruction blocks.
     pub fn hpca2004() -> Self {
-        Ftb::new(2048, 4, 16).expect("preset geometry is valid") // lint:allow(no-panic)
+        Ftb::new(2048, 4, 16).expect("preset geometry is valid") // lint:allow(no-panic): preset geometry is valid by construction
     }
 
     /// Maximum block length in instructions.

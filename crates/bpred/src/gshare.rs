@@ -33,7 +33,7 @@ impl Gshare {
 
     /// The paper's configuration: 64K entries (16-bit index), 16-bit history.
     pub fn hpca2004() -> Self {
-        Gshare::new(64 * 1024).expect("preset geometry is valid") // lint:allow(no-panic)
+        Gshare::new(64 * 1024).expect("preset geometry is valid") // lint:allow(no-panic): preset geometry is valid by construction
     }
 
     fn index(&self, pc: Addr, history: GlobalHistory) -> u64 {

@@ -59,7 +59,7 @@ impl Gskew {
 
     /// The paper's configuration: 3 banks of 32K entries, 15-bit history.
     pub fn hpca2004() -> Self {
-        Gskew::new(32 * 1024).expect("preset geometry is valid") // lint:allow(no-panic)
+        Gskew::new(32 * 1024).expect("preset geometry is valid") // lint:allow(no-panic): preset geometry is valid by construction
     }
 
     fn index(&self, bank: usize, pc: Addr, history: GlobalHistory) -> u64 {

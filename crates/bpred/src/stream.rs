@@ -198,7 +198,7 @@ impl StreamPredictor {
     /// The paper's configuration: 1K-entry + 4K-entry, both 4-way,
     /// DOLC 16-2-4-10, with streams capped at 64 instructions.
     pub fn hpca2004() -> Self {
-        // lint:allow(no-panic)
+        // lint:allow(no-panic): preset geometry is valid by construction
         StreamPredictor::new(1024, 4096, 4, Dolc::HPCA2004, 64).expect("preset geometry is valid")
     }
 

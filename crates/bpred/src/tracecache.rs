@@ -103,7 +103,7 @@ impl TraceCache {
     /// 512 trace lines of up to 16 instructions (≈ 32 KB of instruction
     /// storage), 4-way associative.
     pub fn typical() -> Self {
-        TraceCache::new(512, 4).expect("preset geometry is valid") // lint:allow(no-panic)
+        TraceCache::new(512, 4).expect("preset geometry is valid") // lint:allow(no-panic): preset geometry is valid by construction
     }
 
     fn set_and_tag(&self, start: Addr, dirs: &[bool]) -> (u64, u64) {

@@ -79,7 +79,7 @@ impl FrontEnd for GshareBtb {
             self.gshare.update(di.pc, hist, di.taken);
         }
         if di.taken {
-            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
+            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic): update only sees branch-class instructions
             self.btb.record_taken(di.pc, di.next_pc, kind);
         }
     }

@@ -117,7 +117,7 @@ impl FrontEnd for GskewFtb {
             self.gskew.update(di.pc, hist, di.taken);
         }
         if di.taken {
-            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
+            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic): update only sees branch-class instructions
             self.ftb.record_taken(
                 info.block_start,
                 ObservedEnd {

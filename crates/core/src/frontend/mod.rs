@@ -307,7 +307,7 @@ pub(crate) fn classic_block(
     match program.first_branch_at_or_after(pc, max) {
         Some((dist, inst)) => {
             let end_pc = inst.addr;
-            let kind = inst.class.branch_kind().expect("scan returns branches"); // lint:allow(no-panic)
+            let kind = inst.class.branch_kind().expect("scan returns branches"); // lint:allow(no-panic): the program scan returns only branches
             let (taken, target) = match kind {
                 BranchKind::Cond => {
                     let t = gshare.predict(end_pc, spec.hist);
@@ -436,7 +436,7 @@ pub(crate) fn registry_entry(kind: FetchEngineKind) -> &'static FrontEndEntry {
     FRONT_ENDS
         .iter()
         .find(|e| e.kind == kind)
-        .expect("every FetchEngineKind is registered") // lint:allow(no-panic)
+        .expect("every FetchEngineKind is registered") // lint:allow(no-panic): the registry is compiled-in and total over FetchEngineKind
 }
 
 /// Maps a construction diagnostic into the `predictor.` config namespace.
@@ -483,7 +483,7 @@ impl AnyFrontEnd {
     /// Panics if `cfg` has invalid predictor geometry; prefer
     /// [`AnyFrontEnd::build`] for configurations that are not known-good.
     pub fn hpca2004(kind: FetchEngineKind, cfg: &SimConfig) -> Self {
-        AnyFrontEnd::build(kind, cfg).expect("Table 3 geometry is valid") // lint:allow(no-panic)
+        AnyFrontEnd::build(kind, cfg).expect("Table 3 geometry is valid") // lint:allow(no-panic): documented-panic preset; Table 3 geometry is valid
     }
 }
 

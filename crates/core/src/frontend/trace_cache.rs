@@ -216,7 +216,7 @@ impl FrontEnd for TraceCache {
             self.gshare.update(di.pc, hist, di.taken);
         }
         if di.taken {
-            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic)
+            let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic): update only sees branch-class instructions
             self.btb.record_taken(di.pc, di.next_pc, kind);
         }
     }
@@ -267,7 +267,7 @@ impl FrontEnd for TraceCache {
                 debug_assert_eq!(next_pc, pc.add_insts(1), "trace segment contiguity");
             }
         }
-        let next_pc = fill.entries.last().expect("non-empty").3; // lint:allow(no-panic)
+        let next_pc = fill.entries.last().expect("non-empty").3; // lint:allow(no-panic): fill buffer checked non-empty before sealing
         let start = fill.entries[0].0;
         let start_hist = fill.start_hist;
         fill.entries.clear();

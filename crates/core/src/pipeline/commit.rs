@@ -5,7 +5,7 @@
 // protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
 // populated at dispatch). Construction is fallible and validated; once
 // built, these are genuine internal invariants, not input errors.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
 use smt_bpred::ObservedStream;
 use smt_isa::{InstClass, RegClass};
@@ -97,6 +97,7 @@ impl PipelineStage for CommitStage {
                                     // (which may allocate) then runs at most
                                     // six times per measurement window.
                                     if ctx.stats.hist_mismatches <= 6
+                                        // lint:allow(no-env-in-core): debug-only stderr tracing; results never see it
                                         && std::env::var_os("SMT_DEBUG_HIST").is_some()
                                     {
                                         eprintln!(

@@ -7,7 +7,7 @@
 // protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
 // populated at dispatch). Construction is fallible and validated; once
 // built, these are genuine internal invariants, not input errors.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
 use smt_isa::{Addr, DynInst, InstClass, MAX_THREADS};
 use smt_mem::FetchOutcome;
@@ -210,7 +210,7 @@ fn fetch_from(
         }
         current_group = group;
         let is_trace = group.is_some();
-        let want = budget.min(remaining).min(room as u32);
+        let want = budget.min(remaining).min(room as u32); // lint:allow(no-lossy-cast): ibuf room is bounded by ibuf_cap, far below u32::MAX
         if want == 0 {
             break;
         }
@@ -230,7 +230,7 @@ fn fetch_from(
                 let insts_before_line = if line.raw() <= start_pc.raw() {
                     0
                 } else {
-                    ((line.raw() - start_pc.raw()) / 4) as u32
+                    ((line.raw() - start_pc.raw()) / 4) as u32 // lint:allow(no-lossy-cast): span within one fetch block, at most budget*4 bytes
                 };
                 let bank = line.bank(LINE_BYTES, 8);
                 if second_port && banks_used.contains(bank) {

@@ -18,7 +18,7 @@
 // protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
 // populated at dispatch). Construction is fallible and validated; once
 // built, these are genuine internal invariants, not input errors.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
 pub(crate) mod commit;
 pub(crate) mod decode_rename;

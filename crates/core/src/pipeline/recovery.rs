@@ -7,7 +7,7 @@
 // protocol itself guarantees (e.g. "caller checked" FTQ heads, rename maps
 // populated at dispatch). Construction is fallible and validated; once
 // built, these are genuine internal invariants, not input errors.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
 use smt_isa::RegClass;
 
@@ -87,7 +87,7 @@ pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
     ctx.iq_int.retain(|e| !(e.tid == tid && e.seq > seq));
     ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq > seq));
     ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
-    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32;
+    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32; // lint:allow(no-lossy-cast): squashed-entry count is bounded by window capacity
 
     // Repair the speculative front-end state and redirect.
     ctx.frontend
@@ -172,7 +172,7 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
     ctx.iq_int.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
     ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
     ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32;
+    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32; // lint:allow(no-lossy-cast): squashed-entry count is bounded by window capacity
 
     let th = &mut ctx.threads[tid];
     th.walker.rollback(rolled);

@@ -22,7 +22,7 @@
 
 // Construction asserts a handful of internal invariants with `expect`
 // (enough registers for the initial maps); inputs are validated first.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): construction-time invariants; inputs are validated first
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -224,7 +224,7 @@ impl Simulator {
         // Architect the initial register mappings.
         for th in &mut threads {
             th.presize(cfg.ftq_depth as usize, window_cap);
-            th.spec.ras = ras.clone(); // lint:allow(no-alloc-in-step)
+            th.spec.ras = ras.clone(); // lint:allow(no-alloc-in-step): seeded RAS template copy, once per simulator construction
             th.rename_map = (0..ArchReg::flat_count())
                 .map(|flat| {
                     if flat < smt_isa::NUM_ARCH_INT as usize {
@@ -240,7 +240,7 @@ impl Simulator {
 
         // The configured per-thread I-MSHR count is a floor: the Table 3
         // machine provisions one outstanding fetch miss per context.
-        let mut mem_cfg = cfg.mem.clone(); // lint:allow(no-alloc-in-step)
+        let mut mem_cfg = cfg.mem.clone(); // lint:allow(no-alloc-in-step): memory-config copy, once per simulator construction
         mem_cfg.i_mshrs = mem_cfg.i_mshrs.max(n);
         let mem = MemoryHierarchy::new(mem_cfg).map_err(|d| BuildError::InvalidConfig(vec![d]))?;
 

@@ -185,7 +185,7 @@ impl ThreadState {
     /// value moves FTQ → ring once instead of via a stack copy of the
     /// whole entry.
     pub fn set_meta_from_ftq_head(&mut self, seq: u64) {
-        // The fetch stage checked the head exists. lint:allow(no-panic)
+        // lint:allow(no-panic): the fetch stage checked the FTQ head exists
         let meta = self.ftq.front().expect("fetch consumes the head").meta;
         self.meta_ring[(seq & self.meta_mask) as usize] = meta;
     }

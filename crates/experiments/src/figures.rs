@@ -92,9 +92,9 @@ pub fn table1(jobs: Jobs) -> Experiment {
         |i| {
             let p = &profiles[i];
             let progs = Workload::custom("solo", WorkloadClass::Ilp, &[p.name])
-                .expect("valid name") // lint:allow(no-panic)
+                .expect("valid name") // lint:allow(no-panic): compiled-in profile names are valid
                 .programs(EXP_SEED)
-                .expect("valid"); // lint:allow(no-panic)
+                .expect("valid"); // lint:allow(no-panic): single-benchmark workloads always build
             let mut w = Walker::new(progs[0].clone(), 0);
             let _ = w.measure(20_000);
             w.measure(300_000)
@@ -379,7 +379,7 @@ pub fn superscalar(len: RunLength, jobs: Jobs) -> Experiment {
         .iter()
         .map(|p| {
             Workload::custom("1_".to_string() + p.name, WorkloadClass::Ilp, &[p.name])
-                .expect("valid") // lint:allow(no-panic)
+                .expect("valid") // lint:allow(no-panic): compiled-in profile names are valid
         })
         .collect();
     let cells: Vec<(usize, FetchEngineKind)> = (0..profiles.len())

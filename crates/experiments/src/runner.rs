@@ -185,12 +185,12 @@ pub fn run(
     // cached `Arc<Program>`s instead of re-synthesising them per cell.
     let programs = workload
         .programs_shared(EXP_SEED)
-        .expect("table 2 workloads always build"); // lint:allow(no-panic)
+        .expect("table 2 workloads always build"); // lint:allow(no-panic): table 2 workloads are compiled-in and always build
     let mut sim = SimBuilder::new_shared(programs)
         .fetch_engine(engine)
         .fetch_policy(policy)
         .build()
-        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic)
+        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic): validated config with 1..=8 threads
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     // Borrowed stats: sweeps summarize each cell without copying SimStats.
@@ -214,12 +214,12 @@ pub fn run_with_config(
     preflight(&cfg, workload.num_threads());
     let programs = workload
         .programs_shared(EXP_SEED)
-        .expect("table 2 workloads always build"); // lint:allow(no-panic)
+        .expect("table 2 workloads always build"); // lint:allow(no-panic): table 2 workloads are compiled-in and always build
     let mut sim = SimBuilder::new_shared(programs)
         .fetch_engine(engine)
         .config(cfg)
         .build()
-        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic)
+        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic): validated config with 1..=8 threads
     sim.run_cycles(len.warmup_cycles);
     sim.reset_stats();
     let stats = sim.run_cycles(len.measure_cycles);

@@ -1,0 +1,194 @@
+//! The `dep-allowlist` check: every package named in `Cargo.lock` must be a
+//! workspace member.
+//!
+//! PR 1 removed every external (dev-)dependency; this check keeps that
+//! discipline mechanical instead of reviewed-by-eye. The allowlist is
+//! derived from the manifests themselves (the root `Cargo.toml` plus every
+//! `crates/*/Cargo.toml`), so adding a workspace crate needs no linter
+//! change, while any external package that sneaks into the lockfile —
+//! directly or transitively — is flagged with its `Cargo.lock` line.
+//!
+//! A workspace without a `Cargo.lock` (e.g. the linter's own CLI test
+//! fixtures) is vacuously clean.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Rule, Violation};
+
+/// Extracts the `[package] name = "…"` value from one manifest's text.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let l = line.trim();
+        if l.starts_with('[') {
+            in_package = l == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = l.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+                return rest
+                    .strip_prefix('"')
+                    .and_then(|r| r.split('"').next())
+                    .map(str::to_string);
+            }
+        }
+    }
+    None
+}
+
+/// The workspace's own package names: the root manifest plus every
+/// `crates/*/Cargo.toml`.
+fn workspace_package_names(root: &Path) -> io::Result<BTreeSet<String>> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        manifests.extend(dirs.into_iter().map(|d| d.join("Cargo.toml")));
+    }
+    let mut names = BTreeSet::new();
+    for manifest in manifests {
+        if !manifest.is_file() {
+            continue;
+        }
+        if let Some(name) = package_name(&fs::read_to_string(&manifest)?) {
+            names.insert(name);
+        }
+    }
+    Ok(names)
+}
+
+/// Checks `Cargo.lock` against the workspace-member allowlist, returning
+/// one [`Rule::DepAllowlist`] violation per external package.
+pub fn check_deps(root: &Path) -> io::Result<Vec<Violation>> {
+    let lock_path = root.join("Cargo.lock");
+    if !lock_path.is_file() {
+        return Ok(Vec::new());
+    }
+    let allow = workspace_package_names(root)?;
+    let lock = fs::read_to_string(&lock_path)?;
+
+    let mut violations = Vec::new();
+    let mut in_package = false;
+    let mut named = false;
+    for (idx, line) in lock.lines().enumerate() {
+        let l = line.trim();
+        if l.starts_with("[[") {
+            in_package = l == "[[package]]";
+            named = false;
+            continue;
+        }
+        if l.starts_with('[') {
+            in_package = false;
+            continue;
+        }
+        if in_package && !named {
+            if let Some(rest) = l.strip_prefix("name = \"") {
+                named = true;
+                if let Some(name) = rest.split('"').next() {
+                    if !allow.contains(name) {
+                        violations.push(Violation {
+                            rule: Rule::DepAllowlist,
+                            path: "Cargo.lock".to_string(),
+                            line: idx + 1,
+                            what: format!(
+                                "package `{name}` is not a workspace member (zero-external-dependency policy)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str, lock: Option<&str>) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join("smt-lint-unit").join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/alpha")).unwrap();
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n\n[package]\nname = \"ws-root\"\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/alpha/Cargo.toml"),
+            "[package]\nname = \"alpha\"\nversion = \"0.1.0\"\n",
+        )
+        .unwrap();
+        if let Some(lock) = lock {
+            fs::write(root.join("Cargo.lock"), lock).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn workspace_members_pass() {
+        let root = fixture(
+            "deps-clean",
+            Some(
+                "version = 3\n\n[[package]]\nname = \"alpha\"\nversion = \"0.1.0\"\n\n\
+                 [[package]]\nname = \"ws-root\"\nversion = \"0.1.0\"\n",
+            ),
+        );
+        assert!(check_deps(&root).unwrap().is_empty());
+    }
+
+    #[test]
+    fn external_package_is_flagged_with_its_line() {
+        let root = fixture(
+            "deps-dirty",
+            Some(
+                "version = 3\n\n[[package]]\nname = \"alpha\"\nversion = \"0.1.0\"\n\n\
+                 [[package]]\nname = \"serde\"\nversion = \"1.0.0\"\nsource = \"registry\"\n",
+            ),
+        );
+        let v = check_deps(&root).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DepAllowlist);
+        assert_eq!(v[0].path, "Cargo.lock");
+        assert_eq!(v[0].line, 8);
+        assert!(v[0].what.contains("`serde`"), "{}", v[0].what);
+    }
+
+    #[test]
+    fn dependency_name_keys_outside_package_sections_are_ignored() {
+        // `[package.metadata]`-style sections and `dependencies` arrays must
+        // not be mistaken for package declarations.
+        let root = fixture(
+            "deps-sections",
+            Some(
+                "[[package]]\nname = \"alpha\"\nversion = \"0.1.0\"\ndependencies = [\n \"ws-root\",\n]\n\n\
+                 [metadata]\nname = \"not-a-package\"\n",
+            ),
+        );
+        assert!(check_deps(&root).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_lockfile_is_vacuously_clean() {
+        let root = fixture("deps-nolock", None);
+        assert!(check_deps(&root).unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifest_name_parsing() {
+        assert_eq!(
+            package_name("[package]\nname = \"smt-lint\"\n"),
+            Some("smt-lint".to_string())
+        );
+        assert_eq!(
+            package_name("[workspace]\nmembers = []\n\n[package]\nname    =   \"x\"\n"),
+            Some("x".to_string())
+        );
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! The escape ledger: machine-readable extraction of every `lint:allow` /
+//! `lint:allow-file` marker in the workspace.
+//!
+//! Markers are parsed out of the *token stream*, and only out of ordinary
+//! (non-doc) comment tokens: a marker quoted inside a doc comment or a
+//! string literal is prose and never becomes an escape — neither for rule
+//! waiving in [`crate::check_file`] nor for this ledger. Each entry records
+//! the file, line, rule and the justification text following the marker
+//! (`// lint:allow(<rule>): <justification>`); `tests/static_checks.rs`
+//! pins the exact ledger, so adding, moving or rewording an escape is
+//! always a reviewed diff.
+
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, Token};
+use crate::Rule;
+
+/// One `lint:allow` site: a deliberate, justified exception to a rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Escape {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line of the marker itself.
+    pub line: usize,
+    /// The parsed rule, if the marker names a known one.
+    pub rule: Option<Rule>,
+    /// The rule name exactly as written between the parentheses.
+    pub rule_name: String,
+    /// Whether this is a whole-file `lint:allow-file` marker.
+    pub file_level: bool,
+    /// Text following the marker on its line — the human argument for the
+    /// exception. Empty means unjustified, which the ledger gate rejects.
+    pub justification: String,
+}
+
+impl Escape {
+    /// Whether the entry passes the ledger's hygiene bar: a known rule name
+    /// and a non-empty justification.
+    pub fn is_well_formed(&self) -> bool {
+        self.rule.is_some() && !self.justification.is_empty()
+    }
+
+    /// The entry as one line of JSON (object literal, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"file_level\":{},\"justification\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.rule_name),
+            self.file_level,
+            json_escape(&self.justification),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// all this zero-dependency workspace needs to emit valid JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const MARKER: &str = "lint:allow";
+
+/// Extracts every escape marker from one file's already-lexed token stream.
+pub(crate) fn collect_from_tokens(path: &str, src: &str, toks: &[Token]) -> Vec<Escape> {
+    let mut out = Vec::new();
+    for tok in toks {
+        if !tok.kind.is_comment() || tok.kind.is_doc_comment() {
+            continue;
+        }
+        let text = tok.text(src);
+        let mut search = 0;
+        while let Some(off) = text[search..].find(MARKER) {
+            let at = search + off;
+            search = at + MARKER.len();
+            let rest = &text[at + MARKER.len()..];
+            let (file_level, rest) = match rest.strip_prefix("-file") {
+                Some(r) => (true, r),
+                None => (false, rest),
+            };
+            let Some(rest) = rest.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule_name = rest[..close].trim().to_string();
+            // Justification: the remainder of the marker's line within the
+            // comment, minus a leading separator and a block-comment closer.
+            let after = rest[close + 1..].lines().next().unwrap_or("");
+            let mut just = after.trim();
+            just = just.strip_suffix("*/").unwrap_or(just).trim();
+            for sep in [":", "—", "-", ","] {
+                if let Some(r) = just.strip_prefix(sep) {
+                    just = r.trim_start();
+                    break;
+                }
+            }
+            let line = tok.line + text[..at].matches('\n').count();
+            out.push(Escape {
+                path: path.to_string(),
+                line,
+                rule: Rule::from_name(&rule_name),
+                rule_name,
+                file_level,
+                justification: just.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts every escape marker from one file's contents. `path` must be
+/// workspace-relative with forward slashes.
+pub fn collect_escapes(path: &str, contents: &str) -> Vec<Escape> {
+    collect_from_tokens(path, contents, &lex(contents))
+}
+
+/// The full escape ledger of the workspace rooted at `root`, ordered by
+/// path then line.
+pub fn workspace_escapes(root: &Path) -> io::Result<Vec<Escape>> {
+    let mut out = Vec::new();
+    for (rel, file) in crate::workspace_rs_files(root)? {
+        let contents = std::fs::read_to_string(&file)?;
+        out.extend(collect_escapes(&rel, &contents));
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_line_marker_with_justification() {
+        let src = "fn f() {} // lint:allow(no-panic): caller checked emptiness\n";
+        let e = collect_escapes("crates/core/src/x.rs", src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, Some(Rule::NoPanic));
+        assert_eq!(e[0].rule_name, "no-panic");
+        assert_eq!(e[0].line, 1);
+        assert!(!e[0].file_level);
+        assert_eq!(e[0].justification, "caller checked emptiness");
+        assert!(e[0].is_well_formed());
+    }
+
+    #[test]
+    fn parses_file_marker_and_em_dash_separator() {
+        let src =
+            "// lint:allow-file(no-panic) — invariant aborts are deliberate here\nfn f() {}\n";
+        let e = collect_escapes("crates/core/src/sim.rs", src);
+        assert_eq!(e.len(), 1);
+        assert!(e[0].file_level);
+        assert_eq!(e[0].justification, "invariant aborts are deliberate here");
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_justification_are_ill_formed() {
+        let src = "// lint:allow(no-such-rule): reasons\nfn f() {} // lint:allow(no-panic)\n";
+        let e = collect_escapes("crates/core/src/x.rs", src);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].rule, None);
+        assert!(!e[0].is_well_formed());
+        assert_eq!(e[1].rule, Some(Rule::NoPanic));
+        assert!(e[1].justification.is_empty());
+        assert!(!e[1].is_well_formed());
+    }
+
+    #[test]
+    fn doc_comments_and_strings_are_not_escape_sites() {
+        let src = "//! Mentions lint:allow(no-panic) in prose.\n\
+                   /// And lint:allow(no-wall-clock) here.\n\
+                   fn f() -> &'static str { \"lint:allow(no-panic): nope\" }\n";
+        assert!(collect_escapes("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comment_markers_carry_their_exact_line() {
+        let src = "/* leading\n   lint:allow(no-panic): argued here\n*/\nfn f() {}\n";
+        let e = collect_escapes("crates/core/src/x.rs", src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].line, 2);
+        assert_eq!(e[0].justification, "argued here");
+    }
+
+    #[test]
+    fn block_comment_close_is_trimmed_from_justification() {
+        let src = "fn f() {} /* lint:allow(no-panic): checked above */\n";
+        let e = collect_escapes("crates/core/src/x.rs", src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].justification, "checked above");
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let e = Escape {
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: Some(Rule::NoPanic),
+            rule_name: "no-panic".into(),
+            file_level: false,
+            justification: "has \"quotes\" and \\ slashes".into(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"path\":\"crates/core/src/x.rs\",\"line\":3,\"rule\":\"no-panic\",\"file_level\":false,\"justification\":\"has \\\"quotes\\\" and \\\\ slashes\"}"
+        );
+    }
+}

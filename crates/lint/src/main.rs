@@ -1,20 +1,25 @@
-//! Command-line entry point: `cargo run -p smt-lint [workspace-root]`.
+//! Command-line entry point: `cargo run -p smt-lint [workspace-root] [--escapes [--json]]`.
 //!
-//! Scans the workspace's `.rs` files against the project lint rules and
-//! prints one line per violation. Exit code 0 means clean, 1 means at least
-//! one *enforced* violation, 2 means the scan itself failed (I/O error).
-//! Advisory rules (`no-alloc-in-step`) are printed with an `advisory:`
+//! Default mode scans the workspace's `.rs` files (and `Cargo.lock`)
+//! against the project lint rules and prints one line per violation. Exit
+//! code 0 means clean, 1 means at least one *enforced* violation, 2 means
+//! the scan itself failed (I/O error or bad usage). Advisory rules
+//! (`no-alloc-in-step`, `module-size`) are printed with an `advisory:`
 //! prefix but never fail the run.
+//!
+//! `--escapes` instead emits the machine-checked escape ledger: every
+//! `lint:allow` / `lint:allow-file` site with its file, line, rule and
+//! justification. Add `--json` for a JSON array (one object per escape) on
+//! stdout, suitable for CI artifacts. The ledger mode exits 1 if any
+//! escape is malformed — an unknown rule name or a missing justification —
+//! so unauditable escapes can never land.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
+fn default_root() -> PathBuf {
     // When run via `cargo run -p smt-lint`, the manifest dir is
     // crates/lint; the workspace root is two levels up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -25,9 +30,8 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-fn main() -> ExitCode {
-    let root = workspace_root();
-    match smt_lint::check_workspace(&root) {
+fn run_scan(root: &std::path::Path) -> ExitCode {
+    match smt_lint::check_workspace(root) {
         Ok(violations) if violations.is_empty() => {
             println!("smt-lint: clean ({})", root.display());
             ExitCode::SUCCESS
@@ -54,5 +58,95 @@ fn main() -> ExitCode {
             eprintln!("smt-lint: scan failed: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_escapes(root: &std::path::Path, json: bool) -> ExitCode {
+    let escapes = match smt_lint::workspace_escapes(root) {
+        Ok(escapes) => escapes,
+        Err(e) => {
+            eprintln!("smt-lint: escape scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("[");
+        for (i, e) in escapes.iter().enumerate() {
+            let comma = if i + 1 < escapes.len() { "," } else { "" };
+            println!("  {}{comma}", e.to_json());
+        }
+        println!("]");
+    } else {
+        for e in &escapes {
+            let marker = if e.file_level { "allow-file" } else { "allow" };
+            println!(
+                "{}:{}: {marker}({}) — {}",
+                e.path,
+                e.line,
+                e.rule_name,
+                if e.justification.is_empty() {
+                    "<unjustified>"
+                } else {
+                    &e.justification
+                }
+            );
+        }
+    }
+    let malformed: Vec<_> = escapes.iter().filter(|e| !e.is_well_formed()).collect();
+    if malformed.is_empty() {
+        if !json {
+            println!("smt-lint: {} escape(s), all justified", escapes.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        for e in &malformed {
+            let why = if e.rule.is_none() {
+                format!("unknown rule `{}`", e.rule_name)
+            } else {
+                "missing justification".to_string()
+            };
+            eprintln!("smt-lint: malformed escape at {}:{}: {why}", e.path, e.line);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut escapes = false;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--escapes" => escapes = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: smt-lint [workspace-root] [--escapes [--json]]\n\n\
+                     default: scan for rule violations (exit 1 on enforced findings)\n\
+                     --escapes: emit the lint:allow ledger (exit 1 on malformed escapes)\n\
+                     --json: with --escapes, emit the ledger as a JSON array"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("smt-lint: unknown flag {flag} (see --help)");
+                return ExitCode::from(2);
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("smt-lint: unexpected argument {extra} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if json && !escapes {
+        eprintln!("smt-lint: --json requires --escapes");
+        return ExitCode::from(2);
+    }
+    let root = root.unwrap_or_else(default_root);
+    if escapes {
+        run_escapes(&root, json)
+    } else {
+        run_scan(&root)
     }
 }

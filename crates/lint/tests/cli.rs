@@ -17,6 +17,14 @@ fn run_lint(root: &Path) -> std::process::Output {
         .expect("spawn smt-lint")
 }
 
+fn run_lint_args(root: &Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_smt-lint"))
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("spawn smt-lint")
+}
+
 fn fixture(name: &str) -> std::path::PathBuf {
     let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
     if root.exists() {
@@ -81,4 +89,96 @@ fn allow_escape_silences_the_line() {
         "allowed line still flagged: {}",
         String::from_utf8_lossy(&out.stdout)
     );
+}
+
+#[test]
+fn escapes_mode_lists_the_ledger_and_exits_zero_when_justified() {
+    let root = fixture("escapes-clean");
+    write(
+        &root,
+        "crates/mem/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn f(x: Option<u32>) -> u32 {\n\
+             x.expect(\"set\") // lint:allow(no-panic): checked by caller\n\
+         }\n",
+    );
+    let out = run_lint_args(&root, &["--escapes"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(
+        stdout.contains("crates/mem/src/lib.rs:3: allow(no-panic) — checked by caller"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("1 escape(s), all justified"), "{stdout}");
+}
+
+#[test]
+fn malformed_escapes_fail_the_ledger() {
+    let root = fixture("escapes-malformed");
+    write(
+        &root,
+        "crates/mem/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         // lint:allow(no-such-rule): rationale\n\
+         pub fn f() {} // lint:allow(no-panic)\n",
+    );
+    let out = run_lint_args(&root, &["--escapes"]);
+    assert_eq!(out.status.code(), Some(1), "malformed escapes must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule `no-such-rule`"), "{stderr}");
+    assert!(stderr.contains("missing justification"), "{stderr}");
+}
+
+#[test]
+fn escapes_json_emits_a_machine_readable_array() {
+    let root = fixture("escapes-json");
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         // lint:allow-file(no-wall-clock): timer crate by design\n\
+         pub fn f() {}\n",
+    );
+    let out = run_lint_args(&root, &["--escapes", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    assert!(
+        stdout.contains(
+            "{\"path\":\"crates/core/src/lib.rs\",\"line\":2,\"rule\":\"no-wall-clock\",\
+             \"file_level\":true,\"justification\":\"timer crate by design\"}"
+        ),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn json_without_escapes_is_a_usage_error() {
+    let root = fixture("json-alone");
+    write(&root, "src/lib.rs", "#![forbid(unsafe_code)]\n");
+    let out = run_lint_args(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn external_package_in_lockfile_fails_the_dep_allowlist() {
+    let root = fixture("dep-allowlist");
+    write(&root, "src/lib.rs", "#![forbid(unsafe_code)]\n");
+    write(
+        &root,
+        "Cargo.toml",
+        "[workspace]\nmembers = []\n\n[package]\nname = \"ws-root\"\n",
+    );
+    write(
+        &root,
+        "Cargo.lock",
+        "version = 3\n\n[[package]]\nname = \"ws-root\"\nversion = \"0.1.0\"\n\n\
+         [[package]]\nname = \"rand\"\nversion = \"0.8.5\"\nsource = \"registry\"\n",
+    );
+    let out = run_lint(&root);
+    assert_eq!(out.status.code(), Some(1), "external dep must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dep-allowlist"), "{stdout}");
+    assert!(stdout.contains("`rand`"), "{stdout}");
 }

@@ -1,0 +1,37 @@
+//! Immunity fixture: every rule trigger in this file sits inside a string
+//! literal, a raw string, a char literal, or a (nested) block comment. A
+//! token-level linter must report **zero** violations when this file is
+//! checked under the most rule-laden path in the workspace — the test in
+//! `tests/immunity.rs` lends it `crates/core/src/pipeline/immune.rs`.
+//!
+//! Doc-comment prose may even discuss `HashMap`, `Instant::now()` and
+//! `thread::spawn` freely: comments never become code tokens.
+
+/* A nested block comment full of triggers:
+   /* inner: let m = HashMap::new(); m.insert(SystemTime::now(), x.unwrap()); */
+   still inside the outer comment: std::env::var("X").expect("set");
+   thread_rng(); panic!("no"); available_parallelism(); y as u16;
+*/
+
+pub const PLAIN: &str = "HashMap::new() and HashSet plus Instant::now() and x.unwrap()";
+
+pub const ESCAPED: &str = "quote \" then std::env::var(\"PATH\").unwrap() as u32 \\";
+
+pub const RAW: &str = r#"thread::spawn(|| thread_rng().gen::<u32>() as u16).unwrap()"#;
+
+pub const RAW_DEEP: &str = r##"r#"nested raw with panic!("boom") and Vec::new()"# still "# inside"##;
+
+pub const BYTES: &[u8] = br"available_parallelism() and VecDeque::new() and x.clone()";
+
+pub const QUOTES: (char, u8, char) = ('"', b'\'', '\u{1F980}');
+
+// The string below quotes an escape marker as data; markers inside string
+// literals are prose and must create no ledger entry and waive nothing.
+pub const PROSE: &str = "a lint:allow(no-panic): quoted marker is not an escape";
+
+/// The fixture's one honest piece of code, trigger-free by construction.
+pub fn answer() -> u64 {
+    let total =
+        PLAIN.len() + ESCAPED.len() + RAW.len() + RAW_DEEP.len() + BYTES.len() + PROSE.len();
+    total as u64 + QUOTES.0 as u64 + u64::from(QUOTES.1)
+}

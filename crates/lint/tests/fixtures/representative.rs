@@ -1,0 +1,40 @@
+//! Representative fixture for the golden token-stream snapshot: one of
+//! everything the lexer classifies, in a small, stable file. The pinned
+//! stream lives in `representative.tokens.txt`; regenerate it with
+//! `UPDATE_LEXER_GOLDEN=1 cargo test -p smt-lint --test lexer`.
+
+/// A doc comment on an item.
+pub struct Sample<'a> {
+    text: &'a str,
+}
+
+/* plain block comment */
+/** doc block comment */
+/* nested /* inner */ outer again */
+
+impl<'a> Sample<'a> {
+    fn build(r#type: u32, scale: f64) -> Option<u64> {
+        let hex = 0xFFu64;
+        let oct = 0o77;
+        let bin = 0b1010_1010;
+        let f = 1.5e-3 + 2E+5 + 0.25f32 as f64;
+        let range_sum: u32 = (0..10).sum();
+        let s = "escaped \"quote\" and \\ backslash";
+        let raw = r"no escapes \ here";
+        let deep = r##"raw with "# inside"##;
+        let bytes = b"\x00 bytes";
+        let braw = br#"byte raw"#;
+        let cstr = c"c string";
+        let ch = 'x';
+        let esc = '\'';
+        let crab = '\u{1F980}';
+        let emoji = '🦀';
+        let byte = b'\n';
+        let label = 'outer: loop {
+            break 'outer;
+        };
+        let _ = (hex, oct, bin, f, range_sum, s, raw, deep, bytes, braw, cstr);
+        let _ = (ch, esc, crab, emoji, byte, label, r#type, scale);
+        Some(hex.wrapping_mul(3) >> 1 | 7 & 2 ^ 1)
+    }
+}

@@ -1,0 +1,34 @@
+//! The token-level guarantee, end to end: rule triggers quoted inside
+//! string literals, raw strings, char literals and (nested) block comments
+//! never fire, even under the most rule-laden path in the workspace.
+
+/// The fixture is checked under `crates/core/src/pipeline/…`, which puts
+/// every path-scoped rule in play at once: hash collections, wall clock,
+/// panics, allocations (hot path), env reads (sim crate), threading,
+/// lossy casts (hot path) and module size (core module).
+const MAXIMAL_SCOPE_PATH: &str = "crates/core/src/pipeline/immune.rs";
+
+#[test]
+fn quoted_triggers_fire_no_rules_under_a_maximal_scope_path() {
+    let src = include_str!("fixtures/immune.rs");
+    let v = smt_lint::check_file(MAXIMAL_SCOPE_PATH, src);
+    assert!(v.is_empty(), "expected zero violations, got: {v:#?}");
+}
+
+#[test]
+fn the_same_triggers_fire_when_they_are_actual_code() {
+    // Sanity check that the immunity above is earned: the identical trigger
+    // text placed in code position under the same path does fire.
+    let src = "fn f() { let m = HashMap::new(); let t = Instant::now(); }\n";
+    let v = smt_lint::check_file(MAXIMAL_SCOPE_PATH, src);
+    let rules: Vec<_> = v.iter().map(|v| v.rule.name()).collect();
+    assert!(rules.contains(&"no-hash-collections"), "{v:?}");
+    assert!(rules.contains(&"no-wall-clock"), "{v:?}");
+}
+
+#[test]
+fn quoted_escape_markers_create_no_ledger_entries() {
+    let src = include_str!("fixtures/immune.rs");
+    let escapes = smt_lint::collect_escapes(MAXIMAL_SCOPE_PATH, src);
+    assert!(escapes.is_empty(), "{escapes:#?}");
+}

@@ -1,0 +1,136 @@
+//! Lexer integration tests: a golden token-stream snapshot over the
+//! representative fixture, and totality/coverage property tests over
+//! mutated source bytes driven by an in-tree splitmix64 PRNG.
+
+use smt_lint::lexer::lex;
+
+/// Renders a token stream one token per line: `line start..end Kind "text"`.
+fn render(src: &str) -> String {
+    let mut out = String::new();
+    for tok in lex(src) {
+        out.push_str(&format!(
+            "{} {}..{} {:?} {:?}\n",
+            tok.line,
+            tok.start,
+            tok.end,
+            tok.kind,
+            tok.text(src)
+        ));
+    }
+    out
+}
+
+/// Asserts the lexer's coverage contract on `src`: spans are monotone,
+/// non-overlapping, non-empty, on char boundaries, concatenate to exactly
+/// the input, and every token's line number is exact.
+fn assert_covers(src: &str) {
+    let toks = lex(src);
+    if src.is_empty() {
+        assert!(toks.is_empty());
+        return;
+    }
+    assert_eq!(toks[0].start, 0, "stream must start at byte 0");
+    assert_eq!(
+        toks.last().unwrap().end,
+        src.len(),
+        "stream must end at the last byte"
+    );
+    for w in toks.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "spans must be contiguous");
+    }
+    for t in &toks {
+        assert!(t.start < t.end, "no empty tokens: {t:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span off char boundary: {t:?}"
+        );
+        assert_eq!(
+            t.line,
+            1 + src[..t.start].matches('\n').count(),
+            "wrong line for {t:?}"
+        );
+    }
+}
+
+#[test]
+fn representative_token_stream_matches_golden() {
+    let src = include_str!("fixtures/representative.rs");
+    let got = render(src);
+    if std::env::var_os("UPDATE_LEXER_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/representative.tokens.txt"
+        );
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = include_str!("fixtures/representative.tokens.txt");
+    assert_eq!(
+        got, want,
+        "token stream drifted from the golden snapshot; if intentional, \
+         regenerate with UPDATE_LEXER_GOLDEN=1 cargo test -p smt-lint --test lexer"
+    );
+}
+
+#[test]
+fn fixtures_satisfy_the_coverage_contract() {
+    assert_covers(include_str!("fixtures/representative.rs"));
+    assert_covers(include_str!("fixtures/immune.rs"));
+    assert_covers("");
+    assert_covers("\n\n\n");
+}
+
+#[test]
+fn every_prefix_of_the_representative_fixture_lexes_totally() {
+    // Truncation at every char boundary exercises every unterminated
+    // construct: strings, raw strings mid-hash, block comments mid-nesting,
+    // char literals, escape pairs cut in half.
+    let src = include_str!("fixtures/representative.rs");
+    for (i, _) in src.char_indices() {
+        assert_covers(&src[..i]);
+    }
+    assert_covers(src);
+}
+
+/// splitmix64: the workspace's standard tiny PRNG (also used by the seeded
+/// workload generators), inlined here to keep the lint crate zero-dep.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn lexing_is_total_over_mutated_source_bytes() {
+    let base = include_str!("fixtures/representative.rs").as_bytes();
+    let mut rng = SplitMix64(0x5EED_0006);
+    for _ in 0..512 {
+        let mut bytes = base.to_vec();
+        let edits = 1 + (rng.next() % 8) as usize;
+        for _ in 0..edits {
+            let i = (rng.next() as usize) % bytes.len();
+            match rng.next() % 3 {
+                0 => bytes[i] = (rng.next() & 0xFF) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, (rng.next() & 0xFF) as u8),
+            }
+        }
+        // Lossy decoding keeps the input valid UTF-8 (replacement chars for
+        // mangled sequences) while preserving the hostile structure: stray
+        // quotes, unbalanced comment openers, orphaned escapes.
+        let src = String::from_utf8_lossy(&bytes);
+        assert_covers(&src);
+        // The whole analyzer must be total on the same input, not just the
+        // lexer: rules and escape extraction run on arbitrary bytes too.
+        let _ = smt_lint::check_file("crates/core/src/pipeline/fuzzed.rs", &src);
+        let _ = smt_lint::collect_escapes("crates/core/src/pipeline/fuzzed.rs", &src);
+    }
+}

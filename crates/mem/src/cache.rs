@@ -238,7 +238,7 @@ impl Cache {
             } else {
                 ways.iter_mut()
                     .min_by_key(|l| l.lru)
-                    // lint:allow(no-panic)
+                    // lint:allow(no-panic): ways is non-empty, so min_by_key always yields a victim
                     .expect("ways nonempty")
             };
             if victim.valid && victim.dirty {

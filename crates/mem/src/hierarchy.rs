@@ -112,7 +112,7 @@ impl MemoryHierarchy {
 
     /// The paper's hierarchy for `threads` contexts.
     pub fn hpca2004(threads: usize) -> Self {
-        // lint:allow(no-panic)
+        // lint:allow(no-panic): preset geometry is valid by construction
         MemoryHierarchy::new(MemoryConfig::hpca2004(threads)).expect("preset geometry is valid")
     }
 

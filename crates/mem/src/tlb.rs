@@ -94,13 +94,13 @@ impl Tlb {
 
     /// The paper's 48-entry instruction TLB (8 KB pages, 30-cycle walk).
     pub fn itlb_hpca2004() -> Self {
-        // lint:allow(no-panic)
+        // lint:allow(no-panic): preset geometry is valid by construction
         Tlb::from_config(&TlbConfig::itlb_hpca2004()).expect("preset geometry is valid")
     }
 
     /// The paper's 128-entry data TLB (8 KB pages, 30-cycle walk).
     pub fn dtlb_hpca2004() -> Self {
-        // lint:allow(no-panic)
+        // lint:allow(no-panic): preset geometry is valid by construction
         Tlb::from_config(&TlbConfig::dtlb_hpca2004()).expect("preset geometry is valid")
     }
 
@@ -130,7 +130,7 @@ impl Tlb {
                         .enumerate()
                         .min_by_key(|(_, (_, l))| *l)
                         .map(|(i, _)| i)
-                        .expect("nonempty"); // lint:allow(no-panic)
+                        .expect("nonempty"); // lint:allow(no-panic): entries checked non-empty before LRU eviction
                     self.entries.remove(lru);
                     if lru < pos {
                         pos -= 1;

@@ -12,7 +12,7 @@
 // The walker is the oracle: a wrong-path query that violates its
 // contract (e.g. resuming at a PC outside the program) is a simulator
 // bug, not an input error, so it panics loudly rather than guessing.
-// lint:allow-file(no-panic)
+// lint:allow-file(no-panic): the walker is the oracle; contract violations are simulator bugs and must abort
 
 use std::fmt;
 use std::sync::Arc;
@@ -335,7 +335,7 @@ impl Walker {
             }
             let run = straight.min(cap - produced);
             for k in 0..run {
-                let id = first.id + k as u32;
+                let id = first.id + k as u32; // lint:allow(no-lossy-cast): k < run, which is capped at the per-block fetch width
                 let inst = *self.program.inst(id);
                 let n = self.counters[id as usize];
                 self.counters[id as usize] = n + 1;

@@ -99,7 +99,7 @@ impl Workload {
     }
 
     fn table2(name: &str, class: WorkloadClass, benchmarks: &[&'static str]) -> Self {
-        // lint:allow(no-panic)
+        // lint:allow(no-panic): table 2 names are compiled-in and valid
         Workload::custom(name, class, benchmarks).expect("table 2 names are valid")
     }
 
@@ -283,7 +283,7 @@ impl Workload {
             .enumerate()
             .map(|(t, name)| {
                 let (profile, base, mixed) = self.thread_recipe(t, name, seed)?;
-                let mut cache = PROGRAM_CACHE.lock().expect("program cache poisoned"); // lint:allow(no-panic)
+                let mut cache = PROGRAM_CACHE.lock().expect("program cache poisoned"); // lint:allow(no-panic): a poisoned program cache is unrecoverable
                 if let Some(p) = cache.get(&(*name, base, mixed)) {
                     return Ok(Arc::clone(p));
                 }
