@@ -9,7 +9,7 @@
 //! paper §3.3). If an embedded branch is finally taken, the fetch was a
 //! misfetch; retraining splits the block.
 
-use smt_isa::{Addr, BranchKind, Diagnostic};
+use smt_isa::{Addr, BranchKind, Diagnostic, Snap, SnapReader, SnapWriter};
 
 use crate::assoc::SetAssoc;
 use crate::counters::TwoBit;
@@ -35,6 +35,36 @@ struct FtbEntry {
     /// weakened when it falls through; a dead entry is invalidated so the
     /// block can re-form at its longer extent.
     strength: TwoBit,
+}
+
+impl Snap for FtbEnd {
+    fn save(&self, w: &mut SnapWriter) {
+        self.kind.save(w);
+        self.target.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(FtbEnd {
+            kind: BranchKind::load(r)?,
+            target: Addr::load(r)?,
+        })
+    }
+}
+
+impl Snap for FtbEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.len);
+        self.end.save(w);
+        self.strength.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(FtbEntry {
+            len: r.u32()?,
+            end: Option::<FtbEnd>::load(r)?,
+            strength: TwoBit::load(r)?,
+        })
+    }
 }
 
 /// The prediction an FTB hit yields.
@@ -129,24 +159,28 @@ impl Ftb {
         let Some(dist) = start.insts_until(observed.branch_pc) else {
             return; // stale/misaligned training from a squashed path
         };
-        let len = dist + 1;
         let (set, tag) = self.set_and_tag(start);
-        if len > self.max_block as u64 {
-            self.table.insert(
-                set,
-                tag,
-                FtbEntry {
-                    len: self.max_block,
-                    end: None,
-                    strength: TwoBit::WEAK_T,
-                },
-            );
-            return;
-        }
+        // Lossless narrowing: anything past max_block stores a capped
+        // sequential chunk instead.
+        let len = match u32::try_from(dist + 1) {
+            Ok(len) if len <= self.max_block => len,
+            _ => {
+                self.table.insert(
+                    set,
+                    tag,
+                    FtbEntry {
+                        len: self.max_block,
+                        end: None,
+                        strength: TwoBit::WEAK_T,
+                    },
+                );
+                return;
+            }
+        };
         // If an existing entry already ends at this branch, just strengthen
         // and refresh the target (indirect branches change targets).
         if let Some(e) = self.table.lookup(set, tag) {
-            if e.len == len as u32 {
+            if e.len == len {
                 e.end = Some(FtbEnd {
                     kind: observed.kind,
                     target: observed.target,
@@ -154,7 +188,7 @@ impl Ftb {
                 e.strength.update(true);
                 return;
             }
-            if (len as u32) < e.len {
+            if len < e.len {
                 self.misfetch_trains += 1; // an embedded branch fired: split
             }
         }
@@ -162,7 +196,7 @@ impl Ftb {
             set,
             tag,
             FtbEntry {
-                len: len as u32,
+                len,
                 end: Some(FtbEnd {
                     kind: observed.kind,
                     target: observed.target,
@@ -205,6 +239,23 @@ impl Ftb {
     /// Approximate hardware budget in bytes (tag + target + len + state ≈ 13 B).
     pub fn budget_bytes(&self) -> usize {
         self.entries() * 13
+    }
+
+    /// Serializes the table contents and misfetch-training count.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.table.save_state(w);
+        w.u64(self.misfetch_trains);
+    }
+
+    /// Restores state saved by [`Ftb::save_state`] in place.
+    ///
+    /// # Errors
+    ///
+    /// `E0018` on geometry mismatch or a malformed byte stream.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Diagnostic> {
+        self.table.load_state(r)?;
+        self.misfetch_trains = r.u64()?;
+        Ok(())
     }
 }
 

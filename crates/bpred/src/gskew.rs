@@ -1,7 +1,7 @@
 //! The gskew conditional-branch direction predictor
 //! (Michaud, Seznec & Uhlig, ISCA 1997).
 
-use smt_isa::{Addr, Diagnostic};
+use smt_isa::{Addr, Diagnostic, SnapReader, SnapWriter};
 
 use crate::counters::CounterTable;
 use crate::history::GlobalHistory;
@@ -65,6 +65,7 @@ impl Gskew {
     fn index(&self, bank: usize, pc: Addr, history: GlobalHistory) -> u64 {
         let x = (pc.raw() >> 2) ^ (history.bits() << 17) ^ SALTS[bank];
         // splitmix64 finalizer for avalanche.
+        // lint:allow(no-lossy-cast): bank < BANKS = 3, fits any width
         let mut z = x.wrapping_add(SALTS[bank].rotate_left(bank as u32 * 21));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -85,7 +86,7 @@ impl Gskew {
     pub fn predict(&mut self, pc: Addr, history: GlobalHistory) -> bool {
         self.predictions += 1;
         let v = self.votes(pc, history);
-        (v[0] as u8 + v[1] as u8 + v[2] as u8) >= 2
+        (u8::from(v[0]) + u8::from(v[1]) + u8::from(v[2])) >= 2
     }
 
     /// Trains the predictor with a resolved branch (partial update).
@@ -93,7 +94,7 @@ impl Gskew {
     /// `history` must be the checkpointed prediction-time history.
     pub fn update(&mut self, pc: Addr, history: GlobalHistory, taken: bool) {
         let votes = self.votes(pc, history);
-        let majority = (votes[0] as u8 + votes[1] as u8 + votes[2] as u8) >= 2;
+        let majority = (u8::from(votes[0]) + u8::from(votes[1]) + u8::from(votes[2])) >= 2;
         if majority == taken {
             self.correct += 1;
             // Partial update: strengthen only the agreeing banks.
@@ -125,6 +126,29 @@ impl Gskew {
     /// Hardware budget in bytes (2 bits per entry).
     pub fn budget_bytes(&self) -> usize {
         self.entries() / 4
+    }
+
+    /// Serializes all three counter banks and accuracy statistics.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+        w.u64(self.predictions);
+        w.u64(self.correct);
+    }
+
+    /// Restores state saved by [`Gskew::save_state`] in place.
+    ///
+    /// # Errors
+    ///
+    /// `E0018` on geometry mismatch or a malformed byte stream.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Diagnostic> {
+        for bank in &mut self.banks {
+            bank.load_state(r)?;
+        }
+        self.predictions = r.u64()?;
+        self.correct = r.u64()?;
+        Ok(())
     }
 }
 

@@ -583,6 +583,7 @@ impl SimConfig {
         }
 
         // --- Register files vs. thread count (E0007, W0102). ---
+        // lint:allow(no-lossy-cast): threads ≤ MAX_THREADS = 8
         let threads = threads.max(1) as u32;
         let (need_int, need_fp) = (
             threads * u32::from(NUM_ARCH_INT),

@@ -40,6 +40,7 @@ mod frontend;
 mod metrics;
 mod pipeline;
 mod sim;
+mod snapshot;
 mod thread;
 
 pub use config::{
@@ -53,4 +54,5 @@ pub use metrics::StallBreakdown;
 pub use metrics::{FetchDistribution, SimStats};
 pub use sim::{BuildError, SimBuilder, Simulator};
 pub use smt_isa::{has_errors, Diagnostic, Severity};
+pub use snapshot::{config_hash, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use thread::{InFlight, PhysReg, ThreadState};

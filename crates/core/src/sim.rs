@@ -157,7 +157,7 @@ impl SimBuilder {
 /// stage structs, ticked in reverse pipeline order each cycle.
 #[derive(Clone, Debug)]
 pub struct Simulator {
-    ctx: PipelineCtx,
+    pub(crate) ctx: PipelineCtx,
     resolve: ResolveStage,
     commit: CommitStage,
     issue: IssueStage,
@@ -183,7 +183,7 @@ const _: () = {
 };
 
 impl Simulator {
-    fn new(
+    pub(crate) fn new(
         programs: Vec<Arc<Program>>,
         engine_kind: FetchEngineKind,
         cfg: SimConfig,

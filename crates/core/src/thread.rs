@@ -5,7 +5,9 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use smt_bpred::StreamPath;
-use smt_isa::{Addr, Cycle, DynInst, ThreadId};
+use smt_isa::{
+    snap_mismatch, Addr, Cycle, Diagnostic, DynInst, Snap, SnapReader, SnapWriter, ThreadId,
+};
 use smt_workloads::{Program, Walker};
 
 use crate::frontend::{BlockMeta, BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
@@ -46,6 +48,35 @@ impl InFlight {
     /// Whether execution finished by cycle `now`.
     pub fn completed(&self, now: Cycle) -> bool {
         self.issued && self.done_at <= now
+    }
+}
+
+impl Snap for InFlight {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.seq);
+        self.di.save(w);
+        self.binfo.save(w);
+        w.u64(self.fetched_at);
+        w.bool(self.dispatched);
+        w.bool(self.issued);
+        w.u64(self.done_at);
+        self.phys_dest.save(w);
+        self.prev_phys.save(w);
+        self.src_phys.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(InFlight {
+            seq: r.u64()?,
+            di: DynInst::load(r)?,
+            binfo: Snap::load(r)?,
+            fetched_at: r.u64()?,
+            dispatched: r.bool()?,
+            issued: r.bool()?,
+            done_at: r.u64()?,
+            phys_dest: Snap::load(r)?,
+            prev_phys: Snap::load(r)?,
+            src_phys: Snap::load(r)?,
+        })
     }
 }
 
@@ -218,6 +249,100 @@ impl ThreadState {
     /// Whether fetch can serve this thread at `now`.
     pub fn fetch_eligible(&self, now: Cycle) -> bool {
         !self.ftq.is_empty() && self.iblock_until.is_none_or(|r| r <= now)
+    }
+
+    /// Serializes every per-thread field in declaration order. The thread
+    /// id and the program are configuration inputs, not state, and are not
+    /// written; the checkpoint ring is written whole (stale slots included)
+    /// so a restored thread re-snapshots byte-identically.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.walker.save_state(w);
+        self.spec.save_state(w);
+        self.next_fetch_pc.save(w);
+        w.bool(self.diverged);
+        self.iblock_until.save(w);
+        crate::snapshot::save_deque(w, &self.ftq);
+        w.u32(self.ftq_consumed);
+        crate::snapshot::save_deque(w, &self.window);
+        w.u64(self.next_seq);
+        smt_isa::save_vec(w, &self.rename_map);
+        self.pending_redirect.save(w);
+        self.cpath.save(w);
+        self.commit_stream_start.save(w);
+        w.u32(self.commit_stream_len);
+        w.u64(self.commit_hist);
+        w.u64(self.commit_hist_end);
+        self.trace_fill.save_state(w);
+        self.mem_stall_until.save(w);
+        smt_isa::save_vec(w, &self.outstanding_misses);
+        w.usize(self.meta_ring.len());
+        for m in &self.meta_ring {
+            m.save(w);
+        }
+        w.u64(self.meta_mask);
+    }
+
+    /// Restores state saved by [`ThreadState::save_state`] in place,
+    /// preserving every queue's pre-sized capacity.
+    ///
+    /// # Errors
+    ///
+    /// `E0018` if the stored queue occupancies exceed this thread's
+    /// pre-sized capacities, the rename-map or checkpoint-ring geometry
+    /// differs, or the byte stream is malformed.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Diagnostic> {
+        self.walker.load_state(r)?;
+        self.spec.load_state(r)?;
+        self.next_fetch_pc = Addr::load(r)?;
+        self.diverged = r.bool()?;
+        self.iblock_until = Snap::load(r)?;
+        crate::snapshot::load_deque_into(r, &mut self.ftq, "thread ftq")?;
+        self.ftq_consumed = r.u32()?;
+        crate::snapshot::load_deque_into(r, &mut self.window, "thread window")?;
+        self.next_seq = r.u64()?;
+        let renames = r.usize()?;
+        if renames != self.rename_map.len() {
+            return Err(snap_mismatch(
+                "rename map",
+                format!(
+                    "snapshot maps {renames} architectural registers, this build maps {}",
+                    self.rename_map.len()
+                ),
+            ));
+        }
+        for p in &mut self.rename_map {
+            *p = r.u32()?;
+        }
+        self.pending_redirect = Snap::load(r)?;
+        self.cpath = StreamPath::load(r)?;
+        self.commit_stream_start = Addr::load(r)?;
+        self.commit_stream_len = r.u32()?;
+        self.commit_hist = r.u64()?;
+        self.commit_hist_end = r.u64()?;
+        self.trace_fill.load_state(r)?;
+        self.mem_stall_until = Snap::load(r)?;
+        smt_isa::load_vec_into(r, &mut self.outstanding_misses)?;
+        let ring = r.usize()?;
+        if ring != self.meta_ring.len() {
+            return Err(snap_mismatch(
+                "checkpoint ring",
+                format!(
+                    "snapshot ring has {ring} slots, this thread's has {}",
+                    self.meta_ring.len()
+                ),
+            ));
+        }
+        for m in &mut self.meta_ring {
+            *m = crate::frontend::BlockMeta::load(r)?;
+        }
+        let mask = r.u64()?;
+        if mask != self.meta_mask {
+            return Err(snap_mismatch(
+                "checkpoint ring mask",
+                format!("snapshot mask {mask:#x} differs from {:#x}", self.meta_mask),
+            ));
+        }
+        Ok(())
     }
 }
 

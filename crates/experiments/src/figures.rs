@@ -31,8 +31,7 @@ fn experiment(
     panels: &[Metric],
 ) -> Experiment {
     let mut text = String::new();
-    for (i, &m) in panels.iter().enumerate() {
-        let panel = (b'a' + i as u8) as char;
+    for (panel, &m) in ('a'..='z').zip(panels.iter()) {
         text.push_str(&render_grouped_bars(
             &format!("{id}({panel}): {caption}"),
             &results,

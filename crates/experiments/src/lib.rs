@@ -43,11 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use chunked::{chunk_lengths, run_chunked, ChunkedRun};
 pub use figures::{all, Experiment};
 pub use report::{
     render_grouped_bars, render_markdown, render_stall_breakdown, render_sweep_stats, render_table,
@@ -55,6 +57,6 @@ pub use report::{
 };
 pub use runner::{
     preflight, preflight_default, run, run_matrix, run_matrix_parallel, run_matrix_sweep,
-    RunLength, RunResult, EXP_SEED,
+    warm_start_enabled, RunLength, RunResult, EXP_SEED,
 };
 pub use sweep::{report_level, sweep_cells, sweep_indexed, CellStat, Jobs, JobsError, Sweep};

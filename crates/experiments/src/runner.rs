@@ -1,7 +1,13 @@
 //! Running simulator configurations and collecting results.
 
-use smt_core::{FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats};
-use smt_workloads::Workload;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use smt_core::{
+    config_hash, FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats, Simulator,
+    Snapshot, SNAPSHOT_VERSION,
+};
+use smt_workloads::{Program, Workload};
 
 use crate::sweep::{sweep_cells, Jobs, Sweep};
 
@@ -120,6 +126,108 @@ impl RunResult {
 /// The seed every experiment uses (reproducibility).
 pub const EXP_SEED: u64 = 2004;
 
+/// Key of one warm-start cache entry: snapshot format version, workload
+/// seed, warmup length, configuration hash, workload name, and engine name.
+/// Everything the warmed state depends on participates, so a hit can only
+/// ever return the snapshot a cold run would have produced.
+type WarmKey = (u32, u64, u64, u64, String, String);
+
+/// Process-wide warm-start cache: post-warmup snapshots, keyed by
+/// [`WarmKey`]. `BTreeMap` (not a hash map) per the determinism lint; the
+/// mutex serializes sweep workers populating it.
+static WARM_CACHE: OnceLock<Mutex<BTreeMap<WarmKey, Snapshot>>> = OnceLock::new();
+
+/// Whether the warm-start snapshot cache is enabled (`SMT_WARM_START` set
+/// to anything but `0`).
+///
+/// Warm starting caches the simulator state right after the warmup phase
+/// (statistics already reset) and restores it on the next run of the same
+/// `(workload, engine, config, warmup)` cell instead of re-simulating the
+/// warmup. Restoring resumes byte-identically — the snapshot round-trip
+/// tests pin this — so results are unchanged; only repeated-warmup time is
+/// saved (e.g. sweeping many measurement lengths over one configuration).
+pub fn warm_start_enabled() -> bool {
+    std::env::var_os("SMT_WARM_START").is_some_and(|v| v != "0")
+}
+
+fn warm_cache() -> &'static Mutex<BTreeMap<WarmKey, Snapshot>> {
+    WARM_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn warm_key(workload: &Workload, engine: FetchEngineKind, cfg: &SimConfig, warmup: u64) -> WarmKey {
+    (
+        SNAPSHOT_VERSION,
+        EXP_SEED,
+        warmup,
+        config_hash(cfg),
+        workload.name().to_string(),
+        engine.to_string(),
+    )
+}
+
+/// Builds a simulator warmed past `len.warmup_cycles` with statistics
+/// reset, ready for the measurement phase.
+///
+/// With `warm` set, consults the process-wide snapshot cache first: a hit
+/// restores the warmed state instead of re-simulating the warmup, a miss
+/// simulates it once and populates the cache. Cache problems (a poisoned
+/// lock, a restore rejection) silently fall back to the cold path — the
+/// cache is a pure accelerator and can never change results.
+fn warmed_simulator(
+    programs: Vec<Arc<Program>>,
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: &SimConfig,
+    warmup_cycles: u64,
+    warm: bool,
+) -> Simulator {
+    let key = warm_key(workload, engine, cfg, warmup_cycles);
+    if warm {
+        let hit = warm_cache().lock().ok().and_then(|c| c.get(&key).cloned());
+        if let Some(snap) = hit {
+            if let Ok(sim) = Simulator::restore(programs.clone(), cfg.clone(), &snap) {
+                return sim;
+            }
+        }
+    }
+    let mut sim = SimBuilder::new_shared(programs)
+        .fetch_engine(engine)
+        .config(cfg.clone())
+        .build()
+        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic): validated config with 1..=8 threads
+    sim.run_cycles(warmup_cycles);
+    sim.reset_stats();
+    if warm {
+        if let Ok(mut cache) = warm_cache().lock() {
+            cache.insert(key, sim.snapshot());
+        }
+    }
+    sim
+}
+
+/// The shared body of [`run`] / [`run_with_config`]: preflight, warm up
+/// (through the cache when `warm` is set), measure, report.
+fn run_measured(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: SimConfig,
+    len: RunLength,
+    warm: bool,
+) -> RunResult {
+    let policy = cfg.fetch_policy;
+    preflight(&cfg, workload.num_threads());
+    // Shared programs: every sweep cell for this workload reuses the same
+    // cached `Arc<Program>`s instead of re-synthesising them per cell.
+    let programs = workload
+        .programs_shared(EXP_SEED)
+        .expect("table 2 workloads always build"); // lint:allow(no-panic): table 2 workloads are compiled-in and always build
+    let mut sim = warmed_simulator(programs, workload, engine, &cfg, len.warmup_cycles, warm);
+    // Borrowed stats: sweeps summarize each cell without copying SimStats.
+    let stats = sim.run_cycles(len.measure_cycles);
+    report_stalls(workload, engine, policy, stats);
+    RunResult::from_stats(workload, engine, policy, stats)
+}
+
 /// Prints the run's per-thread stall-attribution table to stderr when
 /// `SMT_SWEEP_REPORT` is 2 or higher. Pure function of the stats: enabling
 /// it cannot perturb results or golden snapshots (stdout is untouched).
@@ -180,23 +288,7 @@ pub fn run(
         fetch_policy: policy,
         ..SimConfig::default()
     };
-    preflight(&cfg, workload.num_threads());
-    // Shared programs: every sweep cell for this workload reuses the same
-    // cached `Arc<Program>`s instead of re-synthesising them per cell.
-    let programs = workload
-        .programs_shared(EXP_SEED)
-        .expect("table 2 workloads always build"); // lint:allow(no-panic): table 2 workloads are compiled-in and always build
-    let mut sim = SimBuilder::new_shared(programs)
-        .fetch_engine(engine)
-        .fetch_policy(policy)
-        .build()
-        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic): validated config with 1..=8 threads
-    sim.run_cycles(len.warmup_cycles);
-    sim.reset_stats();
-    // Borrowed stats: sweeps summarize each cell without copying SimStats.
-    let stats = sim.run_cycles(len.measure_cycles);
-    report_stalls(workload, engine, policy, stats);
-    RunResult::from_stats(workload, engine, policy, stats)
+    run_measured(workload, engine, cfg, len, warm_start_enabled())
 }
 
 /// Runs one configuration with a fully custom [`smt_core::SimConfig`].
@@ -210,21 +302,7 @@ pub fn run_with_config(
     cfg: smt_core::SimConfig,
     len: RunLength,
 ) -> RunResult {
-    let policy = cfg.fetch_policy;
-    preflight(&cfg, workload.num_threads());
-    let programs = workload
-        .programs_shared(EXP_SEED)
-        .expect("table 2 workloads always build"); // lint:allow(no-panic): table 2 workloads are compiled-in and always build
-    let mut sim = SimBuilder::new_shared(programs)
-        .fetch_engine(engine)
-        .config(cfg)
-        .build()
-        .expect("1..=8 threads and a validated config"); // lint:allow(no-panic): validated config with 1..=8 threads
-    sim.run_cycles(len.warmup_cycles);
-    sim.reset_stats();
-    let stats = sim.run_cycles(len.measure_cycles);
-    report_stalls(workload, engine, policy, stats);
-    RunResult::from_stats(workload, engine, policy, stats)
+    run_measured(workload, engine, cfg, len, warm_start_enabled())
 }
 
 /// Runs the full cross product `workloads × policies × engines`, serially.
@@ -379,6 +457,44 @@ mod tests {
         assert_eq!(sweep.stats[0].label, "2_MIX gshare+BTB ICOUNT.1.8");
         assert_eq!(sweep.stats[0].sim_cycles, RunLength::SMOKE.measure_cycles);
         assert_eq!(sweep.stats[0].worker, 0);
+    }
+
+    #[test]
+    fn warm_start_cache_is_transparent() {
+        // One distinct cell for this test: GskewFtb + BRCOUNT is used by no
+        // other runner test, so the first warm run is a provable cache miss.
+        let w = Workload::mix2();
+        let cfg = SimConfig {
+            fetch_policy: FetchPolicy::br_count(1, 8),
+            ..SimConfig::default()
+        };
+        let cold = run_measured(
+            &w,
+            FetchEngineKind::GskewFtb,
+            cfg.clone(),
+            RunLength::SMOKE,
+            false,
+        );
+        let miss = run_measured(
+            &w,
+            FetchEngineKind::GskewFtb,
+            cfg.clone(),
+            RunLength::SMOKE,
+            true,
+        );
+        let key = warm_key(
+            &w,
+            FetchEngineKind::GskewFtb,
+            &cfg,
+            RunLength::SMOKE.warmup_cycles,
+        );
+        assert!(
+            warm_cache().lock().expect("unpoisoned").contains_key(&key),
+            "warm run populated the cache"
+        );
+        let hit = run_measured(&w, FetchEngineKind::GskewFtb, cfg, RunLength::SMOKE, true);
+        assert_eq!(cold, miss, "cache miss path is bit-identical to cold");
+        assert_eq!(cold, hit, "cache hit path is bit-identical to cold");
     }
 
     #[test]

@@ -1,0 +1,651 @@
+//! Deterministic binary snapshot codec.
+//!
+//! The checkpoint/resume feature (DESIGN.md §13) serializes full simulator
+//! state into a versioned, little-endian, zero-dependency byte format. This
+//! module is the codec layer every crate shares:
+//!
+//! * [`SnapWriter`] — an append-only byte sink with typed little-endian
+//!   writers. Writing is infallible.
+//! * [`SnapReader`] — a cursor over snapshot bytes. Every read is checked;
+//!   truncation or malformed payloads surface as [`Diagnostic`] values with
+//!   the stable code `E0018` instead of panicking.
+//! * [`Snap`] — the round-trip trait for small copyable values
+//!   (`save`/`load`). Containers with capacity to preserve implement
+//!   in-place `save_state`/`load_state` inherent methods instead (the
+//!   allocation-free steady state must survive a restore, so `load_state`
+//!   refills existing buffers rather than reallocating them).
+//!
+//! Format rules (normative, pinned by `tests/golden/snapshot_v1.bin`):
+//! every integer is little-endian and fixed-width; `usize` travels as
+//! `u64`; `bool` is one byte (0/1); `Option<T>` is a presence byte
+//! (0 = `None`, 1 = `Some`) followed by the payload; enums are stable
+//! one-byte tags that are never renumbered, only appended to.
+
+use crate::addr::Addr;
+use crate::block::{EndBranch, FetchBlock};
+use crate::diag::Diagnostic;
+use crate::inst::{BranchKind, DynInst, InstClass, MemAccess};
+use crate::reg::{ArchReg, RegClass, NUM_ARCH_FP, NUM_ARCH_INT};
+
+/// Stable diagnostic code for every snapshot decode failure.
+pub const SNAP_ERROR_CODE: &str = "E0018";
+
+/// Builds the `E0018` diagnostic for a snapshot mismatch discovered outside
+/// the reader itself (geometry checks, version checks, bad enum tags).
+pub fn snap_mismatch(field: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(
+        SNAP_ERROR_CODE,
+        field,
+        message,
+        "the snapshot does not match this build's format, version, or configuration",
+    )
+}
+
+/// Append-only little-endian byte sink for snapshot serialization.
+///
+/// # Example
+///
+/// ```
+/// use smt_isa::{SnapReader, SnapWriter};
+///
+/// let mut w = SnapWriter::new();
+/// w.u32(7);
+/// w.bool(true);
+/// let bytes = w.into_bytes();
+/// let mut r = SnapReader::new(&bytes);
+/// assert_eq!(r.u32().unwrap(), 7);
+/// assert!(r.bool().unwrap());
+/// assert!(r.is_exhausted());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host pointer width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an [`Addr`] as its raw `u64`.
+    pub fn addr(&mut self, a: Addr) {
+        self.u64(a.raw());
+    }
+}
+
+/// Checked cursor over snapshot bytes; every read returns
+/// `Result<_, Diagnostic>` (code `E0018`) instead of panicking.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed (a well-formed snapshot is read
+    /// exactly to its end).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Diagnostic> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let bytes = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(bytes)
+            }
+            None => Err(snap_mismatch(
+                "snapshot",
+                format!(
+                    "truncated snapshot: needed {n} byte(s) at offset {} of {}",
+                    self.pos,
+                    self.buf.len()
+                ),
+            )),
+        }
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, Diagnostic> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, Diagnostic> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, Diagnostic> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, Diagnostic> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `bool`; any byte other than 0 or 1 is a decode error.
+    pub fn bool(&mut self) -> Result<bool, Diagnostic> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(snap_mismatch(
+                "snapshot",
+                format!("invalid bool byte {b} at offset {}", self.pos - 1),
+            )),
+        }
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values that do not fit
+    /// the host pointer width.
+    pub fn usize(&mut self) -> Result<usize, Diagnostic> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| {
+            snap_mismatch(
+                "snapshot",
+                format!("length {v} does not fit usize on this host"),
+            )
+        })
+    }
+
+    /// Reads an [`Addr`] from its raw `u64`.
+    pub fn addr(&mut self) -> Result<Addr, Diagnostic> {
+        Ok(Addr::new(self.u64()?))
+    }
+}
+
+/// Round-trip serialization for small copyable values.
+///
+/// Implemented for the integer primitives, [`Addr`], `Option<T>`, and the
+/// ISA's plain-old-data types. Containers that must preserve their
+/// allocated capacity across a restore (rings, tables, queues) implement
+/// in-place `save_state`/`load_state` inherent methods instead.
+pub trait Snap: Sized {
+    /// Appends this value to `w` in the snapshot format.
+    fn save(&self, w: &mut SnapWriter);
+    /// Decodes one value from `r`, validating every invariant the type has.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic>;
+}
+
+macro_rules! snap_prim {
+    ($($ty:ident),*) => {$(
+        impl Snap for $ty {
+            fn save(&self, w: &mut SnapWriter) {
+                w.$ty(*self);
+            }
+            fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+                r.$ty()
+            }
+        }
+    )*};
+}
+
+snap_prim!(u8, u16, u32, u64, usize, bool);
+
+impl Snap for Addr {
+    fn save(&self, w: &mut SnapWriter) {
+        w.addr(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        r.addr()
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            b => Err(snap_mismatch("snapshot", format!("invalid Option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        // Build through a Vec to avoid requiring T: Default/Copy.
+        let mut vals = Vec::with_capacity(N);
+        for _ in 0..N {
+            vals.push(T::load(r)?);
+        }
+        vals.try_into()
+            .map_err(|_| snap_mismatch("snapshot", "array length mismatch"))
+    }
+}
+
+/// Serializes a slice as a `u64` length prefix followed by the elements.
+pub fn save_vec<T: Snap>(w: &mut SnapWriter, v: &[T]) {
+    w.usize(v.len());
+    for e in v {
+        e.save(w);
+    }
+}
+
+/// Decodes a length-prefixed sequence *into* `v`, clearing it first, so an
+/// already-sized buffer keeps its allocation (the restore path must not
+/// disturb the zero-allocation steady state when lengths fit capacity).
+pub fn load_vec_into<T: Snap>(r: &mut SnapReader<'_>, v: &mut Vec<T>) -> Result<(), Diagnostic> {
+    let n = r.usize()?;
+    v.clear();
+    v.reserve(n.saturating_sub(v.capacity()));
+    for _ in 0..n {
+        v.push(T::load(r)?);
+    }
+    Ok(())
+}
+
+impl Snap for RegClass {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        match r.u8()? {
+            0 => Ok(RegClass::Int),
+            1 => Ok(RegClass::Fp),
+            b => Err(snap_mismatch(
+                "snapshot",
+                format!("invalid RegClass tag {b}"),
+            )),
+        }
+    }
+}
+
+impl Snap for ArchReg {
+    fn save(&self, w: &mut SnapWriter) {
+        self.class().save(w);
+        w.u16(self.index());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        let class = RegClass::load(r)?;
+        let index = r.u16()?;
+        let limit = match class {
+            RegClass::Int => NUM_ARCH_INT,
+            RegClass::Fp => NUM_ARCH_FP,
+        };
+        if index >= limit {
+            return Err(snap_mismatch(
+                "snapshot",
+                format!("architectural register index {index} out of range (< {limit})"),
+            ));
+        }
+        Ok(match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        })
+    }
+}
+
+impl Snap for BranchKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            BranchKind::Cond => 0,
+            BranchKind::Jump => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+            BranchKind::Indirect => 4,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        match r.u8()? {
+            0 => Ok(BranchKind::Cond),
+            1 => Ok(BranchKind::Jump),
+            2 => Ok(BranchKind::Call),
+            3 => Ok(BranchKind::Return),
+            4 => Ok(BranchKind::Indirect),
+            b => Err(snap_mismatch(
+                "snapshot",
+                format!("invalid BranchKind tag {b}"),
+            )),
+        }
+    }
+}
+
+impl Snap for InstClass {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            InstClass::IntAlu => w.u8(0),
+            InstClass::IntMul => w.u8(1),
+            InstClass::FpAlu => w.u8(2),
+            InstClass::Load => w.u8(3),
+            InstClass::Store => w.u8(4),
+            InstClass::Branch(k) => {
+                w.u8(5);
+                k.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        match r.u8()? {
+            0 => Ok(InstClass::IntAlu),
+            1 => Ok(InstClass::IntMul),
+            2 => Ok(InstClass::FpAlu),
+            3 => Ok(InstClass::Load),
+            4 => Ok(InstClass::Store),
+            5 => Ok(InstClass::Branch(BranchKind::load(r)?)),
+            b => Err(snap_mismatch(
+                "snapshot",
+                format!("invalid InstClass tag {b}"),
+            )),
+        }
+    }
+}
+
+impl Snap for MemAccess {
+    fn save(&self, w: &mut SnapWriter) {
+        w.addr(self.addr);
+        w.bool(self.chased);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(MemAccess {
+            addr: r.addr()?,
+            chased: r.bool()?,
+        })
+    }
+}
+
+impl Snap for DynInst {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.thread);
+        w.u32(self.static_id);
+        w.addr(self.pc);
+        self.class.save(w);
+        self.dest.save(w);
+        self.srcs.save(w);
+        self.mem.save(w);
+        w.bool(self.taken);
+        w.addr(self.next_pc);
+        w.bool(self.wrong_path);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(DynInst {
+            thread: r.usize()?,
+            static_id: r.u32()?,
+            pc: r.addr()?,
+            class: InstClass::load(r)?,
+            dest: Option::<ArchReg>::load(r)?,
+            srcs: <[Option<ArchReg>; 2]>::load(r)?,
+            mem: Option::<MemAccess>::load(r)?,
+            taken: r.bool()?,
+            next_pc: r.addr()?,
+            wrong_path: r.bool()?,
+        })
+    }
+}
+
+impl Snap for EndBranch {
+    fn save(&self, w: &mut SnapWriter) {
+        w.addr(self.pc);
+        self.kind.save(w);
+        w.bool(self.predicted_taken);
+        w.addr(self.predicted_target);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(EndBranch {
+            pc: r.addr()?,
+            kind: BranchKind::load(r)?,
+            predicted_taken: r.bool()?,
+            predicted_target: r.addr()?,
+        })
+    }
+}
+
+impl Snap for FetchBlock {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.thread);
+        w.addr(self.start);
+        w.u32(self.len);
+        w.u32(self.embedded_branches);
+        self.end_branch.save(w);
+        w.addr(self.next_fetch);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
+        Ok(FetchBlock {
+            thread: r.usize()?,
+            start: r.addr()?,
+            len: r.u32()?,
+            embedded_branches: r.u32()?,
+            end_branch: Option::<EndBranch>::load(r)?,
+            next_fetch: r.addr()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(0xab);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.bool(true);
+        w.bool(false);
+        w.usize(12345);
+        w.addr(Addr::new(0x4000));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.addr().unwrap(), Addr::new(0x4000));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn format_is_little_endian() {
+        let mut w = SnapWriter::new();
+        w.u32(0x0102_0304);
+        assert_eq!(w.into_bytes(), vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn truncation_is_a_diagnostic_not_a_panic() {
+        let mut r = SnapReader::new(&[1, 2]);
+        let err = r.u32().unwrap_err();
+        assert_eq!(err.code, SNAP_ERROR_CODE);
+        assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        let mut r = SnapReader::new(&[7]);
+        assert_eq!(r.bool().unwrap_err().code, SNAP_ERROR_CODE);
+        let mut r = SnapReader::new(&[9]);
+        assert_eq!(
+            Option::<u8>::load(&mut r).unwrap_err().code,
+            SNAP_ERROR_CODE
+        );
+    }
+
+    #[test]
+    fn arch_reg_round_trips_and_validates_range() {
+        for reg in [ArchReg::int(0), ArchReg::int(31), ArchReg::fp(5)] {
+            let mut w = SnapWriter::new();
+            reg.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(ArchReg::load(&mut r).unwrap(), reg);
+        }
+        // Out-of-range index decodes to a diagnostic, not a panic.
+        let mut w = SnapWriter::new();
+        w.u8(0); // Int
+        w.u16(NUM_ARCH_INT); // one past the end
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(ArchReg::load(&mut r).unwrap_err().code, SNAP_ERROR_CODE);
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        let classes = [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::FpAlu,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Branch(BranchKind::Cond),
+            InstClass::Branch(BranchKind::Jump),
+            InstClass::Branch(BranchKind::Call),
+            InstClass::Branch(BranchKind::Return),
+            InstClass::Branch(BranchKind::Indirect),
+        ];
+        let mut w = SnapWriter::new();
+        for c in classes {
+            c.save(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        for c in classes {
+            assert_eq!(InstClass::load(&mut r).unwrap(), c);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn vec_helper_preserves_capacity() {
+        let mut w = SnapWriter::new();
+        save_vec(&mut w, &[1u64, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut v: Vec<u64> = Vec::with_capacity(64);
+        v.extend_from_slice(&[9; 10]);
+        let cap = v.capacity();
+        let mut r = SnapReader::new(&bytes);
+        load_vec_into(&mut r, &mut v).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(v.capacity(), cap, "restore must not reallocate");
+    }
+
+    #[test]
+    fn dyn_inst_and_fetch_block_round_trip() {
+        let inst = DynInst {
+            thread: 3,
+            static_id: 77,
+            pc: Addr::new(0x1004),
+            class: InstClass::Branch(BranchKind::Call),
+            dest: Some(ArchReg::int(31)),
+            srcs: [Some(ArchReg::fp(2)), None],
+            mem: Some(MemAccess {
+                addr: Addr::new(0x20_0000),
+                chased: true,
+            }),
+            taken: true,
+            next_pc: Addr::new(0x2000),
+            wrong_path: false,
+        };
+        let block = FetchBlock {
+            thread: 1,
+            start: Addr::new(0x1000),
+            len: 9,
+            embedded_branches: 2,
+            end_branch: Some(EndBranch {
+                pc: Addr::new(0x1020),
+                kind: BranchKind::Cond,
+                predicted_taken: true,
+                predicted_target: Addr::new(0x1800),
+            }),
+            next_fetch: Addr::new(0x1800),
+        };
+        let mut w = SnapWriter::new();
+        inst.save(&mut w);
+        block.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(DynInst::load(&mut r).unwrap(), inst);
+        assert_eq!(FetchBlock::load(&mut r).unwrap(), block);
+        assert!(r.is_exhausted());
+    }
+}

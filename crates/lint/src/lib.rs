@@ -36,10 +36,10 @@
 //!   (The simulator's own `smt_isa::ThreadId` — a hardware context index —
 //!   is unaffected: only the `thread::`-qualified path is matched.)
 //! * **`no-lossy-cast`** — `as` casts to integer types narrower than 64
-//!   bits are banned in the stats/sim paths (the hot-path set plus
-//!   `crates/core/src/metrics.rs`), where a silent truncation would corrupt
-//!   statistics; use `try_into` or carry an audited escape arguing why the
-//!   value fits.
+//!   bits are banned workspace-wide: a silent truncation anywhere — stats,
+//!   predictor indexing, serialization — corrupts results without a
+//!   diagnostic. Use `try_into`/`try_from` or carry an audited escape
+//!   arguing why the value fits.
 //! * **`no-panic`** — `.unwrap()`, `.expect(…)` and `panic!` are banned in
 //!   library code outside tests; fallible constructors return
 //!   `Result<_, Diagnostic>`. (`assert!` of internal invariants is allowed.)
@@ -123,9 +123,9 @@ pub const HOT_PATH_DIR: &str = "crates/core/src/pipeline/";
 /// the stages themselves.
 pub const HOT_PATH_WALKER: &str = "crates/workloads/src/walker.rs";
 
-/// The statistics module: together with the hot-path set this forms the
-/// stats/sim scope of the `no-lossy-cast` rule — the paths where a silent
-/// integer truncation would corrupt reported results.
+/// The statistics module — historically the seed scope of `no-lossy-cast`
+/// (now workspace-wide), still named separately as the path where a silent
+/// integer truncation would most directly corrupt reported results.
 pub const STATS_FILE: &str = "crates/core/src/metrics.rs";
 
 /// Directory whose modules are subject to the advisory `module-size` rule.
@@ -147,10 +147,12 @@ pub fn is_hot_path(path: &str) -> bool {
     path == HOT_PATH_FILE || path == HOT_PATH_WALKER || path.starts_with(HOT_PATH_DIR)
 }
 
-/// Whether `path` is in the stats/sim scope of the `no-lossy-cast` rule:
-/// the hot-path set plus the statistics module.
+/// Whether `path` is in scope of the `no-lossy-cast` rule: all workspace
+/// library source (the same scope as `no-panic` — every `crates/*/src/**`
+/// file plus the facade, excluding binaries, benches, tests and the lint
+/// crate itself, whose token tables must name the narrow types).
 pub fn is_lossy_cast_scope(path: &str) -> bool {
-    is_hot_path(path) || path == STATS_FILE
+    is_library_source(path)
 }
 
 /// The lint rules, as stable machine-readable names.
@@ -172,7 +174,7 @@ pub enum Rule {
     NoEnvInCore,
     /// Aliases of the banned unordered collections tracked and flagged.
     NoUnorderedIteration,
-    /// Narrowing `as` casts banned in stats/sim paths.
+    /// Narrowing `as` casts banned workspace-wide.
     NoLossyCast,
     /// Raw `std::thread` primitives banned outside the sweep executor.
     NoNondeterministicThreading,
@@ -839,7 +841,7 @@ mod tests {
     }
 
     #[test]
-    fn lossy_casts_flagged_in_stats_and_hot_paths_only() {
+    fn lossy_casts_flagged_across_workspace_library_source() {
         let src = "fn f(x: u64) -> u32 { x as u32 }\n";
         let v = check_file(HOT_PATH_FILE, src);
         assert_eq!(v.len(), 1, "{v:?}");
@@ -847,8 +849,13 @@ mod tests {
         assert_eq!(v[0].what, "as u32");
         assert_eq!(check_file(STATS_FILE, src).len(), 1);
         assert_eq!(check_file("crates/workloads/src/walker.rs", src).len(), 1);
-        // Outside the stats/sim scope the cast is not this rule's business.
-        assert!(check_file("crates/core/src/config.rs", src).is_empty());
+        // Workspace-wide since the checkpoint PR: any library source file.
+        assert_eq!(check_file("crates/core/src/config.rs", src).len(), 1);
+        assert_eq!(check_file("crates/experiments/src/report.rs", src).len(), 1);
+        // Test harnesses, binaries and the lint crate are out of scope.
+        assert!(check_file("tests/golden.rs", src).is_empty());
+        assert!(check_file("crates/experiments/src/bin/all.rs", src).is_empty());
+        assert!(check_file("crates/lint/src/escapes.rs", src).is_empty());
         // Widening casts are always fine.
         let src = "fn f(x: u32) -> u64 { x as u64 + x as usize as u64 }\n";
         assert!(check_file(HOT_PATH_FILE, src).is_empty());
@@ -968,10 +975,14 @@ mod tests {
         assert!(!is_hot_path("crates/core/src/config.rs"));
         assert!(!is_hot_path("crates/core/src/frontend/mod.rs"));
         assert!(!is_hot_path("crates/workloads/src/builder.rs"));
-        // The lossy-cast scope is the hot path plus the stats module.
+        // The lossy-cast scope is all workspace library source, minus the
+        // lint crate (its token tables must name the narrow types).
         assert!(is_lossy_cast_scope(HOT_PATH_FILE));
         assert!(is_lossy_cast_scope(STATS_FILE));
-        assert!(!is_lossy_cast_scope("crates/core/src/config.rs"));
+        assert!(is_lossy_cast_scope("crates/core/src/config.rs"));
+        assert!(is_lossy_cast_scope("crates/experiments/src/report.rs"));
+        assert!(!is_lossy_cast_scope("crates/lint/src/lib.rs"));
+        assert!(!is_lossy_cast_scope("tests/golden.rs"));
     }
 
     #[test]

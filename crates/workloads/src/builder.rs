@@ -219,6 +219,7 @@ fn gen_straight(
     len: u64,
     data_base: Addr,
 ) {
+    // lint:allow(no-lossy-cast): bounded by min(24)
     let pool: Vec<u16> = (1..=p.dep_chains.min(24) as u16).collect();
     for _ in 0..len {
         let x = rng.f64();
@@ -253,6 +254,7 @@ fn gen_straight(
                 Behavior::Mem(MemBehavior::Stride {
                     base: data_base + (offset & !7),
                     stride: 8,
+                    // lint:allow(no-lossy-cast): region ≤ 16 KB, so region/8 fits u32
                     period: (region / 8) as u32,
                 })
             } else {
@@ -284,6 +286,7 @@ fn gen_straight(
                 Behavior::Mem(MemBehavior::Stride {
                     base: data_base + (offset & !7),
                     stride: 8,
+                    // lint:allow(no-lossy-cast): region ≤ 16 KB, so region/8 fits u32
                     period: (region / 8) as u32,
                 })
             } else {
@@ -346,7 +349,7 @@ fn forward_cond_behavior(p: &BenchmarkProfile, rng: &mut Srng) -> BranchBehavior
     if rng.chance(pattern_share) {
         // Short alternation-style patterns (the classic history-
         // predictable case).
-        let len = rng.range(2, 5) as u32;
+        let len = rng.range_u32(2, 5);
         BranchBehavior::Pattern {
             bits: 0b0110_1001 ^ (rng.next_u64() & 0b11),
             len,
@@ -355,19 +358,19 @@ fn forward_cond_behavior(p: &BenchmarkProfile, rng: &mut Srng) -> BranchBehavior
         // Correlated with the recent path: mostly biased not-taken
         // marginally, fully determined by the last few outcomes.
         let pm = if rng.chance(0.5) {
-            rng.range(100, 301) as u32
+            rng.range_u32(100, 301)
         } else {
-            rng.range(700, 901) as u32
+            rng.range_u32(700, 901)
         };
         BranchBehavior::Correlated {
             p_taken_milli: pm,
-            depth: rng.range(2, 6) as u32,
+            depth: rng.range_u32(2, 6),
             salt: rng.next_u64(),
         }
     } else if rng.chance(p.hard_frac) {
         // Hard branch: bias close to 1/2, independent noise per occurrence
         // — the accuracy ceiling no predictor beats.
-        let pm = rng.range(350, 651) as u32;
+        let pm = rng.range_u32(350, 651);
         BranchBehavior::Biased {
             p_taken_milli: pm,
             salt: rng.next_u64(),
@@ -381,9 +384,10 @@ fn forward_cond_behavior(p: &BenchmarkProfile, rng: &mut Srng) -> BranchBehavior
         let base = lo + (hi - lo) * rng.f64();
         let p_taken = if rng.chance(0.35) { 1.0 - base } else { base };
         BranchBehavior::Biased {
+            // lint:allow(no-lossy-cast): p_taken ∈ [0, 1], so at most 1000
             p_taken_milli: (p_taken * 1000.0) as u32,
             salt: rng.next_u64(),
-            run: rng.range(1000, 8000) as u32,
+            run: rng.range_u32(1000, 8000),
         }
     }
 }
@@ -440,7 +444,7 @@ fn gen_function(
 
         // Ending branch.
         let last = r == runs - 1;
-        let cond_src = ArchReg::int(1 + (rng.range(0, p.dep_chains.min(24) as u64) as u16));
+        let cond_src = ArchReg::int(1 + rng.range_u16(0, u64::from(p.dep_chains.min(24))));
         if last {
             f.push(GenInst {
                 class: InstClass::Branch(BranchKind::Return),
@@ -477,7 +481,7 @@ fn gen_function(
                     func: this,
                     runs: targets,
                     salt: rng.next_u64(),
-                    sticky: rng.range(2, 17) as u32,
+                    sticky: rng.range_u32(2, 17),
                 },
             });
         } else if r >= 1
@@ -491,7 +495,7 @@ fn gen_function(
             let span = rng.range(2, 5).min(r as u64) as usize;
             let span = span.min((r as i64 - last_back_edge - 1).max(1) as usize);
             let (lo, hi) = p.loop_period;
-            let period = rng.range(lo as u64, hi as u64 + 1) as u32;
+            let period = rng.range_u32(u64::from(lo), u64::from(hi) + 1);
             f.push(GenInst {
                 class: InstClass::Branch(BranchKind::Cond),
                 dest: None,
@@ -535,6 +539,7 @@ fn gen_driver(p: &BenchmarkProfile, rng: &mut Srng, num_funcs: usize) -> GenFunc
             f.push(GenInst {
                 class: InstClass::IntAlu,
                 dest: Some(ArchReg::int(
+                    // lint:allow(no-lossy-cast): remainder < dep_chains ≤ 24
                     1 + (callee % p.dep_chains.max(1) as usize) as u16,
                 )),
                 srcs: [Some(ArchReg::int(1)), None],

@@ -36,6 +36,20 @@ impl Srng {
         lo + self.next_u64() % (hi - lo)
     }
 
+    /// [`Srng::range`] narrowed to `u32` for the generator's small bounded
+    /// draws (periods, depths, milli-probabilities). The draw is `< hi`,
+    /// so the narrowing is lossless whenever the requested bound fits.
+    pub fn range_u32(&mut self, lo: u64, hi: u64) -> u32 {
+        debug_assert!(hi <= 1 << 32, "range_u32 bound {hi} exceeds u32");
+        self.range(lo, hi) as u32 // lint:allow(no-lossy-cast): draw < hi, asserted ≤ 2^32
+    }
+
+    /// [`Srng::range`] narrowed to `u16` (architectural register indices).
+    pub fn range_u16(&mut self, lo: u64, hi: u64) -> u16 {
+        debug_assert!(hi <= 1 << 16, "range_u16 bound {hi} exceeds u16");
+        self.range(lo, hi) as u16 // lint:allow(no-lossy-cast): draw < hi, asserted ≤ 2^16
+    }
+
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64

@@ -1,0 +1,248 @@
+//! Differential checkpoint/resume tests (DESIGN.md §13).
+//!
+//! The contract under test: for any simulator `s`, `restore(snapshot(s))`
+//! continues **byte-identically** to `s` — same `SimStats` (all-integer, so
+//! `==` is exact), same stall attribution, same rendered output, and the
+//! same bytes when re-snapshotted. Configurations are drawn from a
+//! splitmix64 stream across every fetch engine, every fetch-policy kind,
+//! both fetch architectures (1.X/2.X) and the long-latency STALL/FLUSH
+//! variants; snapshot points are swept cycle by cycle through a window so
+//! checkpoints land mid-fetch-burst and mid-misprediction-recovery, not
+//! just at quiet cycles.
+//!
+//! The on-disk format itself is pinned by `tests/golden/snapshot_v1.bin`:
+//! a snapshot of a fixed configuration at a fixed cycle must reproduce the
+//! checked-in image bit for bit. Any intentional layout change must bump
+//! `SNAPSHOT_VERSION` and re-bless with `SMT_BLESS=1 cargo test --test
+//! checkpoint`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use smtfetch::core::{
+    FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats, Simulator, Snapshot,
+    SNAPSHOT_VERSION,
+};
+use smtfetch::workloads::{Program, Workload};
+
+/// splitmix64: the test's only randomness source — seeded, so every run
+/// draws the same configuration stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn build(programs: &[Arc<Program>], engine: FetchEngineKind, cfg: &SimConfig) -> Simulator {
+    SimBuilder::new_shared(programs.to_vec())
+        .fetch_engine(engine)
+        .config(cfg.clone())
+        .build()
+        .expect("valid configuration")
+}
+
+/// Draws a fetch policy from the random stream: every kind, both `n`
+/// values, both widths, and the three long-latency actions.
+fn draw_policy(rng: &mut u64) -> FetchPolicy {
+    let n = 1 + (splitmix64(rng) % 2) as u32;
+    let width = if splitmix64(rng).is_multiple_of(2) {
+        8
+    } else {
+        16
+    };
+    let policy = match splitmix64(rng) % 4 {
+        0 => FetchPolicy::icount(n, width),
+        1 => FetchPolicy::round_robin(n, width),
+        2 => FetchPolicy::br_count(n, width),
+        _ => FetchPolicy::miss_count(n, width),
+    };
+    match splitmix64(rng) % 3 {
+        0 => policy,
+        1 => policy.with_stall(),
+        _ => policy.with_flush(),
+    }
+}
+
+/// Asserts that `resumed` and `reference` agree byte for byte: exact
+/// `SimStats` equality (stall breakdown included), identical debug
+/// renderings (the golden text form is a function of these), and identical
+/// re-snapshot bytes (the strongest check: *all* state agrees, not just
+/// the counters).
+fn assert_identical(reference: &mut Simulator, resumed: &mut Simulator, what: &str) {
+    let want: &SimStats = reference.stats();
+    let got: &SimStats = resumed.stats();
+    assert_eq!(want, got, "{what}: SimStats diverged");
+    assert_eq!(
+        want.stalls, got.stalls,
+        "{what}: stall attribution diverged"
+    );
+    assert_eq!(
+        format!("{want:?}"),
+        format!("{got:?}"),
+        "{what}: rendered stats diverged"
+    );
+    assert_eq!(
+        reference.snapshot(),
+        resumed.snapshot(),
+        "{what}: machine state diverged"
+    );
+}
+
+/// The headline differential property: across a splitmix64-drawn stream of
+/// configurations covering every engine and policy kind, a simulator
+/// snapshotted after `K` cycles and resumed for `M` more is byte-identical
+/// to the original running `K + M` straight.
+#[test]
+fn resume_is_byte_identical_across_random_configs() {
+    let mut rng = 0x5eed_2004_u64;
+    let engines = FetchEngineKind::all_with_trace_cache();
+    for round in 0..12 {
+        let engine = engines[round % engines.len()];
+        let cfg = SimConfig {
+            fetch_policy: draw_policy(&mut rng),
+            ..SimConfig::default()
+        };
+        // The memory-bound mix keeps misses, flushes and recoveries in
+        // flight; the balanced mix covers the common case.
+        let workload = if splitmix64(&mut rng).is_multiple_of(2) {
+            Workload::mix2()
+        } else {
+            Workload::mem2()
+        };
+        let programs = workload.programs_shared(2004).expect("programs build");
+        let k = 1_000 + splitmix64(&mut rng) % 3_000;
+        let m = 500 + splitmix64(&mut rng) % 2_000;
+        let what = format!(
+            "round {round}: {} {engine} {} K={k} M={m}",
+            workload.name(),
+            cfg.fetch_policy
+        );
+
+        let mut reference = build(&programs, engine, &cfg);
+        reference.run_cycles(k);
+        let snap = reference.snapshot();
+        reference.run_cycles(m);
+
+        let mut resumed =
+            Simulator::restore(programs.clone(), cfg.clone(), &snap).expect("restore succeeds");
+        resumed.run_cycles(m);
+        assert_identical(&mut reference, &mut resumed, &what);
+    }
+}
+
+/// Sweeps the snapshot point cycle by cycle through a 24-cycle window for
+/// every engine, so checkpoints land mid-burst (instructions in the FTQ,
+/// latches and queues occupied) and mid-recovery (squashes and redirects in
+/// flight), not just at whatever phase a round number hits.
+#[test]
+fn resume_is_identical_at_every_cycle_in_a_window() {
+    const BASE: u64 = 2_000;
+    const WINDOW: u64 = 24;
+    const TAIL: u64 = 600;
+    let cfg = SimConfig {
+        // FLUSH keeps recoveries frequent, 2.16 keeps both ports busy.
+        fetch_policy: FetchPolicy::icount(2, 16).with_flush(),
+        ..SimConfig::default()
+    };
+    let programs = Workload::mem2().programs_shared(2004).expect("programs");
+    for engine in FetchEngineKind::all_with_trace_cache() {
+        // One serial reference walk, snapshotting at every cycle offset.
+        let mut reference = build(&programs, engine, &cfg);
+        reference.run_cycles(BASE);
+        let mut snaps = Vec::new();
+        for _ in 0..WINDOW {
+            snaps.push(reference.snapshot());
+            reference.run_cycles(1);
+        }
+        reference.run_cycles(TAIL);
+        for (off, snap) in snaps.iter().enumerate() {
+            let mut resumed =
+                Simulator::restore(programs.clone(), cfg.clone(), snap).expect("restore succeeds");
+            resumed.run_cycles(WINDOW - off as u64 + TAIL);
+            assert_identical(
+                &mut reference,
+                &mut resumed,
+                &format!("{engine} snapshot at cycle {}", BASE + off as u64),
+            );
+        }
+    }
+}
+
+/// A restored simulator must itself be a valid snapshot source: chaining
+/// snapshot → restore → snapshot → restore loses nothing.
+#[test]
+fn chained_restores_stay_identical() {
+    let cfg = SimConfig {
+        fetch_policy: FetchPolicy::miss_count(2, 8).with_stall(),
+        ..SimConfig::default()
+    };
+    let programs = Workload::mix2().programs_shared(2004).expect("programs");
+    let mut reference = build(&programs, FetchEngineKind::GskewFtb, &cfg);
+    reference.run_cycles(4_000);
+
+    let mut hops = build(&programs, FetchEngineKind::GskewFtb, &cfg);
+    for _ in 0..4 {
+        hops.run_cycles(1_000);
+        let snap = hops.snapshot();
+        hops = Simulator::restore(programs.clone(), cfg.clone(), &snap).expect("restore succeeds");
+    }
+    assert_identical(&mut reference, &mut hops, "4 × (1000 cycles + hop)");
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("snapshot_v{SNAPSHOT_VERSION}.bin"))
+}
+
+fn blessing() -> bool {
+    std::env::var_os("SMT_BLESS").is_some_and(|v| v != "0")
+}
+
+/// Pins the serialized format itself: a fixed configuration snapshotted at
+/// a fixed cycle must reproduce `tests/golden/snapshot_v1.bin` bit for bit.
+/// Any layout change — field order, width, a new field — diffs here and
+/// must come with a `SNAPSHOT_VERSION` bump and a re-bless
+/// (`SMT_BLESS=1 cargo test --test checkpoint`).
+#[test]
+fn golden_snapshot_fixture_is_stable() {
+    let cfg = SimConfig {
+        fetch_policy: FetchPolicy::icount(2, 8),
+        ..SimConfig::default()
+    };
+    let programs = Workload::mix2().programs_shared(2004).expect("programs");
+    let mut sim = build(&programs, FetchEngineKind::GshareBtb, &cfg);
+    sim.run_cycles(2_500);
+    let snap = sim.snapshot();
+
+    let path = fixture_path();
+    if blessing() {
+        std::fs::write(&path, snap.as_bytes()).expect("write golden snapshot fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot fixture {} ({e}).\n\
+             Run `SMT_BLESS=1 cargo test --test checkpoint` and commit the result.",
+            path.display()
+        )
+    });
+    assert_eq!(
+        snap.as_bytes(),
+        &want[..],
+        "snapshot byte image changed. If intentional, bump SNAPSHOT_VERSION \
+         and re-bless with `SMT_BLESS=1 cargo test --test checkpoint`."
+    );
+
+    // The checked-in image must also restore and resume: the fixture guards
+    // forward readability, not just byte stability.
+    let mut restored = Simulator::restore(programs, cfg, &Snapshot::from_bytes(want))
+        .expect("checked-in fixture restores");
+    restored.run_cycles(500);
+    sim.run_cycles(500);
+    assert_eq!(sim.stats(), restored.stats(), "fixture resumes identically");
+}

@@ -159,6 +159,18 @@ fn escape_ledger_is_pinned() {
             "preset geometry is valid by construction",
         ),
         (
+            "crates/bpred/src/counters.rs",
+            "no-lossy-cast",
+            false,
+            "masked to two bits, cannot truncate",
+        ),
+        (
+            "crates/bpred/src/counters.rs",
+            "no-lossy-cast",
+            false,
+            "masked to two bits, cannot truncate",
+        ),
+        (
             "crates/bpred/src/ftb.rs",
             "no-panic",
             false,
@@ -177,10 +189,34 @@ fn escape_ledger_is_pinned() {
             "preset geometry is valid by construction",
         ),
         (
+            "crates/bpred/src/gskew.rs",
+            "no-lossy-cast",
+            false,
+            "bank < BANKS = 3, fits any width",
+        ),
+        (
             "crates/bpred/src/ras.rs",
             "no-panic",
             false,
             "preset geometry is valid by construction",
+        ),
+        (
+            "crates/bpred/src/stream.rs",
+            "no-lossy-cast",
+            false,
+            "MAX_DEPTH = 16 fits u8",
+        ),
+        (
+            "crates/bpred/src/stream.rs",
+            "no-lossy-cast",
+            false,
+            "deliberate 32-bit path compression",
+        ),
+        (
+            "crates/bpred/src/stream.rs",
+            "no-lossy-cast",
+            false,
+            "MAX_DEPTH = 16 fits u32",
         ),
         (
             "crates/bpred/src/stream.rs",
@@ -193,6 +229,12 @@ fn escape_ledger_is_pinned() {
             "no-panic",
             false,
             "preset geometry is valid by construction",
+        ),
+        (
+            "crates/core/src/config.rs",
+            "no-lossy-cast",
+            false,
+            "threads ≤ MAX_THREADS = 8",
         ),
         (
             "crates/core/src/frontend/gshare_btb.rs",
@@ -211,6 +253,18 @@ fn escape_ledger_is_pinned() {
             "no-panic",
             false,
             "the program scan returns only branches",
+        ),
+        (
+            "crates/core/src/frontend/mod.rs",
+            "no-lossy-cast",
+            false,
+            "dist < the BTB block-scan cap",
+        ),
+        (
+            "crates/core/src/frontend/mod.rs",
+            "no-lossy-cast",
+            false,
+            "max is the per-block fetch budget ≤ 16",
         ),
         (
             "crates/core/src/frontend/mod.rs",
@@ -348,12 +402,6 @@ fn escape_ledger_is_pinned() {
             "crates/experiments/src/runner.rs",
             "no-panic",
             false,
-            "table 2 workloads are compiled-in and always build",
-        ),
-        (
-            "crates/experiments/src/runner.rs",
-            "no-panic",
-            false,
             "validated config with 1..=8 threads",
         ),
         (
@@ -361,12 +409,6 @@ fn escape_ledger_is_pinned() {
             "no-panic",
             false,
             "table 2 workloads are compiled-in and always build",
-        ),
-        (
-            "crates/experiments/src/runner.rs",
-            "no-panic",
-            false,
-            "validated config with 1..=8 threads",
         ),
         (
             "crates/experiments/src/sweep.rs",
@@ -427,6 +469,48 @@ fn escape_ledger_is_pinned() {
             "no-panic",
             false,
             "entries checked non-empty before LRU eviction",
+        ),
+        (
+            "crates/workloads/src/builder.rs",
+            "no-lossy-cast",
+            false,
+            "bounded by min(24)",
+        ),
+        (
+            "crates/workloads/src/builder.rs",
+            "no-lossy-cast",
+            false,
+            "region ≤ 16 KB, so region/8 fits u32",
+        ),
+        (
+            "crates/workloads/src/builder.rs",
+            "no-lossy-cast",
+            false,
+            "region ≤ 16 KB, so region/8 fits u32",
+        ),
+        (
+            "crates/workloads/src/builder.rs",
+            "no-lossy-cast",
+            false,
+            "p_taken ∈ [0, 1], so at most 1000",
+        ),
+        (
+            "crates/workloads/src/builder.rs",
+            "no-lossy-cast",
+            false,
+            "remainder < dep_chains ≤ 24",
+        ),
+        (
+            "crates/workloads/src/rng.rs",
+            "no-lossy-cast",
+            false,
+            "draw < hi, asserted ≤ 2^32",
+        ),
+        (
+            "crates/workloads/src/rng.rs",
+            "no-lossy-cast",
+            false,
+            "draw < hi, asserted ≤ 2^16",
         ),
         (
             "crates/workloads/src/walker.rs",
