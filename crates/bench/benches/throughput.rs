@@ -23,7 +23,10 @@
 //! * `--gate` — with `--baseline`, exit 1 if any cell fell more than 30%
 //!   below the baseline. The wide margin absorbs host noise; a genuine
 //!   hot-path regression shows up far larger than 30%.
-//! * `--smoke` — small matrix (one workload, short run) for CI.
+//! * `--smoke` — small matrix (one ILP workload plus the MEM cells) for CI.
+//!   The measurement length is *not* shortened: smoke cells must be
+//!   statistically comparable to the checked-in full-run baseline, and a
+//!   truncated warmup window sits on the cold ramp of the IPC curve.
 //!
 //! Per cell the report holds the *best of [`SAMPLES_PER_CELL`] samples*
 //! (minimum wall time — the least noisy estimator for CPU-bound code):
@@ -88,9 +91,6 @@ fn parse_args() -> Options {
             "--bench" => {} // passed through by `cargo bench`
             other => panic!("unknown argument {other:?}"),
         }
-    }
-    if o.smoke {
-        o.measure_cycles = o.measure_cycles.min(10_000);
     }
     o
 }
@@ -324,6 +324,24 @@ fn main() {
                 cells.push(c);
             }
         }
+    }
+
+    // Skip-heavy MEM cells (kept in --smoke too, so the gated bench-smoke
+    // covers the event-driven scheduler's fast path): the memory-bound
+    // workload spends most of its time in ~100-cycle stall windows, under
+    // plain ICOUNT and under the long-latency STALL/FLUSH gates.
+    let mem2 = Workload::mem2();
+    for policy in [
+        FetchPolicy::icount(2, 8),
+        FetchPolicy::icount(2, 8).with_stall(),
+        FetchPolicy::icount(1, 8).with_flush(),
+    ] {
+        let c = time_cell(&mem2, FetchEngineKind::GshareBtb, policy, len);
+        println!(
+            "{:<8} {:<12} {:<12} {:>12.0} cyc/s {:>12.0} insts/s  ipc {:.3}",
+            c.workload, c.engine, c.policy, c.cycles_per_sec, c.insts_per_sec, c.ipc
+        );
+        cells.push(c);
     }
 
     // Whole-matrix wall time through the production sweep executor: one

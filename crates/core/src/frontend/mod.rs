@@ -39,8 +39,8 @@ use smt_bpred::{
     Btb, GlobalHistory, Gshare, ObservedStream, RasCheckpoint, ReturnStack, StreamPath,
 };
 use smt_isa::{
-    Addr, BranchKind, Diagnostic, DynInst, EndBranch, FetchBlock, Snap, SnapReader, SnapWriter,
-    ThreadId,
+    Addr, BranchKind, Cycle, Diagnostic, DynInst, EndBranch, FetchBlock, Snap, SnapReader,
+    SnapWriter, ThreadId,
 };
 use smt_workloads::Program;
 
@@ -324,6 +324,18 @@ pub trait FrontEnd {
     /// actual outcome. `meta` is the block checkpoint captured when the
     /// branch's fetch block was predicted.
     fn repair(&mut self, spec: &mut SpecState, info: &BranchInfo, meta: &BlockMeta, di: &DynInst);
+
+    /// The engine's event horizon (DESIGN.md §14): the earliest future
+    /// cycle at which its *own* state can change without a predict/train
+    /// call reaching it. All four shipped engines are pull-driven — their
+    /// tables only move inside those calls — so the default reports no
+    /// self-scheduled event; a future push-driven engine (e.g. an ahead
+    /// predictor with a pipelined update queue) overrides this so the
+    /// cycle-skipping scheduler never jumps over its updates.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        None
+    }
 }
 
 /// Shared [`FrontEnd::repair`] body: restore every checkpointed register,
@@ -723,6 +735,15 @@ impl FrontEnd for AnyFrontEnd {
             AnyFrontEnd::GskewFtb(e) => e.repair(spec, info, meta, di),
             AnyFrontEnd::Stream(e) => e.repair(spec, info, meta, di),
             AnyFrontEnd::TraceCache(e) => e.repair(spec, info, meta, di),
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self {
+            AnyFrontEnd::GshareBtb(e) => e.next_event(now),
+            AnyFrontEnd::GskewFtb(e) => e.next_event(now),
+            AnyFrontEnd::Stream(e) => e.next_event(now),
+            AnyFrontEnd::TraceCache(e) => e.next_event(now),
         }
     }
 }

@@ -3,6 +3,12 @@
 
 use smt_isa::{snap_mismatch, Diagnostic, Snap, SnapReader, SnapWriter, MAX_THREADS};
 
+/// Marks the start of the per-reason skip-counter section in serialized
+/// [`SimStats`] (ASCII "SKIP"). Snapshots written before the event-driven
+/// scheduler lack the section; the tag turns a silent field-offset drift
+/// into an explicit `E0018` diagnostic.
+const SKIP_SECTION_TAG: u32 = 0x534b_4950;
+
 /// Histogram of instructions delivered per fetch cycle (0 ..= 16).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FetchDistribution {
@@ -206,9 +212,20 @@ pub struct SimStats {
     pub flushes: u64,
     /// Per-thread stall attribution (one bucket per thread per cycle).
     pub stalls: StallBreakdown,
-    /// Cycles skipped by the idle fast-forward (already included in
-    /// `cycles`; diagnostic for how much of the run was provably idle).
-    pub ff_cycles: u64,
+    /// Cycles skipped while the binding event was a data-side memory
+    /// expiry (a load's completion or an MSHR fill return). Skipped cycles
+    /// are already included in `cycles`; the four `skip_*` counters are
+    /// diagnostics for how much of the run the event-driven scheduler
+    /// jumped over, split by the reason of the earliest event.
+    pub skip_mem_wait: u64,
+    /// Cycles skipped waiting on issue-side events: operand readiness in
+    /// the issue queues, a non-load completion, or a decode-redirect timer.
+    pub skip_issue_wait: u64,
+    /// Cycles skipped waiting on an I-cache miss return (FTQ head blocked).
+    pub skip_ftq_wait: u64,
+    /// Cycles skipped while the STALL/FLUSH policy gate was the binding
+    /// event (fetch deliberately idled until the long-latency load returns).
+    pub skip_policy_idle: u64,
 }
 
 impl SimStats {
@@ -223,6 +240,12 @@ impl SimStats {
     /// Total committed instructions across threads.
     pub fn total_committed(&self) -> u64 {
         self.committed.iter().sum()
+    }
+
+    /// Total cycles skipped by the event-driven scheduler, across every
+    /// skip reason (already included in `cycles`).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skip_mem_wait + self.skip_issue_wait + self.skip_ftq_wait + self.skip_policy_idle
     }
 
     /// Commit throughput in instructions per cycle — the paper's overall
@@ -277,7 +300,11 @@ impl SimStats {
         w.u64(self.hist_mismatches);
         w.u64(self.flushes);
         self.stalls.save_state(w);
-        w.u64(self.ff_cycles);
+        w.u32(SKIP_SECTION_TAG);
+        w.u64(self.skip_mem_wait);
+        w.u64(self.skip_issue_wait);
+        w.u64(self.skip_ftq_wait);
+        w.u64(self.skip_policy_idle);
     }
 
     /// Restores statistics saved by [`SimStats::save_state`] in place,
@@ -303,7 +330,19 @@ impl SimStats {
         self.hist_mismatches = r.u64()?;
         self.flushes = r.u64()?;
         self.stalls.load_state(r)?;
-        self.ff_cycles = r.u64()?;
+        let tag = r.u32()?;
+        if tag != SKIP_SECTION_TAG {
+            return Err(snap_mismatch(
+                "skip counters",
+                format!(
+                    "expected skip-counter section tag {SKIP_SECTION_TAG:#010x}, found {tag:#010x}"
+                ),
+            ));
+        }
+        self.skip_mem_wait = r.u64()?;
+        self.skip_issue_wait = r.u64()?;
+        self.skip_ftq_wait = r.u64()?;
+        self.skip_policy_idle = r.u64()?;
         Ok(())
     }
 }
@@ -367,7 +406,11 @@ mod tests {
         s.distribution.record(8);
         s.stalls.icache_miss[1] = 17;
         s.stalls.residual[0] = 106;
-        s.ff_cycles = 2;
+        s.skip_mem_wait = 2;
+        s.skip_issue_wait = 3;
+        s.skip_ftq_wait = 5;
+        s.skip_policy_idle = 7;
+        assert_eq!(s.skipped_cycles(), 17);
         let mut w = SnapWriter::new();
         s.save_state(&mut w);
         let bytes = w.into_bytes();
@@ -382,6 +425,30 @@ mod tests {
         let mut wrong = SimStats::new(16);
         let err = wrong.load_state(&mut SnapReader::new(&bytes)).unwrap_err();
         assert_eq!(err.code, "E0018");
+    }
+
+    #[test]
+    fn missing_skip_section_is_a_mismatch() {
+        // A pre-scheduler stream that ends at the stall breakdown (as v1
+        // snapshots did, modulo the old single `ff_cycles` word) must fail
+        // with an explicit diagnostic, not a misaligned read.
+        let s = SimStats::new(8);
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w);
+        let mut bytes = w.into_bytes();
+        let tail = bytes.len() - 4 * 8; // keep the (corrupted) tag word
+        bytes.truncate(tail);
+        let tag_at = bytes.len() - 4;
+        bytes[tag_at..].copy_from_slice(&0xdead_beef_u32.to_le_bytes());
+
+        let err = SimStats::new(8)
+            .load_state(&mut SnapReader::new(&bytes))
+            .unwrap_err();
+        assert_eq!(err.code, "E0018");
+        assert!(
+            format!("{err}").contains("skip counters"),
+            "diagnostic names the skip-counter section: {err}"
+        );
     }
 
     #[test]

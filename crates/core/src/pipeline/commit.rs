@@ -12,6 +12,7 @@ use smt_isa::{InstClass, RegClass};
 
 use crate::frontend::FrontEnd;
 
+use super::sched::{EventHorizon, SkipReason};
 use super::{PipelineCtx, PipelineStage, STALL_DCACHE_MISS};
 
 /// The commit stage: retires completed instructions in order, round-robin
@@ -156,6 +157,36 @@ impl PipelineStage for CommitStage {
                 .unwrap_or(false);
             if blocked {
                 ctx.note_stall(tid, STALL_DCACHE_MISS);
+            }
+        }
+    }
+
+    /// Commit acts when any ROB head is dispatched and complete. An issued
+    /// but incomplete head is a completion timer — the stage's event — and
+    /// an issued load head also records the per-cycle dcache-miss bit, the
+    /// same observation the tick's trailing loop makes. Heads that are not
+    /// yet issued (or dispatched) are another stage's problem.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        let now = ctx.cycle;
+        for (tid, th) in ctx.threads.iter().enumerate() {
+            let Some(head) = th.window.front() else {
+                continue;
+            };
+            if !head.dispatched {
+                continue;
+            }
+            if head.completed(now) {
+                ev.act();
+                return;
+            }
+            if head.issued {
+                let reason = if head.di.class == InstClass::Load {
+                    ev.flag(tid, STALL_DCACHE_MISS);
+                    SkipReason::MemWait
+                } else {
+                    SkipReason::IssueWait
+                };
+                ev.event(head.done_at, reason);
             }
         }
     }

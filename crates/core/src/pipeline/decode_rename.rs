@@ -13,6 +13,7 @@
 
 use smt_isa::{RegClass, MAX_THREADS};
 
+use super::sched::EventHorizon;
 use super::{IqEntry, PipelineCtx, PipelineStage, STALL_ROB_FULL};
 
 /// The decode latch: moves up to `decode_width` aged entries from the fetch
@@ -35,6 +36,19 @@ impl PipelineStage for DecodeStage {
             moved += 1;
         }
     }
+
+    /// A pure latch acts exactly when an aged entry meets downstream room;
+    /// between steps every queued entry is aged, so this is a length check.
+    /// Unblocking needs another stage to act — no self-scheduled events.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        if ctx.decode_latch.len() < ctx.cfg.decode_width as usize && !ctx.fetch_buffer.is_empty() {
+            debug_assert!(ctx
+                .fetch_buffer
+                .front()
+                .is_some_and(|e| e.entered < ctx.cycle));
+            ev.act();
+        }
+    }
 }
 
 /// The rename latch: moves up to `decode_width` aged entries from the
@@ -55,6 +69,17 @@ impl PipelineStage for RenameStage {
             e.entered = now;
             ctx.rename_latch.push_back(e);
             moved += 1;
+        }
+    }
+
+    /// Same latch rule as decode, one stage later.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        if ctx.rename_latch.len() < ctx.cfg.decode_width as usize && !ctx.decode_latch.is_empty() {
+            debug_assert!(ctx
+                .decode_latch
+                .front()
+                .is_some_and(|e| e.entered < ctx.cycle));
+            ev.act();
         }
     }
 }
@@ -185,5 +210,51 @@ impl PipelineStage for DispatchStage {
             budget -= 1;
         }
         ctx.rename_latch.extend(kept.drain(..));
+    }
+
+    /// Replays the tick's resource walk without acquiring anything: the
+    /// first latch entry that would dispatch (or evaporate) is an act; a
+    /// thread blocked by the full shared ROB records the per-cycle ROB
+    /// stall bit. Queue slots, registers and ROB space are only freed by
+    /// other stages acting, so dispatch reports no self-scheduled events.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        let mut stalled = [false; MAX_THREADS];
+        for e in &ctx.rename_latch {
+            if stalled[e.tid] {
+                continue;
+            }
+            debug_assert!(e.entered < ctx.cycle, "latch entries age between steps");
+            let Some(inst) = ctx.threads[e.tid].inst(e.seq) else {
+                // A squashed entry would evaporate (mutating the ICOUNT
+                // bookkeeping): that is an act.
+                ev.act();
+                return;
+            };
+            if ctx.rob_occ >= ctx.cfg.rob_size {
+                ev.flag(e.tid, STALL_ROB_FULL);
+                stalled[e.tid] = true;
+                continue;
+            }
+            let (qlen, qcap) = match PipelineCtx::queue_for(inst.di.class) {
+                0 => (ctx.iq_int.len(), ctx.cfg.iq_int as usize),
+                1 => (ctx.iq_ls.len(), ctx.cfg.iq_ls as usize),
+                _ => (ctx.iq_fp.len(), ctx.cfg.iq_fp as usize),
+            };
+            if qlen >= qcap {
+                stalled[e.tid] = true;
+                continue;
+            }
+            let have_reg = match inst.di.dest.map(|d| d.class()) {
+                Some(RegClass::Int) => !ctx.free_int.is_empty(),
+                Some(RegClass::Fp) => !ctx.free_fp.is_empty(),
+                None => true,
+            };
+            if !have_reg {
+                stalled[e.tid] = true;
+                continue;
+            }
+            ev.act();
+            return;
+        }
     }
 }

@@ -16,6 +16,7 @@ use crate::config::LongLatencyAction;
 use crate::frontend::{BranchInfo, FrontEnd, LINE_BYTES};
 use crate::thread::InFlight;
 
+use super::sched::{EventHorizon, SkipReason};
 use super::{
     BankSet, LatchEntry, PipelineCtx, PipelineStage, STALL_BANK_CONFLICT, STALL_FETCH_STARVED,
     STALL_ICACHE_MISS,
@@ -70,6 +71,26 @@ impl PipelineStage for PredictStage {
             th.next_fetch_pc = th.ftq.back().expect("non-empty").block.next_fetch;
             stats.blocks_predicted += (th.ftq.len() - depth) as u64;
             served += 1;
+        }
+    }
+
+    /// Prediction acts whenever any thread has FTQ space and is not gated;
+    /// a STALL/FLUSH gate is a timer, so its expiry is the stage's event.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        let ftq_depth = ctx.cfg.ftq_depth as usize;
+        let now = ctx.cycle;
+        for (tid, th) in ctx.threads.iter().enumerate() {
+            if th.ftq.len() < ftq_depth && !ctx.gated(tid) {
+                ev.act();
+                return;
+            }
+            if ctx.cfg.fetch_policy.long_latency != LongLatencyAction::None {
+                if let Some(until) = th.mem_stall_until {
+                    if until > now {
+                        ev.event(until, SkipReason::PolicyIdle);
+                    }
+                }
+            }
         }
     }
 }
@@ -168,6 +189,39 @@ impl PipelineStage for FetchStage {
         }
         if buffer_full_seen {
             ctx.stats.fetch_buffer_stalls += 1;
+        }
+    }
+
+    /// Fetch acts whenever an eligible, ungated thread meets a fetch buffer
+    /// with room (even a miss or MSHR-full retry touches the I-cache). Its
+    /// events are I-block miss returns; its standing stall bits mirror the
+    /// tick exactly: icache-miss for blocked FTQ heads, fetch-starved for
+    /// every eligible thread when only the full buffer blocks them (in which
+    /// case the per-cycle buffer-full counter runs too).
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        let now = ctx.cycle;
+        let room = ctx.fetch_buffer.len() < ctx.cfg.fetch_buffer as usize;
+        let mut starved = false;
+        for (tid, th) in ctx.threads.iter().enumerate() {
+            if !th.ftq.is_empty() {
+                if let Some(ready) = th.iblock_until {
+                    if ready > now {
+                        ev.flag(tid, STALL_ICACHE_MISS);
+                        ev.event(ready, SkipReason::FtqWait);
+                    }
+                }
+            }
+            if th.fetch_eligible(now) && !ctx.gated(tid) {
+                if room {
+                    ev.act();
+                    return;
+                }
+                starved = true;
+                ev.flag(tid, STALL_FETCH_STARVED);
+            }
+        }
+        if starved {
+            ev.buffer_full();
         }
     }
 }

@@ -14,6 +14,7 @@ use smt_mem::DataOutcome;
 use crate::config::LongLatencyAction;
 
 use super::recovery::flush_after_load;
+use super::sched::{EventHorizon, SkipReason};
 use super::{PipelineCtx, PipelineStage, LONG_LATENCY, STALL_ISSUE_WIDTH};
 
 /// The issue stage: one pass per issue queue (int, load/store, fp), then
@@ -46,6 +47,33 @@ impl PipelineStage for IssueStage {
         }
         flushes.clear();
         self.pending_flushes = flushes;
+    }
+
+    /// Issue acts as soon as any queue entry's operands are ready (even an
+    /// MSHR-full load retry touches the data cache); an entry whose sources
+    /// become ready at a finite future cycle is an issue-wait event. Sources
+    /// are recomputed from `ready_at` rather than read from the cached
+    /// `wake` field, which the skipped ticks would have refreshed.
+    /// Unresolved (`u64::MAX`) sources report nothing: the producer's own
+    /// queue entry bounds the wait.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        debug_assert!(self.pending_flushes.is_empty(), "flushes drain every tick");
+        let now = ctx.cycle;
+        for queue in [&ctx.iq_int, &ctx.iq_ls, &ctx.iq_fp] {
+            for e in queue {
+                let mut ready = e.entered + 1;
+                for &p in e.src_phys.iter().flatten() {
+                    ready = ready.max(ctx.ready_at[p as usize]);
+                }
+                if ready <= now {
+                    ev.act();
+                    return;
+                }
+                if ready != u64::MAX {
+                    ev.event(ready, SkipReason::IssueWait);
+                }
+            }
+        }
     }
 }
 

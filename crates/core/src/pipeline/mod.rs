@@ -23,9 +23,9 @@
 pub(crate) mod commit;
 pub(crate) mod decode_rename;
 pub(crate) mod fetch;
-pub(crate) mod idle;
 pub(crate) mod issue;
 pub(crate) mod recovery;
+pub(crate) mod sched;
 
 use std::collections::VecDeque;
 
@@ -53,6 +53,17 @@ pub(crate) const LONG_LATENCY: u64 = 30;
 pub(crate) trait PipelineStage {
     /// Advances the stage one cycle.
     fn tick(&mut self, ctx: &mut PipelineCtx);
+
+    /// The stage's event-horizon report (DESIGN.md §14): without mutating
+    /// anything, decide whether [`PipelineStage::tick`] would change machine
+    /// state *this* cycle (`ev.act()`), and if not, register the earliest
+    /// future cycle at which this stage's inputs can change on their own
+    /// (`ev.event(at, reason)`) plus the per-thread stall bits the stage
+    /// would charge on every idle cycle until then (`ev.flag`). The
+    /// scheduler jumps to the minimum reported event when no stage acts;
+    /// a stage whose unblocking depends solely on another stage acting
+    /// reports nothing.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut sched::EventHorizon);
 }
 
 // Per-thread stall-observation bits, set by the stages as they run and

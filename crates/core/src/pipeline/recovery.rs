@@ -9,10 +9,11 @@
 // built, these are genuine internal invariants, not input errors.
 // lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
-use smt_isa::RegClass;
+use smt_isa::{InstClass, RegClass};
 
 use crate::frontend::FrontEnd;
 
+use super::sched::{EventHorizon, SkipReason};
 use super::{PipelineCtx, PipelineStage};
 
 /// The resolve stage: detects resolved mispredictions (decode-detectable
@@ -41,6 +42,43 @@ impl PipelineStage for ResolveStage {
                 .unwrap_or(false);
             if resolved {
                 squash_after(ctx, tid, seq);
+            }
+        }
+    }
+
+    /// Resolution is timer-driven: a decode-detectable misfetch redirects
+    /// `fetched_at + 2` cycles after fetch, everything else at the
+    /// diverging instruction's completion. A redirect whose timer has
+    /// expired is an act (the squash mutates half the machine); one still
+    /// pending reports the timer as its event. An unissued, non-decode
+    /// redirect is bounded by its own issue-queue entry.
+    fn horizon(&self, ctx: &PipelineCtx, ev: &mut EventHorizon) {
+        let now = ctx.cycle;
+        for th in &ctx.threads {
+            let Some(seq) = th.pending_redirect else {
+                continue;
+            };
+            let Some(i) = th.inst(seq) else {
+                continue;
+            };
+            if i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false) {
+                if now >= i.fetched_at + 2 {
+                    ev.act();
+                    return;
+                }
+                ev.event(i.fetched_at + 2, SkipReason::IssueWait);
+            }
+            if i.completed(now) {
+                ev.act();
+                return;
+            }
+            if i.issued {
+                let reason = if i.di.class == InstClass::Load {
+                    SkipReason::MemWait
+                } else {
+                    SkipReason::IssueWait
+                };
+                ev.event(i.done_at, reason);
             }
         }
     }

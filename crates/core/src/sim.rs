@@ -158,14 +158,14 @@ impl SimBuilder {
 #[derive(Clone, Debug)]
 pub struct Simulator {
     pub(crate) ctx: PipelineCtx,
-    resolve: ResolveStage,
-    commit: CommitStage,
-    issue: IssueStage,
-    dispatch: DispatchStage,
-    rename: RenameStage,
-    decode: DecodeStage,
-    fetch: FetchStage,
-    predict: PredictStage,
+    pub(crate) resolve: ResolveStage,
+    pub(crate) commit: CommitStage,
+    pub(crate) issue: IssueStage,
+    pub(crate) dispatch: DispatchStage,
+    pub(crate) rename: RenameStage,
+    pub(crate) decode: DecodeStage,
+    pub(crate) fetch: FetchStage,
+    pub(crate) predict: PredictStage,
 }
 
 // The experiment harness moves each sweep cell's `Simulator` (and the
@@ -330,7 +330,7 @@ impl Simulator {
     pub fn run_cycles(&mut self, n: u64) -> &SimStats {
         let mut left = n;
         while left > 0 {
-            match crate::pipeline::idle::fast_forward(&mut self.ctx, left) {
+            match self.fast_forward(left) {
                 0 => {
                     self.step();
                     left -= 1;
@@ -350,7 +350,7 @@ impl Simulator {
             // Nothing commits during an idle window, so fast-forwarding up
             // to the cycle budget can never overshoot the instruction goal.
             let budget = max_cycles - (self.ctx.cycle - start);
-            if crate::pipeline::idle::fast_forward(&mut self.ctx, budget) == 0 {
+            if self.fast_forward(budget) == 0 {
                 self.step();
             }
         }

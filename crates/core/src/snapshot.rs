@@ -31,8 +31,10 @@ use crate::sim::Simulator;
 pub const SNAPSHOT_MAGIC: u64 = 0x534d_545f_534e_4150;
 
 /// Current snapshot format version. Bumped on any layout change; restore
-/// rejects every other version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// rejects every other version. v2: the stats section's single fast-forward
+/// counter became the tagged per-reason skip-counter block (event-driven
+/// scheduler).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a hash of the configuration's canonical debug rendering.
 ///

@@ -123,9 +123,15 @@ pub fn render_sweep_stats(title: &str, stats: &[CellStat]) -> String {
     let rows: Vec<Vec<String>> = by_wall
         .iter()
         .map(|s| {
+            let skip_rate = if s.sim_cycles == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", s.skipped as f64 / s.sim_cycles as f64 * 100.0)
+            };
             vec![
                 s.label.clone(),
                 s.sim_cycles.to_string(),
+                skip_rate,
                 format!("{:.1}", s.wall.as_secs_f64() * 1e3),
                 s.worker.to_string(),
             ]
@@ -137,7 +143,7 @@ pub fn render_sweep_stats(title: &str, stats: &[CellStat]) -> String {
     let total_wall: f64 = stats.iter().map(|s| s.wall.as_secs_f64()).sum();
     let mut out = format!("{title}: sweep of {} cells\n", stats.len());
     out.push_str(&render_table(
-        &["cell", "sim-cycles", "wall ms", "worker"],
+        &["cell", "sim-cycles", "skip %", "wall ms", "worker"],
         &rows,
     ));
     out.push_str(&format!(
@@ -195,6 +201,15 @@ pub fn render_stall_breakdown(title: &str, stats: &smt_core::SimStats, threads: 
         ],
         &rows,
     ));
+    out.push_str(&format!(
+        "skipped {} of {} cycles (mem-wait {}, issue-wait {}, ftq-wait {}, policy-idle {})\n",
+        stats.skipped_cycles(),
+        stats.cycles,
+        stats.skip_mem_wait,
+        stats.skip_issue_wait,
+        stats.skip_ftq_wait,
+        stats.skip_policy_idle,
+    ));
     out
 }
 
@@ -218,6 +233,7 @@ mod tests {
             frac_ge16: 0.0,
             per_thread_ipc: vec![ipc / 2.0, ipc / 2.0],
             fairness: 1.0,
+            skipped_cycles: 0,
         }
     }
 
@@ -262,17 +278,24 @@ mod tests {
         stats.stalls.dcache_miss[0] = 250;
         stats.stalls.residual[0] = 750;
         stats.stalls.rob_full[1] = 1_000;
+        stats.skip_mem_wait = 180;
+        stats.skip_policy_idle = 20;
         let s = render_stall_breakdown("2_MIX / stream / ICOUNT.2.8", &stats, 2);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].contains("1000 cycles"));
-        // Title + header + rule + one row per thread, nothing for inactive
-        // threads.
-        assert_eq!(lines.len(), 5);
+        // Title + header + rule + one row per thread + skip footer, nothing
+        // for inactive threads.
+        assert_eq!(lines.len(), 6);
         let t0 = lines[3];
         assert!(t0.starts_with("T0"), "{t0:?}");
         assert!(t0.contains("25.0") && t0.contains("75.0"), "{t0:?}");
         let t1 = lines[4];
         assert!(t1.contains("100.0"), "{t1:?}");
+        assert_eq!(
+            lines[5],
+            "skipped 200 of 1000 cycles (mem-wait 180, issue-wait 0, \
+             ftq-wait 0, policy-idle 20)"
+        );
     }
 
     #[test]
@@ -289,6 +312,7 @@ mod tests {
             label: label.into(),
             worker,
             sim_cycles: 10_000,
+            skipped: 2_500,
             wall: Duration::from_millis(ms),
         };
         let s = render_sweep_stats(
@@ -306,6 +330,8 @@ mod tests {
         assert!(slow < mid && mid < fast, "not straggler-first:\n{s}");
         assert!(s.contains("2 worker(s)"));
         assert!(s.contains("10000"));
+        assert!(s.contains("skip %"), "missing skip-rate column:\n{s}");
+        assert!(s.contains("25.0"), "missing skip rate value:\n{s}");
     }
 
     #[test]

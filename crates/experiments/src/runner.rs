@@ -83,6 +83,10 @@ pub struct RunResult {
     /// Fairness: min over max of per-thread IPC (1 = perfectly balanced,
     /// → 0 when some thread starves).
     pub fairness: f64,
+    /// Measured cycles the event-driven scheduler skipped rather than
+    /// stepped (sum of the four per-reason counters; deterministic, like
+    /// every other field).
+    pub skipped_cycles: u64,
 }
 
 impl RunResult {
@@ -119,6 +123,7 @@ impl RunResult {
                     0.0
                 }
             },
+            skipped_cycles: s.skipped_cycles(),
         }
     }
 }
@@ -356,7 +361,7 @@ pub fn run_matrix_sweep(
                 .flat_map(move |&p| engines.iter().map(move |&e| (w, e, p)))
         })
         .collect();
-    sweep_cells(
+    let mut sweep = sweep_cells(
         cells.len(),
         jobs,
         len.measure_cycles,
@@ -368,7 +373,13 @@ pub fn run_matrix_sweep(
             let (w, e, p) = cells[i];
             run(w, e, p, len)
         },
-    )
+    );
+    // The executor has no view into the result type; fill in the per-cell
+    // skip counts (for the skip-rate column of the progress report) here.
+    for (stat, result) in sweep.stats.iter_mut().zip(&sweep.results) {
+        stat.skipped = result.skipped_cycles;
+    }
+    sweep
 }
 
 #[cfg(test)]

@@ -190,6 +190,11 @@ pub struct CellStat {
     pub worker: usize,
     /// Simulated cycles the cell measured (0 when not a simulation).
     pub sim_cycles: u64,
+    /// Of `sim_cycles`, how many the event-driven scheduler skipped rather
+    /// than stepped (0 when not a simulation, or not yet filled in —
+    /// [`sweep_cells`] has no view into the result type, so simulation
+    /// sweeps post-fill this from their results).
+    pub skipped: u64,
     /// Wall-clock time the cell took on its worker.
     pub wall: Duration,
 }
@@ -285,6 +290,7 @@ where
                 label: label(index),
                 worker,
                 sim_cycles,
+                skipped: 0,
                 wall,
             });
         }

@@ -15,7 +15,7 @@
 //!   allocation-free steady state must survive a restore, so `load_state`
 //!   refills existing buffers rather than reallocating them).
 //!
-//! Format rules (normative, pinned by `tests/golden/snapshot_v1.bin`):
+//! Format rules (normative, pinned by `tests/golden/snapshot_v2.bin`):
 //! every integer is little-endian and fixed-width; `usize` travels as
 //! `u64`; `bool` is one byte (0/1); `Option<T>` is a presence byte
 //! (0 = `None`, 1 = `Some`) followed by the payload; enums are stable

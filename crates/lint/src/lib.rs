@@ -970,7 +970,7 @@ mod tests {
         assert!(is_hot_path(HOT_PATH_FILE));
         assert!(is_hot_path("crates/core/src/pipeline/mod.rs"));
         assert!(is_hot_path("crates/core/src/pipeline/fetch.rs"));
-        assert!(is_hot_path("crates/core/src/pipeline/idle.rs"));
+        assert!(is_hot_path("crates/core/src/pipeline/sched.rs"));
         assert!(is_hot_path(HOT_PATH_WALKER));
         assert!(!is_hot_path("crates/core/src/config.rs"));
         assert!(!is_hot_path("crates/core/src/frontend/mod.rs"));

@@ -104,6 +104,17 @@ impl MshrFile {
         MshrOutcome::Allocated
     }
 
+    /// Earliest fill-completion cycle strictly after `now`, if any fill is
+    /// still outstanding. Non-mutating (expired entries are skipped, not
+    /// retired): the event-driven scheduler polls this between cycles.
+    pub fn next_ready_after(&self, now: Cycle) -> Option<Cycle> {
+        self.slots
+            .iter()
+            .map(|&(_, ready)| ready)
+            .filter(|&ready| ready > now)
+            .min()
+    }
+
     /// `(allocations, merges, full-stalls)` counts.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.allocs, self.merges, self.full_stalls)
@@ -195,6 +206,17 @@ mod tests {
         assert_eq!(m.allocate(Addr::new(0x40), 10, 60), MshrOutcome::Allocated);
         assert_eq!(m.outstanding(10), 1);
         assert_eq!(m.outstanding(60), 0);
+    }
+
+    #[test]
+    fn next_ready_after_reports_earliest_live_fill() {
+        let mut m = MshrFile::new(4, 64).unwrap();
+        assert_eq!(m.next_ready_after(0), None);
+        m.allocate(Addr::new(0x000), 0, 90);
+        m.allocate(Addr::new(0x040), 0, 40);
+        assert_eq!(m.next_ready_after(0), Some(40));
+        assert_eq!(m.next_ready_after(40), Some(90), "expired fills skipped");
+        assert_eq!(m.next_ready_after(90), None);
     }
 
     #[test]

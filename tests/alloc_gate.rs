@@ -140,35 +140,53 @@ fn steady_state_is_allocation_free_across_policies() {
     }
 }
 
-/// The idle fast-forward path stays inside the gate: drive the
-/// memory-bound workload under FLUSH — which drains the pipeline during
-/// ~100-cycle memory stalls, producing the whole-machine idle windows the
-/// fast-forward skips — and require both that the fast path actually
-/// engaged in the measured window and that it allocated nothing.
+/// The event-driven scheduler stays inside the gate: drive the
+/// memory-bound workload — whose ~100-cycle memory stalls produce the idle
+/// windows the scheduler skips — across every fetch engine and every
+/// policy kind (plain ICOUNT/RR and the STALL/FLUSH long-latency gates),
+/// and require both that skipping actually engaged in the measured window
+/// and that it allocated nothing. The horizon probes run *every* cycle (not
+/// just idle ones), so this also gates the probes themselves.
 #[test]
-fn fast_forward_heavy_steady_state_is_allocation_free() {
-    let mut sim = SimBuilder::new(
-        Workload::mem2()
-            .programs(2004)
-            .expect("table 2 workloads always build"),
-    )
-    .fetch_policy(FetchPolicy::icount(1, 8).with_flush())
-    .build()
-    .expect("valid configuration");
-    sim.run_cycles(WARMUP_CYCLES);
-    let ff_before = sim.stats().ff_cycles;
-    let before = allocations_so_far();
-    sim.run_cycles(MEASURE_CYCLES);
-    let allocated = allocations_so_far() - before;
-    assert_eq!(
-        allocated, 0,
-        "{allocated} heap allocations in {MEASURE_CYCLES} fast-forward-heavy \
-         post-warmup cycles"
-    );
-    assert!(
-        sim.stats().ff_cycles > ff_before,
-        "fast-forward never engaged in the measured window"
-    );
+fn event_skip_heavy_steady_state_is_allocation_free() {
+    for engine in [
+        FetchEngineKind::GshareBtb,
+        FetchEngineKind::GskewFtb,
+        FetchEngineKind::Stream,
+    ] {
+        for policy in [
+            FetchPolicy::icount(1, 8).with_flush(),
+            FetchPolicy::icount(2, 8).with_stall(),
+            FetchPolicy::round_robin(2, 8).with_stall(),
+            FetchPolicy::br_count(2, 8).with_flush(),
+            FetchPolicy::miss_count(2, 8),
+        ] {
+            let mut sim = SimBuilder::new(
+                Workload::mem2()
+                    .programs(2004)
+                    .expect("table 2 workloads always build"),
+            )
+            .fetch_engine(engine)
+            .fetch_policy(policy)
+            .build()
+            .expect("valid configuration");
+            sim.run_cycles(WARMUP_CYCLES);
+            let skipped_before = sim.stats().skipped_cycles();
+            let before = allocations_so_far();
+            sim.run_cycles(MEASURE_CYCLES);
+            let allocated = allocations_so_far() - before;
+            assert_eq!(
+                allocated, 0,
+                "{engine} under {policy}: {allocated} heap allocations in \
+                 {MEASURE_CYCLES} skip-heavy post-warmup cycles"
+            );
+            assert!(
+                sim.stats().skipped_cycles() > skipped_before,
+                "{engine} under {policy}: the scheduler never engaged in the \
+                 measured window"
+            );
+        }
+    }
 }
 
 /// Checkpoint/restore must hand back a simulator that re-enters the

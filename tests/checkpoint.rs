@@ -10,7 +10,7 @@
 //! checkpoints land mid-fetch-burst and mid-misprediction-recovery, not
 //! just at quiet cycles.
 //!
-//! The on-disk format itself is pinned by `tests/golden/snapshot_v1.bin`:
+//! The on-disk format itself is pinned by `tests/golden/snapshot_v2.bin`:
 //! a snapshot of a fixed configuration at a fixed cycle must reproduce the
 //! checked-in image bit for bit. Any intentional layout change must bump
 //! `SNAPSHOT_VERSION` and re-bless with `SMT_BLESS=1 cargo test --test
@@ -203,7 +203,7 @@ fn blessing() -> bool {
 }
 
 /// Pins the serialized format itself: a fixed configuration snapshotted at
-/// a fixed cycle must reproduce `tests/golden/snapshot_v1.bin` bit for bit.
+/// a fixed cycle must reproduce `tests/golden/snapshot_v2.bin` bit for bit.
 /// Any layout change — field order, width, a new field — diffs here and
 /// must come with a `SNAPSHOT_VERSION` bump and a re-bless
 /// (`SMT_BLESS=1 cargo test --test checkpoint`).

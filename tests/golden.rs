@@ -192,25 +192,45 @@ fn golden_matrix_order() {
     check("matrix_order", &results);
 }
 
+/// Zeroes the per-reason skip counters — the only `SimStats` fields allowed
+/// to differ between the event-driven `run_cycles` drive mode (which skips
+/// idle windows) and pure stepping (which never does). Returns their sum so
+/// callers can additionally require the scheduler to have engaged.
+fn normalize_skips(stats: &mut smtfetch::core::SimStats) -> u64 {
+    let skipped = stats.skipped_cycles();
+    stats.skip_mem_wait = 0;
+    stats.skip_issue_wait = 0;
+    stats.skip_ftq_wait = 0;
+    stats.skip_policy_idle = 0;
+    skipped
+}
+
 /// Same-seed equivalence contract for the allocation-free `step()` and the
-/// idle fast-forward: two identically-seeded simulators — one driven
-/// through `run_cycles` (which may skip provably-idle windows), one stepped
-/// cycle by cycle (which never does) — produce `==`-equal `SimStats` (all
-/// integer counters, so equality is exact) for every fetch engine and both
-/// fetch architectures. Only the `ff_cycles` diagnostic may differ between
-/// the two drive modes; it is normalized away before comparing and
-/// separately required to be non-zero, so the fast path is proven both
-/// *exercised* and *invisible*. Together with the snapshot families above
-/// (which compare against the checked-in `tests/golden/*.txt` bit-for-bit
-/// without re-blessing), this pins the optimized hot path to the original
-/// semantics.
+/// event-driven scheduler: two identically-seeded simulators — one driven
+/// through `run_cycles` (which jumps to the next interesting event whenever
+/// no stage can act), one stepped cycle by cycle (which never does) —
+/// produce `==`-equal `SimStats` (all integer counters, so equality is
+/// exact) for every fetch engine, both fetch architectures, and every
+/// fetch-policy kind. Only the four per-reason skip counters may differ
+/// between the two drive modes; they are normalized away before comparing
+/// and their sum separately required to be non-zero, so the fast path is
+/// proven both *exercised* and *invisible*. Together with the snapshot
+/// families above (which compare against the checked-in `tests/golden/*.txt`
+/// bit-for-bit without re-blessing), this pins the optimized hot path to
+/// the original semantics.
 #[test]
 fn optimized_step_matches_run_cycles_same_seed() {
     use smtfetch::core::SimBuilder;
     const CYCLES: u64 = 6_000;
-    let mut total_ff = 0;
+    let mut total_skipped = 0;
     for engine in FetchEngineKind::all() {
-        for policy in [FetchPolicy::icount(1, 8), FetchPolicy::icount(2, 8)] {
+        for policy in [
+            FetchPolicy::icount(1, 8),
+            FetchPolicy::icount(2, 8),
+            FetchPolicy::round_robin(2, 8),
+            FetchPolicy::br_count(2, 8),
+            FetchPolicy::miss_count(2, 8),
+        ] {
             let build = || {
                 SimBuilder::new(Workload::mix2().programs(2004).expect("programs"))
                     .fetch_engine(engine)
@@ -225,9 +245,8 @@ fn optimized_step_matches_run_cycles_same_seed() {
                 b.step();
             }
             let mut fast = a.stats().clone();
-            assert_eq!(b.stats().ff_cycles, 0, "step() must never fast-forward");
-            total_ff += fast.ff_cycles;
-            fast.ff_cycles = 0;
+            assert_eq!(b.stats().skipped_cycles(), 0, "step() must never skip");
+            total_skipped += normalize_skips(&mut fast);
             assert_eq!(
                 &fast,
                 b.stats(),
@@ -235,20 +254,23 @@ fn optimized_step_matches_run_cycles_same_seed() {
             );
         }
     }
-    assert!(total_ff > 0, "fast-forward never engaged across the matrix");
+    assert!(
+        total_skipped > 0,
+        "the scheduler never engaged across the matrix"
+    );
 }
 
 /// The long-latency STALL/FLUSH policies (§5) idle a thread for the full
-/// memory latency, which is where the fast-forward earns its keep. Drive
-/// the memory-bound workload under both policies and re-assert exact
+/// memory latency, which is where event-driven skipping earns its keep.
+/// Drive the memory-bound workload under both policies and re-assert exact
 /// equivalence, requiring a substantial share of the run to be skipped
-/// under FLUSH (which drains the queues and leaves whole-machine idle
-/// windows).
+/// under both (STALL gates fetch until the load returns; FLUSH drains the
+/// queues and leaves whole-machine idle windows).
 #[test]
 fn fast_forward_matches_stepping_under_long_latency_policies() {
     use smtfetch::core::SimBuilder;
     const CYCLES: u64 = 12_000;
-    for (policy, min_ff) in [
+    for (policy, min_skip) in [
         (FetchPolicy::icount(1, 8).with_stall(), 0),
         (FetchPolicy::icount(2, 8).with_stall(), 0),
         (FetchPolicy::icount(1, 8).with_flush(), CYCLES / 10),
@@ -267,12 +289,11 @@ fn fast_forward_matches_stepping_under_long_latency_policies() {
             b.step();
         }
         let mut fast = a.stats().clone();
+        let skipped = normalize_skips(&mut fast);
         assert!(
-            fast.ff_cycles >= min_ff,
-            "{policy}: expected >= {min_ff} fast-forwarded cycles, got {}",
-            fast.ff_cycles
+            skipped >= min_skip,
+            "{policy}: expected >= {min_skip} skipped cycles, got {skipped}"
         );
-        fast.ff_cycles = 0;
         assert_eq!(&fast, b.stats(), "{policy}: same-seed runs diverged");
     }
 }
@@ -328,6 +349,61 @@ fn chunked_execution_matches_monolithic_for_figure5_matrix() {
                 assert_eq!(chunked.verified_boundaries, chunks);
                 assert_eq!(chunked.chunk_cycles.iter().sum::<u64>(), CYCLES);
             }
+        }
+    }
+}
+
+/// Chunk boundaries that land *inside* an event skip: the memory-bound
+/// workload under STALL/FLUSH gates fetch for the 100-cycle memory latency,
+/// so odd chunk counts over a non-round horizon are all but guaranteed to
+/// cut skip windows mid-flight. The scheduler must clamp the skip at the
+/// boundary and re-derive the identical classification (and stall charges)
+/// on resume, so chunked stats and the final whole-machine snapshot stay
+/// byte-identical to the monolithic run.
+#[test]
+fn chunk_boundary_mid_skip_matches_monolithic() {
+    use smtfetch::core::{SimBuilder, SimConfig};
+    use smtfetch::experiments::run_chunked;
+    const CYCLES: u64 = 9_001; // prime-ish horizon: boundaries avoid round cycles
+    let programs = Workload::mem2().programs_shared(2004).expect("programs");
+    for policy in [
+        FetchPolicy::icount(2, 8).with_stall(),
+        FetchPolicy::icount(2, 8).with_flush(),
+        FetchPolicy::round_robin(2, 8).with_stall(),
+    ] {
+        let cfg = SimConfig {
+            fetch_policy: policy,
+            ..SimConfig::default()
+        };
+        let mut mono = SimBuilder::new_shared(programs.clone())
+            .config(cfg.clone())
+            .build()
+            .expect("valid configuration");
+        mono.run_cycles(CYCLES);
+        assert!(
+            mono.stats().skipped_cycles() > 0,
+            "{policy}: the scheduler never engaged, boundaries cannot land mid-skip"
+        );
+        let mono_snapshot = mono.snapshot();
+        for chunks in [3usize, 5, 7] {
+            let chunked = run_chunked(
+                &programs,
+                FetchEngineKind::GshareBtb,
+                &cfg,
+                CYCLES,
+                chunks,
+                Jobs::new(3).expect("valid worker count"),
+            )
+            .unwrap_or_else(|e| panic!("{policy} chunks={chunks}: boundary diverged: {e}"));
+            assert_eq!(
+                &chunked.stats,
+                mono.stats(),
+                "{policy} chunks={chunks}: stats diverged"
+            );
+            assert_eq!(
+                chunked.final_snapshot, mono_snapshot,
+                "{policy} chunks={chunks}: final state diverged"
+            );
         }
     }
 }

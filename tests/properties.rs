@@ -531,3 +531,57 @@ fn stall_buckets_partition_cycles_for_every_engine_and_policy() {
         }
     }
 }
+
+/// The stall-partition invariant survives event-driven cycle skipping: on
+/// the memory-bound workload — where the scheduler jumps over ~100-cycle
+/// idle windows — the skipped cycles must land in the same per-thread
+/// buckets a stepped run would have charged, so the partition still holds
+/// exactly for every engine × policy-kind × long-latency-gate combination.
+/// Each cell additionally proves the scheduler engaged, so the invariant is
+/// tested *through* skips, not vacuously beside them.
+#[test]
+fn stall_buckets_partition_cycles_through_event_skips() {
+    let policies = [
+        FetchPolicy::icount(2, 8),
+        FetchPolicy::icount(1, 8).with_stall(),
+        FetchPolicy::icount(2, 8).with_flush(),
+        FetchPolicy::round_robin(2, 8).with_stall(),
+        FetchPolicy::br_count(2, 8).with_flush(),
+        FetchPolicy::miss_count(2, 8).with_stall(),
+    ];
+    for engine in FetchEngineKind::all_with_trace_cache() {
+        for policy in policies {
+            let programs = Workload::mem2().programs(7).unwrap();
+            let n = programs.len();
+            let mut sim = SimBuilder::new(programs)
+                .fetch_engine(engine)
+                .fetch_policy(policy)
+                .build()
+                .unwrap();
+            // Across a reset boundary too — and the boundary itself may
+            // land mid-skip, which must not double- or under-charge.
+            sim.run_cycles(501);
+            sim.reset_stats();
+            let stats = sim.run_cycles(4_003);
+            assert!(
+                stats.skipped_cycles() > 0,
+                "{engine} / {policy}: the scheduler never engaged on mem2"
+            );
+            for tid in 0..n {
+                assert_eq!(
+                    stats.stalls.total(tid),
+                    stats.cycles,
+                    "{engine} / {policy}: thread {tid} buckets do not partition \
+                     cycles through skips"
+                );
+            }
+            for tid in n..smtfetch::isa::MAX_THREADS {
+                assert_eq!(
+                    stats.stalls.total(tid),
+                    0,
+                    "{engine} / {policy}: inactive thread {tid} charged"
+                );
+            }
+        }
+    }
+}

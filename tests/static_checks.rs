@@ -606,10 +606,10 @@ fn core_pipeline_decomposition_is_pinned() {
             "commit.rs",
             "decode_rename.rs",
             "fetch.rs",
-            "idle.rs",
             "issue.rs",
             "mod.rs",
             "recovery.rs",
+            "sched.rs",
         ],
         "pipeline stage set changed — update the pin and DESIGN.md §10"
     );
