@@ -344,6 +344,23 @@ fn main() {
         cells.push(c);
     }
 
+    // Window-churn cell: eight threads hammering the shared instruction
+    // window keeps push/pop/squash traffic — the structure-of-arrays hot
+    // path — dominant, where the MEM cells above mostly exercise the
+    // event-skip scheduler instead.
+    let mix8 = Workload::mix8();
+    let c = time_cell(
+        &mix8,
+        FetchEngineKind::GshareBtb,
+        FetchPolicy::icount(2, 8),
+        len,
+    );
+    println!(
+        "{:<8} {:<12} {:<12} {:>12.0} cyc/s {:>12.0} insts/s  ipc {:.3}",
+        c.workload, c.engine, c.policy, c.cycles_per_sec, c.insts_per_sec, c.ipc
+    );
+    cells.push(c);
+
     // Whole-matrix wall time through the production sweep executor: one
     // serial pass, one at the requested worker count.
     let start = Instant::now();

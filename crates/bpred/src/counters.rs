@@ -149,6 +149,20 @@ impl CounterTable {
         *word = (*word & !(0b11 << shift)) | (u64::from(next) << shift);
     }
 
+    /// Overwrites the counter at `index` (wrapped into range) with `state`.
+    ///
+    /// This is the write half of a batched probe: a caller that already read
+    /// the counter (e.g. through a `GskewProbe`) trains it in registers and
+    /// writes the result back without re-reading the packed word's counter
+    /// bits. `set(i, trained(get(i)))` is exactly [`CounterTable::update`]
+    /// as long as the table was not touched between the read and the write.
+    pub fn set(&mut self, index: u64, state: TwoBit) {
+        let i = (index & self.mask) as usize;
+        let shift = (i & 31) * 2;
+        let word = &mut self.words[i >> 5];
+        *word = (*word & !(0b11 << shift)) | (u64::from(state.state()) << shift);
+    }
+
     /// Index mask (`len - 1`).
     pub fn mask(&self) -> u64 {
         self.mask

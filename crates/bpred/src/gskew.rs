@@ -3,7 +3,7 @@
 
 use smt_isa::{Addr, Diagnostic, SnapReader, SnapWriter};
 
-use crate::counters::CounterTable;
+use crate::counters::{CounterTable, TwoBit};
 use crate::history::GlobalHistory;
 
 /// Number of banks in the skewed predictor.
@@ -40,6 +40,36 @@ pub struct Gskew {
     correct: u64,
 }
 
+/// One batched read of all three gskew banks for a single `(pc, history)`
+/// lookup: the three decorrelated indices and the three counters they
+/// addressed, captured together by [`Gskew::probe`].
+///
+/// A probe is valid for [`Gskew::predict_with`] and [`Gskew::update_with`]
+/// only while no bank has been written since it was taken; within one
+/// front-end block prediction or one branch training that always holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GskewProbe {
+    indices: [u64; BANKS],
+    counters: [TwoBit; BANKS],
+}
+
+impl GskewProbe {
+    /// The three banks' individual votes.
+    pub fn votes(&self) -> [bool; BANKS] {
+        [
+            self.counters[0].taken(),
+            self.counters[1].taken(),
+            self.counters[2].taken(),
+        ]
+    }
+
+    /// The 2-of-3 majority direction.
+    pub fn taken(&self) -> bool {
+        let v = self.votes();
+        (u8::from(v[0]) + u8::from(v[1]) + u8::from(v[2])) >= 2
+    }
+}
+
 impl Gskew {
     /// Creates a gskew predictor with `entries_per_bank` counters per bank.
     ///
@@ -72,45 +102,88 @@ impl Gskew {
         z ^ (z >> 31)
     }
 
+    /// All three decorrelated bank indices for `(pc, history)`, computed
+    /// together so the shared `(pc, history)` mix is staged once.
+    fn indices(&self, pc: Addr, history: GlobalHistory) -> [u64; BANKS] {
+        [
+            self.index(0, pc, history),
+            self.index(1, pc, history),
+            self.index(2, pc, history),
+        ]
+    }
+
+    /// Issues the batched three-bank read for one `(pc, history)` lookup.
+    ///
+    /// The three decorrelated indices are computed together and the three
+    /// packed-word reads issue together; the returned probe carries both, so
+    /// a predicted block's direction lookup and its later training each cost
+    /// exactly one probe instead of interleaved per-bank index/read pairs.
+    pub fn probe(&self, pc: Addr, history: GlobalHistory) -> GskewProbe {
+        let indices = self.indices(pc, history);
+        let counters = [
+            self.banks[0].get(indices[0]),
+            self.banks[1].get(indices[1]),
+            self.banks[2].get(indices[2]),
+        ];
+        GskewProbe { indices, counters }
+    }
+
     /// The three banks' individual votes for `(pc, history)`.
     pub fn votes(&self, pc: Addr, history: GlobalHistory) -> [bool; BANKS] {
-        let mut v = [false; BANKS];
-        for (b, vote) in v.iter_mut().enumerate() {
-            *vote = self.banks[b].get(self.index(b, pc, history)).taken();
-        }
-        v
+        self.probe(pc, history).votes()
+    }
+
+    /// Records and returns the majority prediction carried by `probe`.
+    pub fn predict_with(&mut self, probe: &GskewProbe) -> bool {
+        self.predictions += 1;
+        probe.taken()
     }
 
     /// Predicts the direction of the conditional branch at `pc` by majority
     /// vote.
     pub fn predict(&mut self, pc: Addr, history: GlobalHistory) -> bool {
-        self.predictions += 1;
-        let v = self.votes(pc, history);
-        (u8::from(v[0]) + u8::from(v[1]) + u8::from(v[2])) >= 2
+        let probe = self.probe(pc, history);
+        self.predict_with(&probe)
+    }
+
+    /// Trains the predictor from a probe taken against the current table
+    /// state (partial update).
+    ///
+    /// The probe's registered counter values stand in for re-reads: each
+    /// trained bank is written back with [`CounterTable::set`], so training
+    /// costs the one batched read in [`Gskew::probe`] plus at most three
+    /// word writes. The probe must not be stale — no bank may have been
+    /// written between the probe and this call.
+    pub fn update_with(&mut self, probe: &GskewProbe, taken: bool) {
+        let votes = probe.votes();
+        let majority = probe.taken();
+        let trained = |c: TwoBit| {
+            let mut c = c;
+            c.update(taken);
+            c
+        };
+        if majority == taken {
+            self.correct += 1;
+            // Partial update: strengthen only the agreeing banks.
+            for (b, &vote) in votes.iter().enumerate() {
+                if vote == majority {
+                    self.banks[b].set(probe.indices[b], trained(probe.counters[b]));
+                }
+            }
+        } else {
+            // Misprediction: retrain all banks.
+            for b in 0..BANKS {
+                self.banks[b].set(probe.indices[b], trained(probe.counters[b]));
+            }
+        }
     }
 
     /// Trains the predictor with a resolved branch (partial update).
     ///
     /// `history` must be the checkpointed prediction-time history.
     pub fn update(&mut self, pc: Addr, history: GlobalHistory, taken: bool) {
-        let votes = self.votes(pc, history);
-        let majority = (u8::from(votes[0]) + u8::from(votes[1]) + u8::from(votes[2])) >= 2;
-        if majority == taken {
-            self.correct += 1;
-            // Partial update: strengthen only the agreeing banks.
-            for (b, &vote) in votes.iter().enumerate() {
-                if vote == majority {
-                    let idx = self.index(b, pc, history);
-                    self.banks[b].update(idx, taken);
-                }
-            }
-        } else {
-            // Misprediction: retrain all banks.
-            for b in 0..BANKS {
-                let idx = self.index(b, pc, history);
-                self.banks[b].update(idx, taken);
-            }
-        }
+        let probe = self.probe(pc, history);
+        self.update_with(&probe, taken);
     }
 
     /// `(predictions, correct-at-update)` counts.
@@ -231,6 +304,33 @@ mod tests {
         g.update(pc, h, false);
         g.update(pc, h, false);
         assert!(!g.predict(pc, h));
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar_path() {
+        // Driving one predictor through the probe API and a twin through the
+        // scalar predict/update calls must keep them bit-identical: the
+        // probe is a batching of the same reads, not a different predictor.
+        let mut a = Gskew::new(1024).unwrap();
+        let mut b = Gskew::new(1024).unwrap();
+        let h = GlobalHistory::new(15);
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..2000u64 {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let pc = Addr::new(((s >> 16) & 0xffff) * 4);
+            let taken = s & 1 == 0;
+            let p = a.probe(pc, h);
+            let pa = a.predict_with(&p);
+            // predict_with never writes a bank, so the probe is still fresh.
+            a.update_with(&p, taken);
+            let pb = b.predict(pc, h);
+            b.update(pc, h, taken);
+            assert_eq!(pa, pb, "prediction diverged at step {i}");
+            assert_eq!(a.stats(), b.stats(), "stats diverged at step {i}");
+        }
+        assert_eq!(a.votes(Addr::new(0x40), h), b.votes(Addr::new(0x40), h));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use btb::{Btb, BtbEntry};
 pub use counters::{CounterTable, TwoBit};
 pub use ftb::{Ftb, FtbEnd, FtbPrediction, ObservedEnd};
 pub use gshare::Gshare;
-pub use gskew::Gskew;
+pub use gskew::{Gskew, GskewProbe};
 pub use history::GlobalHistory;
 pub use ras::{RasCheckpoint, ReturnStack};
 pub use stream::{Dolc, ObservedStream, StreamEnd, StreamPath, StreamPrediction, StreamPredictor};

@@ -83,7 +83,12 @@ impl FrontEnd for GskewFtb {
                         let end_pc = pc.add_insts(len as u64 - 1);
                         let (taken, target) = match end.kind {
                             BranchKind::Cond => {
-                                let t = self.gskew.predict(end_pc, spec.hist);
+                                // One batched probe per predicted block: the
+                                // three decorrelated bank reads (and their
+                                // counter-word accesses) issue together
+                                // instead of per scalar lookup.
+                                let probe = self.gskew.probe(end_pc, spec.hist);
+                                let t = self.gskew.predict_with(&probe);
                                 // FTB entries always carry a target, but
                                 // stay defensive about null targets the
                                 // same way the BTB path is.
@@ -132,7 +137,10 @@ impl FrontEnd for GskewFtb {
 
     fn train_resolve(&mut self, info: &BranchInfo, hist: GlobalHistory, di: &DynInst) {
         if info.is_end && di.is_cond_branch() {
-            self.gskew.update(di.pc, hist, di.taken);
+            // Same batched shape at train time: one probe gathers all three
+            // bank counters, then the partial update writes back through it.
+            let probe = self.gskew.probe(di.pc, hist);
+            self.gskew.update_with(&probe, di.taken);
         }
         if di.taken {
             let kind = di.class.branch_kind().expect("branch"); // lint:allow(no-panic): update only sees branch-class instructions

@@ -42,6 +42,7 @@ mod pipeline;
 mod sim;
 mod snapshot;
 mod thread;
+mod window;
 
 pub use config::{
     FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, PredictorConfig, SimConfig,
@@ -55,4 +56,5 @@ pub use metrics::{FetchDistribution, SimStats};
 pub use sim::{BuildError, SimBuilder, Simulator};
 pub use smt_isa::{has_errors, Diagnostic, Severity};
 pub use snapshot::{config_hash, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use thread::{InFlight, PhysReg, ThreadState};
+pub use thread::ThreadState;
+pub use window::{InFlightCtl, PhysReg, Window};

@@ -36,17 +36,22 @@ impl PipelineStage for CommitStage {
                     let th = &ctx.threads[tid];
                     th.window
                         .front()
-                        .map(|i| i.dispatched && i.completed(now))
+                        .map(|c| c.dispatched() && c.completed(now))
                         .unwrap_or(false)
                 };
                 if !committable {
                     break;
                 }
-                let inst = ctx.threads[tid].window.pop_front().expect("checked");
-                debug_assert!(!inst.di.wrong_path, "wrong-path instruction reached commit");
+                let ctl = ctx.threads[tid].window.pop_front().expect("checked");
+                let seq = ctl.seq;
+                // Popped this very cycle; fetch runs after commit within the
+                // tick, so the payload columns still hold this seq's data.
+                let di = *ctx.threads[tid].window.di(seq);
+                let binfo = ctx.threads[tid].window.binfo(seq);
+                debug_assert!(!ctl.wrong_path(), "wrong-path instruction reached commit");
                 ctx.rob_occ -= 1;
-                if let Some(prev) = inst.prev_phys {
-                    let dest = inst.di.dest.expect("prev implies dest");
+                if let Some(prev) = ctl.prev_phys {
+                    let dest = di.dest.expect("prev implies dest");
                     match dest.class() {
                         RegClass::Int => ctx.free_int.push(prev),
                         RegClass::Fp => ctx.free_fp.push(prev),
@@ -55,8 +60,8 @@ impl PipelineStage for CommitStage {
                 ctx.stats.committed[tid] += 1;
                 budget -= 1;
 
-                if inst.di.class == InstClass::Store {
-                    let addr = inst.di.mem.expect("stores carry addresses").addr;
+                if di.class == InstClass::Store {
+                    let addr = di.mem.expect("stores carry addresses").addr;
                     ctx.mem.store(addr, now);
                 }
 
@@ -64,29 +69,26 @@ impl PipelineStage for CommitStage {
                 if trace_fill_active {
                     let hist_end = ctx.threads[tid].commit_hist_end;
                     let mut fill = std::mem::take(&mut ctx.threads[tid].trace_fill);
-                    ctx.frontend
-                        .trace_fill_commit(&mut fill, &inst.di, hist_end);
+                    ctx.frontend.trace_fill_commit(&mut fill, &di, hist_end);
                     ctx.threads[tid].trace_fill = fill;
                 }
-                if inst.di.is_cond_branch()
-                    && inst.binfo.as_ref().map(|b| b.is_end).unwrap_or(false)
-                {
+                if di.is_cond_branch() && binfo.map(|b| b.is_end).unwrap_or(false) {
                     let th = &mut ctx.threads[tid];
-                    th.commit_hist_end = (th.commit_hist_end << 1) | inst.di.taken as u64;
+                    th.commit_hist_end = (th.commit_hist_end << 1) | di.taken as u64;
                 }
 
                 // Branch training and stream bookkeeping.
                 ctx.threads[tid].commit_stream_len += 1;
-                if inst.di.is_branch() {
-                    if let Some(info) = &inst.binfo {
+                if di.is_branch() {
+                    if let Some(info) = &binfo {
                         // The slot cannot have been reused: the instruction
                         // left the window this very cycle, and fetch runs
                         // after commit within the tick.
-                        let meta_hist = ctx.threads[tid].meta(inst.seq).hist;
-                        ctx.frontend.train_resolve(info, meta_hist, &inst.di);
-                        if inst.di.is_cond_branch() {
+                        let meta_hist = ctx.threads[tid].meta(seq).hist;
+                        ctx.frontend.train_resolve(info, meta_hist, &di);
+                        if di.is_cond_branch() {
                             ctx.stats.cond_branches += 1;
-                            if info.spec_taken != inst.di.taken {
+                            if info.spec_taken != di.taken {
                                 ctx.stats.cond_mispredicts += 1;
                             }
                             if info.is_end {
@@ -103,22 +105,22 @@ impl PipelineStage for CommitStage {
                                     {
                                         eprintln!(
                                             "hist mismatch @cycle {} t{} pc {} ckpt {:016b} arch {:016b} taken {} spec_taken {}",
-                                            now, tid, inst.di.pc,
+                                            now, tid, di.pc,
                                             meta_hist.bits() & mask,
                                             ctx.threads[tid].commit_hist & mask,
-                                            inst.di.taken, info.spec_taken
+                                            di.taken, info.spec_taken
                                         );
                                     }
                                 }
                             }
                         }
                     }
-                    if inst.di.is_cond_branch() {
+                    if di.is_cond_branch() {
                         let th = &mut ctx.threads[tid];
-                        th.commit_hist = (th.commit_hist << 1) | inst.di.taken as u64;
+                        th.commit_hist = (th.commit_hist << 1) | di.taken as u64;
                     }
-                    if inst.di.taken {
-                        let kind = inst.di.class.branch_kind().expect("branch");
+                    if di.taken {
+                        let kind = di.class.branch_kind().expect("branch");
                         let (start_addr, path, len) = {
                             let th = &ctx.threads[tid];
                             (th.commit_stream_start, th.cpath, th.commit_stream_len)
@@ -129,12 +131,12 @@ impl PipelineStage for CommitStage {
                             ObservedStream {
                                 len,
                                 kind,
-                                target: inst.di.next_pc,
+                                target: di.next_pc,
                             },
                         );
                         let th = &mut ctx.threads[tid];
                         th.cpath.push(start_addr);
-                        th.commit_stream_start = inst.di.next_pc;
+                        th.commit_stream_start = di.next_pc;
                         th.commit_stream_len = 0;
                     }
                 }
@@ -151,9 +153,7 @@ impl PipelineStage for CommitStage {
             let blocked = ctx.threads[tid]
                 .window
                 .front()
-                .map(|i| {
-                    i.dispatched && i.issued && !i.completed(now) && i.di.class == InstClass::Load
-                })
+                .map(|c| c.dispatched() && c.issued() && !c.completed(now) && c.is_load())
                 .unwrap_or(false);
             if blocked {
                 ctx.note_stall(tid, STALL_DCACHE_MISS);
@@ -172,15 +172,15 @@ impl PipelineStage for CommitStage {
             let Some(head) = th.window.front() else {
                 continue;
             };
-            if !head.dispatched {
+            if !head.dispatched() {
                 continue;
             }
             if head.completed(now) {
                 ev.act();
                 return;
             }
-            if head.issued {
-                let reason = if head.di.class == InstClass::Load {
+            if head.issued() {
+                let reason = if head.is_load() {
                     ev.flag(tid, STALL_DCACHE_MISS);
                     SkipReason::MemWait
                 } else {

@@ -118,17 +118,21 @@ impl PipelineStage for DispatchStage {
                 continue;
             }
             // The window entry may have been squashed since renaming began.
-            let Some((class, dest, srcs, mem_addr, wrong_path)) =
-                ctx.threads[e.tid].inst(e.seq).map(|i| {
+            // Liveness comes from the control column; the payload column is
+            // only read once the seq is known live.
+            let Some((class, dest, srcs, mem_addr, wrong_path)) = ({
+                let w = &ctx.threads[e.tid].window;
+                w.ctl(e.seq).map(|_| {
+                    let di = w.di(e.seq);
                     (
-                        i.di.class,
-                        i.di.dest,
-                        i.di.srcs,
-                        i.di.mem.map(|m| m.addr),
-                        i.di.wrong_path,
+                        di.class,
+                        di.dest,
+                        di.srcs,
+                        di.mem.map(|m| m.addr),
+                        di.wrong_path,
                     )
                 })
-            else {
+            }) else {
                 // The entry evaporates: it left the pre-issue structures
                 // without moving to an issue queue.
                 ctx.preissue[e.tid] -= 1;
@@ -184,11 +188,11 @@ impl PipelineStage for DispatchStage {
                 None => (None, None),
             };
             {
-                let inst = ctx.threads[e.tid].inst_mut(e.seq).expect("present");
-                inst.dispatched = true;
-                inst.phys_dest = phys_dest;
-                inst.prev_phys = prev_phys;
-                inst.src_phys = src_phys;
+                let ctl = ctx.threads[e.tid].window.ctl_mut(e.seq).expect("present");
+                ctl.set_dispatched();
+                ctl.phys_dest = phys_dest;
+                ctl.prev_phys = prev_phys;
+                ctl.src_phys = src_phys;
             }
             ctx.rob_occ += 1;
             let iq = IqEntry {
@@ -224,18 +228,20 @@ impl PipelineStage for DispatchStage {
                 continue;
             }
             debug_assert!(e.entered < ctx.cycle, "latch entries age between steps");
-            let Some(inst) = ctx.threads[e.tid].inst(e.seq) else {
+            let w = &ctx.threads[e.tid].window;
+            if w.ctl(e.seq).is_none() {
                 // A squashed entry would evaporate (mutating the ICOUNT
                 // bookkeeping): that is an act.
                 ev.act();
                 return;
-            };
+            }
+            let di = w.di(e.seq);
             if ctx.rob_occ >= ctx.cfg.rob_size {
                 ev.flag(e.tid, STALL_ROB_FULL);
                 stalled[e.tid] = true;
                 continue;
             }
-            let (qlen, qcap) = match PipelineCtx::queue_for(inst.di.class) {
+            let (qlen, qcap) = match PipelineCtx::queue_for(di.class) {
                 0 => (ctx.iq_int.len(), ctx.cfg.iq_int as usize),
                 1 => (ctx.iq_ls.len(), ctx.cfg.iq_ls as usize),
                 _ => (ctx.iq_fp.len(), ctx.cfg.iq_fp as usize),
@@ -244,7 +250,7 @@ impl PipelineStage for DispatchStage {
                 stalled[e.tid] = true;
                 continue;
             }
-            let have_reg = match inst.di.dest.map(|d| d.class()) {
+            let have_reg = match di.dest.map(|d| d.class()) {
                 Some(RegClass::Int) => !ctx.free_int.is_empty(),
                 Some(RegClass::Fp) => !ctx.free_fp.is_empty(),
                 None => true,

@@ -9,12 +9,12 @@
 // built, these are genuine internal invariants, not input errors.
 // lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
-use smt_isa::{Addr, DynInst, InstClass, MAX_THREADS};
+use smt_isa::{inst_idx, InstClass, MAX_THREADS};
 use smt_mem::FetchOutcome;
 
 use crate::config::LongLatencyAction;
 use crate::frontend::{BranchInfo, FrontEnd, LINE_BYTES};
-use crate::thread::InFlight;
+use crate::window::InFlightCtl;
 
 use super::sched::{EventHorizon, SkipReason};
 use super::{
@@ -95,39 +95,12 @@ impl PipelineStage for PredictStage {
     }
 }
 
-/// Placeholder [`DynInst`] used to pre-fill the fetch stage's bulk-decode
-/// scratch; every slot is overwritten by the walker before it is read.
-const SCRATCH_FILL: DynInst = DynInst {
-    thread: 0,
-    static_id: 0,
-    pc: Addr::NULL,
-    class: InstClass::IntAlu,
-    dest: None,
-    srcs: [None, None],
-    mem: None,
-    taken: false,
-    next_pc: Addr::NULL,
-    wrong_path: false,
-};
-
 /// The fetch stage: drains FTQ heads through the I-cache into the shared
-/// fetch buffer, under the policy's port/width budget.
+/// fetch buffer, under the policy's port/width budget. The stage carries no
+/// scratch: the walker's bulk decode writes straight into the window's
+/// payload column ([`Window::payload_slots`](crate::window::Window)).
 #[derive(Clone, Debug)]
-pub(crate) struct FetchStage {
-    /// Reusable scratch for the walker's bulk block decode
-    /// ([`Walker::next_block`](smt_workloads::Walker::next_block)). Sized to
-    /// the fetch width at construction and never grows, so the steady-state
-    /// loop stays allocation-free.
-    scratch: Vec<DynInst>,
-}
-
-impl FetchStage {
-    pub(crate) fn new(width: u32) -> Self {
-        FetchStage {
-            scratch: vec![SCRATCH_FILL; width as usize],
-        }
-    }
-}
+pub(crate) struct FetchStage;
 
 impl PipelineStage for FetchStage {
     fn tick(&mut self, ctx: &mut PipelineCtx) {
@@ -162,14 +135,7 @@ impl PipelineStage for FetchStage {
                 break;
             }
             let is_second = port > 0;
-            let (got, did_attempt) = fetch_from(
-                ctx,
-                tid,
-                budget,
-                &mut banks_used,
-                is_second,
-                &mut self.scratch,
-            );
+            let (got, did_attempt) = fetch_from(ctx, tid, budget, &mut banks_used, is_second);
             attempted |= did_attempt;
             delivered_total += got;
             budget -= got;
@@ -236,7 +202,6 @@ fn fetch_from(
     budget: u32,
     banks_used: &mut BankSet,
     second_port: bool,
-    scratch: &mut [DynInst],
 ) -> (u32, bool) {
     let now = ctx.cycle;
     let mut budget = budget;
@@ -264,7 +229,7 @@ fn fetch_from(
         }
         current_group = group;
         let is_trace = group.is_some();
-        let want = budget.min(remaining).min(room as u32); // lint:allow(no-lossy-cast): ibuf room is bounded by ibuf_cap, far below u32::MAX
+        let want = budget.min(remaining).min(inst_idx(room));
         if want == 0 {
             break;
         }
@@ -284,7 +249,7 @@ fn fetch_from(
                 let insts_before_line = if line.raw() <= start_pc.raw() {
                     0
                 } else {
-                    ((line.raw() - start_pc.raw()) / 4) as u32 // lint:allow(no-lossy-cast): span within one fetch block, at most budget*4 bytes
+                    inst_idx((line.raw() - start_pc.raw()) / 4)
                 };
                 let bank = line.bank(LINE_BYTES, 8);
                 if second_port && banks_used.contains(bank) {
@@ -321,7 +286,7 @@ fn fetch_from(
         if allowed == 0 {
             break;
         }
-        deliver(ctx, tid, allowed, scratch);
+        deliver(ctx, tid, allowed);
         delivered += allowed;
         budget -= allowed;
         // Continue across FTQ entries only within one trace line.
@@ -340,28 +305,42 @@ fn fetch_from(
 /// Delivers `n` instructions from `tid`'s FTQ head into the window and
 /// the fetch buffer, consulting the oracle walker.
 ///
-/// The on-oracle prefix of the delivery is decoded in one bulk
-/// [`next_block`](smt_workloads::Walker::next_block) call into `scratch`.
+/// The on-oracle prefix of the delivery is decoded in bulk
+/// ([`next_block`](smt_workloads::Walker::next_block)) straight into the
+/// window's payload column — the very slots the pushes below claim — so a
+/// delivered instruction is written once and never staged through scratch.
 /// The walker stops the bulk run after the first redirecting instruction,
 /// which is exactly where this loop either finishes the block (correctly
 /// predicted end branch) or detects a misprediction and diverges — so the
 /// per-position results are identical to single-stepping.
-fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
+fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32) {
     let now = ctx.cycle;
     let th = &mut ctx.threads[tid];
     // Copy out only the block descriptor (a few words); the bulky block
     // checkpoint stays in the FTQ head until a branch needs it recorded.
     let consumed = th.ftq_consumed;
     let block = th.ftq.front().expect("caller checked").block;
-    let first_pc = block.start.add_insts(consumed as u64);
+    let first_pc = block.start.add_insts(u64::from(consumed));
+    let first_seq = th.next_seq;
     let bulk = if !th.diverged && th.walker.pc() == first_pc {
-        th.walker.next_block(&mut scratch[..n as usize], n as usize)
+        // The n payload slots are dead (the window has room for n pushes),
+        // but may wrap the ring. Continue into the wrapped half only if the
+        // first half filled completely without ending at a redirecting
+        // instruction — exactly the conditions under which one contiguous
+        // `next_block` call would have kept decoding.
+        let (a, b) = th.window.payload_slots(first_seq, n as usize);
+        let k = th.walker.next_block(a, a.len());
+        if k == a.len() && !b.is_empty() && a[k - 1].next_pc == a[k - 1].pc.add_insts(1) {
+            k + th.walker.next_block(b, b.len())
+        } else {
+            k
+        }
     } else {
         0
     };
     for i in 0..n {
         let idx_in_block = consumed + i;
-        let pc = block.start.add_insts(idx_in_block as u64);
+        let pc = block.start.add_insts(u64::from(idx_in_block));
         let is_last = idx_in_block == block.len - 1;
         let is_end = is_last && block.end_branch.is_some();
         let spec_next = if is_last {
@@ -370,13 +349,17 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
             pc.add_insts(1)
         };
 
+        let seq = th.next_seq;
         let bulk_hit = (i as usize) < bulk;
         let on_oracle = bulk_hit || (!th.diverged && th.walker.pc() == pc);
         let di = if bulk_hit {
-            debug_assert_eq!(scratch[i as usize].pc, pc);
-            scratch[i as usize]
+            // The bulk decode already wrote this instruction in place.
+            debug_assert_eq!(th.window.di(seq).pc, pc);
+            *th.window.di(seq)
         } else if on_oracle {
-            th.walker.next_inst()
+            let di = th.walker.next_inst();
+            th.window.set_di(seq, di);
+            di
         } else {
             let (spec_taken, spec_target) = if is_end {
                 let eb = block.end_branch.expect("is_end");
@@ -384,7 +367,9 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
             } else {
                 (false, smt_isa::Addr::NULL)
             };
-            th.walker.wrong_path(pc, spec_taken, spec_target)
+            let di = th.walker.wrong_path(pc, spec_taken, spec_target);
+            th.window.set_di(seq, di);
+            di
         };
 
         let mut mispredicted = false;
@@ -392,7 +377,7 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
             mispredicted = true;
             th.diverged = true;
             debug_assert!(th.pending_redirect.is_none());
-            th.pending_redirect = Some(th.next_seq);
+            th.pending_redirect = Some(seq);
             ctx.stats.control_mispredicts += 1;
         }
         // Misfetches a decoder can catch without executing: a direct
@@ -422,7 +407,6 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
             None
         };
 
-        let seq = th.next_seq;
         th.next_seq += 1;
         // The checkpoint rides in the thread's seq-indexed ring, not the
         // window entry, so the window slot stays small (see `meta_ring`).
@@ -433,18 +417,8 @@ fn deliver(ctx: &mut PipelineCtx, tid: usize, n: u32, scratch: &mut [DynInst]) {
             ctx.stats.fetched_wrong_path += 1;
         }
         ctx.stats.fetched += 1;
-        th.window.push_back(InFlight {
-            seq,
-            di,
-            binfo,
-            fetched_at: now,
-            dispatched: false,
-            issued: false,
-            done_at: 0,
-            phys_dest: None,
-            prev_phys: None,
-            src_phys: [None, None],
-        });
+        th.window
+            .push(InFlightCtl::at_fetch(seq, now, &di, binfo.as_ref()), binfo);
         ctx.fetch_buffer.push_back(LatchEntry {
             tid,
             seq,

@@ -131,7 +131,10 @@ impl IssueStage {
             // Queue entries never outlive their window instructions (squash
             // and flush purge the queues eagerly), so the cached operand
             // and class fields are always live.
-            debug_assert!(ctx.threads[queue[idx].tid].inst(queue[idx].seq).is_some());
+            debug_assert!(ctx.threads[queue[idx].tid]
+                .window
+                .ctl(queue[idx].seq)
+                .is_some());
             let mut ready_cycle = 0u64;
             let mut unresolved = false;
             for &p in queue[idx].src_phys.iter().flatten() {
@@ -200,10 +203,10 @@ impl IssueStage {
                 other => now + other.default_latency(),
             };
             {
-                let inst = ctx.threads[e.tid].inst_mut(e.seq).expect("present");
-                inst.issued = true;
-                inst.done_at = done_at;
-                if let Some(p) = inst.phys_dest {
+                let ctl = ctx.threads[e.tid].window.ctl_mut(e.seq).expect("present");
+                ctl.set_issued();
+                ctl.done_at = done_at;
+                if let Some(p) = ctl.phys_dest {
                     ctx.ready_at[p as usize] = done_at;
                 }
             }

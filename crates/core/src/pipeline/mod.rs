@@ -35,7 +35,8 @@ use smt_mem::MemoryHierarchy;
 use crate::config::{LongLatencyAction, PolicyKind, SimConfig};
 use crate::frontend::AnyFrontEnd;
 use crate::metrics::SimStats;
-use crate::thread::{PhysReg, ThreadState};
+use crate::thread::ThreadState;
+use crate::window::PhysReg;
 
 pub(crate) use commit::CommitStage;
 pub(crate) use decode_rename::{DecodeStage, DispatchStage, RenameStage};
@@ -247,8 +248,10 @@ impl PipelineCtx {
     pub(crate) fn brcounts(&self) -> [u32; MAX_THREADS] {
         let mut c = [0u32; MAX_THREADS];
         let mut count = |tid: usize, seq: u64| {
-            if let Some(i) = self.threads[tid].inst(seq) {
-                if i.di.is_branch() {
+            // The branch bit lives in the control flags, so the metric scan
+            // never touches the payload column.
+            if let Some(ctl) = self.threads[tid].window.ctl(seq) {
+                if ctl.is_branch() {
                     c[tid] += 1;
                 }
             }
@@ -378,14 +381,24 @@ impl PipelineCtx {
             if let Some(h) = th.window.front() {
                 println!(
                     "   head: seq {} {} dispatched {} issued {} done {} wp {}",
-                    h.seq, h.di, h.dispatched, h.issued, h.done_at, h.di.wrong_path
+                    h.seq,
+                    th.window.di(h.seq),
+                    h.dispatched(),
+                    h.issued(),
+                    h.done_at,
+                    h.wrong_path()
                 );
             }
             if let Some(seq) = th.pending_redirect {
-                if let Some(i) = th.inst(seq) {
+                if let Some(ctl) = th.window.ctl(seq) {
                     println!(
                         "   redirect: seq {} {} dispatched {} issued {} done {} srcs {:?}",
-                        i.seq, i.di, i.dispatched, i.issued, i.done_at, i.src_phys
+                        ctl.seq,
+                        th.window.di(seq),
+                        ctl.dispatched(),
+                        ctl.issued(),
+                        ctl.done_at,
+                        ctl.src_phys
                     );
                 } else {
                     println!("   redirect inst MISSING");

@@ -9,7 +9,7 @@
 // built, these are genuine internal invariants, not input errors.
 // lint:allow-file(no-panic): stage-protocol invariants; violations must abort the simulation
 
-use smt_isa::{InstClass, RegClass};
+use smt_isa::{inst_idx, RegClass};
 
 use crate::frontend::FrontEnd;
 
@@ -30,14 +30,14 @@ impl PipelineStage for ResolveStage {
                 continue;
             };
             let resolved = ctx.threads[tid]
-                .inst(seq)
-                .map(|i| {
+                .window
+                .ctl(seq)
+                .map(|c| {
                     // Decode-detectable misfetches redirect as soon as the
                     // instruction reaches decode (one stage after fetch);
                     // everything else waits for execution.
-                    let decode_ok = i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false)
-                        && now >= i.fetched_at + 2;
-                    decode_ok || i.completed(now)
+                    let decode_ok = c.decode_redirect() && now >= c.fetched_at + 2;
+                    decode_ok || c.completed(now)
                 })
                 .unwrap_or(false);
             if resolved {
@@ -58,27 +58,27 @@ impl PipelineStage for ResolveStage {
             let Some(seq) = th.pending_redirect else {
                 continue;
             };
-            let Some(i) = th.inst(seq) else {
+            let Some(c) = th.window.ctl(seq) else {
                 continue;
             };
-            if i.binfo.as_ref().map(|b| b.decode_redirect).unwrap_or(false) {
-                if now >= i.fetched_at + 2 {
+            if c.decode_redirect() {
+                if now >= c.fetched_at + 2 {
                     ev.act();
                     return;
                 }
-                ev.event(i.fetched_at + 2, SkipReason::IssueWait);
+                ev.event(c.fetched_at + 2, SkipReason::IssueWait);
             }
-            if i.completed(now) {
+            if c.completed(now) {
                 ev.act();
                 return;
             }
-            if i.issued {
-                let reason = if i.di.class == InstClass::Load {
+            if c.issued() {
+                let reason = if c.is_load() {
                     SkipReason::MemWait
                 } else {
                     SkipReason::IssueWait
                 };
-                ev.event(i.done_at, reason);
+                ev.event(c.done_at, reason);
             }
         }
     }
@@ -90,23 +90,29 @@ pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
     // Extract the branch's recovery info first (all payloads are
     // `Copy`, so this is a plain read).
     let (di, binfo) = {
-        let inst = ctx.threads[tid].inst(seq).expect("redirect target alive");
-        (inst.di, inst.binfo.expect("diverging inst carries info"))
+        let w = &ctx.threads[tid].window;
+        w.ctl(seq).expect("redirect target alive");
+        (
+            *w.di(seq),
+            w.binfo(seq).expect("diverging inst carries info"),
+        )
     };
     let meta = *ctx.threads[tid].meta(seq);
-    // Roll the window back, youngest first, undoing renames.
+    // Roll the window back, youngest first, undoing renames. Popped seqs'
+    // payload slots stay intact until fetch refills them later in the
+    // tick, so the destination arch register can still be read after the
+    // pop.
     let mut freed_rob = 0u32;
     {
         let th = &mut ctx.threads[tid];
         while th.window.back().is_some_and(|b| b.seq > seq) {
-            let inst = th.window.pop_back().expect("checked");
+            let ctl = th.window.pop_back().expect("checked");
             ctx.stats.squashed += 1;
-            if inst.dispatched {
+            if ctl.dispatched() {
                 freed_rob += 1;
-                if let Some(dest) = inst.di.dest {
-                    let newp = inst.phys_dest.expect("dispatched with dest");
-                    th.rename_map[dest.flat_index()] =
-                        inst.prev_phys.expect("dispatched with dest");
+                if let Some(newp) = ctl.phys_dest {
+                    let dest = th.window.di(ctl.seq).dest.expect("dispatched with dest");
+                    th.rename_map[dest.flat_index()] = ctl.prev_phys.expect("dispatched with dest");
                     match dest.class() {
                         RegClass::Int => ctx.free_int.push(newp),
                         RegClass::Fp => ctx.free_fp.push(newp),
@@ -125,7 +131,7 @@ pub(crate) fn squash_after(ctx: &mut PipelineCtx, tid: usize, seq: u64) {
     ctx.iq_int.retain(|e| !(e.tid == tid && e.seq > seq));
     ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq > seq));
     ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq > seq));
-    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32; // lint:allow(no-lossy-cast): squashed-entry count is bounded by window capacity
+    ctx.preissue[tid] -= inst_idx(before - ctx.preissue_live());
 
     // Repair the speculative front-end state and redirect.
     ctx.frontend
@@ -165,8 +171,8 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
         th.window
             .iter()
             .skip((start - head) as usize)
-            .find(|i| i.binfo.is_some())
-            .map(|i| (i.seq, *th.meta(i.seq)))
+            .find(|c| c.has_binfo())
+            .map(|c| (c.seq, *th.meta(c.seq)))
     };
     let Some((flush_seq, meta)) = boundary else {
         return; // nothing younger worth flushing
@@ -177,16 +183,15 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
     {
         let th = &mut ctx.threads[tid];
         while th.window.back().is_some_and(|b| b.seq >= flush_seq) {
-            let inst = th.window.pop_back().expect("checked");
-            debug_assert!(!inst.di.wrong_path, "flush on an undiverged thread");
+            let ctl = th.window.pop_back().expect("checked");
+            debug_assert!(!ctl.wrong_path(), "flush on an undiverged thread");
             rolled += 1;
             ctx.stats.squashed += 1;
-            if inst.dispatched {
+            if ctl.dispatched() {
                 freed_rob += 1;
-                if let Some(dest) = inst.di.dest {
-                    let newp = inst.phys_dest.expect("dispatched with dest");
-                    th.rename_map[dest.flat_index()] =
-                        inst.prev_phys.expect("dispatched with dest");
+                if let Some(newp) = ctl.phys_dest {
+                    let dest = th.window.di(ctl.seq).dest.expect("dispatched with dest");
+                    th.rename_map[dest.flat_index()] = ctl.prev_phys.expect("dispatched with dest");
                     match dest.class() {
                         RegClass::Int => ctx.free_int.push(newp),
                         RegClass::Fp => ctx.free_fp.push(newp),
@@ -210,7 +215,7 @@ pub(crate) fn flush_after_load(ctx: &mut PipelineCtx, tid: usize, load_seq: u64)
     ctx.iq_int.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
     ctx.iq_ls.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
     ctx.iq_fp.retain(|e| !(e.tid == tid && e.seq >= flush_seq));
-    ctx.preissue[tid] -= (before - ctx.preissue_live()) as u32; // lint:allow(no-lossy-cast): squashed-entry count is bounded by window capacity
+    ctx.preissue[tid] -= inst_idx(before - ctx.preissue_live());
 
     let th = &mut ctx.threads[tid];
     th.walker.rollback(rolled);

@@ -39,7 +39,8 @@ use crate::pipeline::{
     attribute_stalls, CommitStage, DecodeStage, DispatchStage, FetchStage, IssueStage, PipelineCtx,
     PipelineStage, PredictStage, RenameStage, ResolveStage,
 };
-use crate::thread::{PhysReg, ThreadState};
+use crate::thread::ThreadState;
+use crate::window::PhysReg;
 
 /// Error constructing a [`Simulator`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -280,7 +281,7 @@ impl Simulator {
             dispatch: DispatchStage::new(decode_width),
             rename: RenameStage,
             decode: DecodeStage,
-            fetch: FetchStage::new(width),
+            fetch: FetchStage,
             predict: PredictStage,
         })
     }
@@ -442,11 +443,11 @@ mod tests {
             s.run_cycles(50);
             for th in &s.ctx.threads {
                 let mut prev = None;
-                for inst in th.window.iter() {
+                for ctl in th.window.iter() {
                     if let Some(p) = prev {
-                        assert_eq!(inst.seq, p + 1, "window gap in thread {}", th.id);
+                        assert_eq!(ctl.seq, p + 1, "window gap in thread {}", th.id);
                     }
-                    prev = Some(inst.seq);
+                    prev = Some(ctl.seq);
                 }
             }
         }
@@ -464,7 +465,7 @@ mod tests {
                 .threads
                 .iter()
                 .flat_map(|t| t.window.iter())
-                .filter(|i| i.dispatched && i.phys_dest.is_some())
+                .filter(|c| c.dispatched() && c.phys_dest.is_some())
                 .count();
             let mapped = 2 * smt_isa::ArchReg::flat_count();
             let total = s.ctx.free_int.len() + s.ctx.free_fp.len() + held + mapped;

@@ -33,8 +33,22 @@ pub const SNAPSHOT_MAGIC: u64 = 0x534d_545f_534e_4150;
 /// Current snapshot format version. Bumped on any layout change; restore
 /// rejects every other version. v2: the stats section's single fast-forward
 /// counter became the tagged per-reason skip-counter block (event-driven
-/// scheduler).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// scheduler). v3: the per-thread window section became the tagged
+/// structure-of-arrays block ([`crate::Window`]) and the image gained a
+/// trailing FNV-1a checksum over everything before it, so corruption is
+/// reported as `E0018` before the body parse can misread it.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// FNV-1a over a byte slice (the hash both [`config_hash`] and the image
+/// checksum use).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// FNV-1a hash of the configuration's canonical debug rendering.
 ///
@@ -43,13 +57,33 @@ pub const SNAPSHOT_VERSION: u32 = 2;
 /// a total, deterministic rendering), so restoring under a differing
 /// configuration fails fast with `E0018` instead of silently desyncing.
 pub fn config_hash(cfg: &SimConfig) -> u64 {
-    let rendered = format!("{cfg:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in rendered.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+/// Splits a snapshot image into body and trailing checksum, verifying the
+/// checksum over the body. Callers validate the header first so version
+/// mismatches are reported as such rather than as corruption.
+fn verify_checksum(bytes: &[u8]) -> Result<&[u8], Diagnostic> {
+    let Some(split) = bytes.len().checked_sub(8) else {
+        return Err(snap_mismatch(
+            "checksum",
+            format!("image of {} byte(s) is too short to carry one", bytes.len()),
+        ));
+    };
+    let (body, tail) = bytes.split_at(split);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    let stored = u64::from_le_bytes(stored);
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(snap_mismatch(
+            "checksum",
+            format!(
+                "stored {stored:#018x}, computed {computed:#018x} — image corrupted or truncated"
+            ),
+        ));
     }
-    h
+    Ok(body)
 }
 
 /// The decoded fixed-size header of a [`Snapshot`].
@@ -253,9 +287,10 @@ impl Simulator {
         w.u32(ctx.rob_occ);
         ctx.preissue.save(&mut w);
         ctx.stats.save_state(&mut w);
-        Snapshot {
-            bytes: w.into_bytes(),
-        }
+        let mut bytes = w.into_bytes();
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        Snapshot { bytes }
     }
 
     /// Rebuilds a simulator from `snap`, the same `programs`, and the same
@@ -279,7 +314,14 @@ impl Simulator {
         cfg: SimConfig,
         snap: &Snapshot,
     ) -> Result<Simulator, Diagnostic> {
-        let mut r = SnapReader::new(snap.as_bytes());
+        // Header first (nice diagnostics for wrong magic/version), then the
+        // whole-image checksum, then the body parse over verified bytes.
+        {
+            let mut hr = SnapReader::new(snap.as_bytes());
+            read_header(&mut hr)?;
+        }
+        let body = verify_checksum(snap.as_bytes())?;
+        let mut r = SnapReader::new(body);
         let header = read_header(&mut r)?;
         let hash = config_hash(&cfg);
         if header.config_hash != hash {

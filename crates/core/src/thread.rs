@@ -6,79 +6,12 @@ use std::sync::Arc;
 
 use smt_bpred::StreamPath;
 use smt_isa::{
-    snap_mismatch, Addr, Cycle, Diagnostic, DynInst, Snap, SnapReader, SnapWriter, ThreadId,
+    snap_mismatch, Addr, Cycle, Diagnostic, InstIdx, Snap, SnapReader, SnapWriter, ThreadId,
 };
 use smt_workloads::{Program, Walker};
 
-use crate::frontend::{BlockMeta, BranchInfo, PredictedBlock, SpecState, TraceFillBuffer};
-
-/// Physical register id (dense across int + fp spaces).
-pub type PhysReg = u32;
-
-/// One in-flight dynamic instruction and its pipeline bookkeeping.
-#[derive(Clone, Debug)]
-pub struct InFlight {
-    /// Per-thread fetch-order sequence number.
-    pub seq: u64,
-    /// The dynamic instruction.
-    pub di: DynInst,
-    /// Branch/recovery metadata (branches and diverging instructions).
-    /// Stored inline (not boxed): a handful of words per window slot buys a
-    /// heap-allocation-free fetch path. The bulky [`BlockMeta`] checkpoint
-    /// lives in the thread's seq-indexed ring ([`ThreadState::meta`]), so
-    /// window pushes and pops never copy it.
-    pub binfo: Option<BranchInfo>,
-    /// Cycle the instruction was fetched.
-    pub fetched_at: Cycle,
-    /// Whether the instruction passed dispatch (holds backend resources).
-    pub dispatched: bool,
-    /// Whether the instruction has issued to a functional unit.
-    pub issued: bool,
-    /// Completion cycle (valid once issued).
-    pub done_at: Cycle,
-    /// Physical destination register, if any.
-    pub phys_dest: Option<PhysReg>,
-    /// Previous mapping of the destination architectural register.
-    pub prev_phys: Option<PhysReg>,
-    /// Renamed source registers.
-    pub src_phys: [Option<PhysReg>; 2],
-}
-
-impl InFlight {
-    /// Whether execution finished by cycle `now`.
-    pub fn completed(&self, now: Cycle) -> bool {
-        self.issued && self.done_at <= now
-    }
-}
-
-impl Snap for InFlight {
-    fn save(&self, w: &mut SnapWriter) {
-        w.u64(self.seq);
-        self.di.save(w);
-        self.binfo.save(w);
-        w.u64(self.fetched_at);
-        w.bool(self.dispatched);
-        w.bool(self.issued);
-        w.u64(self.done_at);
-        self.phys_dest.save(w);
-        self.prev_phys.save(w);
-        self.src_phys.save(w);
-    }
-    fn load(r: &mut SnapReader<'_>) -> Result<Self, Diagnostic> {
-        Ok(InFlight {
-            seq: r.u64()?,
-            di: DynInst::load(r)?,
-            binfo: Snap::load(r)?,
-            fetched_at: r.u64()?,
-            dispatched: r.bool()?,
-            issued: r.bool()?,
-            done_at: r.u64()?,
-            phys_dest: Snap::load(r)?,
-            prev_phys: Snap::load(r)?,
-            src_phys: Snap::load(r)?,
-        })
-    }
-}
+use crate::frontend::{BlockMeta, PredictedBlock, SpecState, TraceFillBuffer};
+use crate::window::{PhysReg, Window};
 
 /// All per-thread state.
 #[derive(Clone, Debug)]
@@ -103,9 +36,12 @@ pub struct ThreadState {
     /// Instructions already delivered from the FTQ head block (blocks
     /// longer than the fetch width span several cycles). Reset to zero
     /// whenever the head is popped or the FTQ is cleared.
-    pub ftq_consumed: u32,
-    /// In-flight instructions in fetch order (front = oldest).
-    pub window: VecDeque<InFlight>,
+    pub ftq_consumed: InstIdx,
+    /// In-flight instructions in fetch order (front = oldest),
+    /// structure-of-arrays: hot control entries scanned by
+    /// issue/commit/squash, payload and branch-record columns indexed by
+    /// `seq & mask` (see [`crate::window`]).
+    pub window: Window,
     /// Sequence number for the next fetched instruction.
     pub next_seq: u64,
     /// Rename map: architectural flat index → physical register.
@@ -162,7 +98,7 @@ impl ThreadState {
             iblock_until: None,
             ftq: VecDeque::new(),
             ftq_consumed: 0,
-            window: VecDeque::new(),
+            window: Window::new(),
             next_seq: 0,
             rename_map: Vec::new(),
             pending_redirect: None,
@@ -187,7 +123,7 @@ impl ThreadState {
     ///   outstanding long-latency misses (each miss is a windowed load).
     pub fn presize(&mut self, ftq_depth: usize, window_cap: usize) {
         self.ftq.reserve(ftq_depth);
-        self.window.reserve(window_cap);
+        self.window.presize(window_cap);
         self.outstanding_misses.reserve(window_cap);
         // Strictly larger than the window bound so `seq & meta_mask` cannot
         // collide between two live instructions (window seqs are
@@ -232,20 +168,6 @@ impl ThreadState {
         self.walker.program()
     }
 
-    /// Looks up an in-flight instruction by sequence number.
-    ///
-    /// The window is contiguous in `seq`, so this is O(1).
-    pub fn inst(&self, seq: u64) -> Option<&InFlight> {
-        let head = self.window.front()?.seq;
-        self.window.get((seq.checked_sub(head)?) as usize)
-    }
-
-    /// Mutable variant of [`ThreadState::inst`].
-    pub fn inst_mut(&mut self, seq: u64) -> Option<&mut InFlight> {
-        let head = self.window.front()?.seq;
-        self.window.get_mut((seq.checked_sub(head)?) as usize)
-    }
-
     /// Whether fetch can serve this thread at `now`.
     pub fn fetch_eligible(&self, now: Cycle) -> bool {
         !self.ftq.is_empty() && self.iblock_until.is_none_or(|r| r <= now)
@@ -263,7 +185,7 @@ impl ThreadState {
         self.iblock_until.save(w);
         crate::snapshot::save_deque(w, &self.ftq);
         w.u32(self.ftq_consumed);
-        crate::snapshot::save_deque(w, &self.window);
+        self.window.save_state(w);
         w.u64(self.next_seq);
         smt_isa::save_vec(w, &self.rename_map);
         self.pending_redirect.save(w);
@@ -298,7 +220,7 @@ impl ThreadState {
         self.iblock_until = Snap::load(r)?;
         crate::snapshot::load_deque_into(r, &mut self.ftq, "thread ftq")?;
         self.ftq_consumed = r.u32()?;
-        crate::snapshot::load_deque_into(r, &mut self.window, "thread window")?;
+        self.window.load_state(r)?;
         self.next_seq = r.u64()?;
         let renames = r.usize()?;
         if renames != self.rename_map.len() {
@@ -371,29 +293,23 @@ mod tests {
     #[test]
     fn window_lookup_by_seq() {
         let mut t = thread();
+        t.presize(8, 16);
         for s in 0..5u64 {
             let di = t.walker.next_inst();
-            t.window.push_back(InFlight {
-                seq: s,
-                di,
-                binfo: None,
-                fetched_at: 0,
-                dispatched: false,
-                issued: false,
-                done_at: 0,
-                phys_dest: None,
-                prev_phys: None,
-                src_phys: [None, None],
-            });
+            t.window.set_di(s, di);
+            t.window
+                .push(crate::window::InFlightCtl::at_fetch(s, 0, &di, None), None);
         }
-        assert_eq!(t.inst(3).unwrap().seq, 3);
-        assert!(t.inst(9).is_none());
+        assert_eq!(t.window.ctl(3).unwrap().seq, 3);
+        assert!(t.window.ctl(9).is_none());
+        // The payload column returns what the walker decoded.
+        assert_eq!(t.window.di(2).pc, t.window.di(1).next_pc);
         // After popping the front, lookups still work.
         t.window.pop_front();
-        assert_eq!(t.inst(3).unwrap().seq, 3);
-        assert!(t.inst(0).is_none());
-        t.inst_mut(4).unwrap().issued = true;
-        assert!(t.inst(4).unwrap().issued);
+        assert_eq!(t.window.ctl(3).unwrap().seq, 3);
+        assert!(t.window.ctl(0).is_none());
+        t.window.ctl_mut(4).unwrap().set_issued();
+        assert!(t.window.ctl(4).unwrap().issued());
     }
 
     #[test]

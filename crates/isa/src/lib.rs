@@ -66,3 +66,23 @@ pub type SeqNum = u64;
 
 /// A simulation cycle count.
 pub type Cycle = u64;
+
+/// A count or offset of instructions inside the in-flight machine: FTQ
+/// consumption offsets, per-cycle fetch budgets, window-occupancy deltas.
+///
+/// One deliberate type for every such count keeps the arithmetic around the
+/// FTQ head free of narrowing `as` casts: convert with [`inst_idx`] instead
+/// of `as`, so a count that somehow escaped its geometric bound saturates
+/// visibly rather than truncating silently.
+pub type InstIdx = u32;
+
+/// Converts an integer count into an [`InstIdx`] without a lossy cast.
+///
+/// Saturates at `InstIdx::MAX` instead of truncating. Every call site in the
+/// simulator is bounded by fetch-block or window geometry (tens to a few
+/// thousand), so saturation is unreachable in practice and exists only to
+/// keep the conversion total and panic-free.
+#[inline]
+pub fn inst_idx<T: TryInto<InstIdx>>(v: T) -> InstIdx {
+    v.try_into().unwrap_or(InstIdx::MAX)
+}

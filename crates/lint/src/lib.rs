@@ -123,6 +123,11 @@ pub const HOT_PATH_DIR: &str = "crates/core/src/pipeline/";
 /// the stages themselves.
 pub const HOT_PATH_WALKER: &str = "crates/workloads/src/walker.rs";
 
+/// The structure-of-arrays in-flight window, scanned by issue, commit and
+/// squash every cycle and written by fetch every delivered instruction —
+/// the data structure the stage loops spend their time in.
+pub const HOT_PATH_WINDOW: &str = "crates/core/src/window.rs";
+
 /// The statistics module — historically the seed scope of `no-lossy-cast`
 /// (now workspace-wide), still named separately as the path where a silent
 /// integer truncation would most directly corrupt reported results.
@@ -141,10 +146,14 @@ pub const SWEEP_EXECUTOR: &str = "crates/experiments/src/sweep.rs";
 
 /// Whether `path` is in the pipeline hot path whose steady-state cycle loop
 /// must not allocate: the composition root (`sim.rs`), every stage module
-/// under `crates/core/src/pipeline/`, and the workload walker that fetch
-/// drives once per delivered instruction.
+/// under `crates/core/src/pipeline/`, the structure-of-arrays window the
+/// stages scan, and the workload walker that fetch drives once per
+/// delivered instruction.
 pub fn is_hot_path(path: &str) -> bool {
-    path == HOT_PATH_FILE || path == HOT_PATH_WALKER || path.starts_with(HOT_PATH_DIR)
+    path == HOT_PATH_FILE
+        || path == HOT_PATH_WALKER
+        || path == HOT_PATH_WINDOW
+        || path.starts_with(HOT_PATH_DIR)
 }
 
 /// Whether `path` is in scope of the `no-lossy-cast` rule: all workspace
@@ -972,6 +981,7 @@ mod tests {
         assert!(is_hot_path("crates/core/src/pipeline/fetch.rs"));
         assert!(is_hot_path("crates/core/src/pipeline/sched.rs"));
         assert!(is_hot_path(HOT_PATH_WALKER));
+        assert!(is_hot_path(HOT_PATH_WINDOW));
         assert!(!is_hot_path("crates/core/src/config.rs"));
         assert!(!is_hot_path("crates/core/src/frontend/mod.rs"));
         assert!(!is_hot_path("crates/workloads/src/builder.rs"));

@@ -10,11 +10,14 @@
 //! checkpoints land mid-fetch-burst and mid-misprediction-recovery, not
 //! just at quiet cycles.
 //!
-//! The on-disk format itself is pinned by `tests/golden/snapshot_v2.bin`:
+//! The on-disk format itself is pinned by `tests/golden/snapshot_v3.bin`:
 //! a snapshot of a fixed configuration at a fixed cycle must reproduce the
 //! checked-in image bit for bit. Any intentional layout change must bump
 //! `SNAPSHOT_VERSION` and re-bless with `SMT_BLESS=1 cargo test --test
-//! checkpoint`.
+//! checkpoint`. The v3 image ends in a whole-image FNV-1a checksum, so
+//! corrupted or truncated bytes surface as `E0018` diagnostics — never a
+//! panic, never a silent misload — which `corrupted_snapshots_are_rejected`
+//! exercises byte by byte.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -203,7 +206,7 @@ fn blessing() -> bool {
 }
 
 /// Pins the serialized format itself: a fixed configuration snapshotted at
-/// a fixed cycle must reproduce `tests/golden/snapshot_v2.bin` bit for bit.
+/// a fixed cycle must reproduce `tests/golden/snapshot_v3.bin` bit for bit.
 /// Any layout change — field order, width, a new field — diffs here and
 /// must come with a `SNAPSHOT_VERSION` bump and a re-bless
 /// (`SMT_BLESS=1 cargo test --test checkpoint`).
@@ -245,4 +248,68 @@ fn golden_snapshot_fixture_is_stable() {
     restored.run_cycles(500);
     sim.run_cycles(500);
     assert_eq!(sim.stats(), restored.stats(), "fixture resumes identically");
+}
+
+/// Corruption robustness: any snapshot image that is not bit-for-bit what
+/// `snapshot()` produced must be *rejected* by `Simulator::restore` with an
+/// `E0018`-family diagnostic — never a panic and never a silent misload.
+/// The v3 trailing FNV-1a checksum makes this total: every single-byte
+/// mutation flips the stored-vs-computed comparison, and every truncation
+/// either loses checksum bytes or hands the verifier a short image.
+#[test]
+fn corrupted_snapshots_are_rejected() {
+    let cfg = SimConfig {
+        fetch_policy: FetchPolicy::icount(2, 8),
+        ..SimConfig::default()
+    };
+    let programs = Workload::mix2().programs_shared(2004).expect("programs");
+    let mut sim = build(&programs, FetchEngineKind::GskewFtb, &cfg);
+    sim.run_cycles(1_500);
+    let pristine = sim.snapshot().as_bytes().to_vec();
+
+    let reject = |bytes: Vec<u8>, what: &str| {
+        let err = Simulator::restore(programs.clone(), cfg.clone(), &Snapshot::from_bytes(bytes))
+            .err()
+            .unwrap_or_else(|| panic!("{what}: corrupted image restored without complaint"));
+        assert_eq!(err.code, "E0018", "{what}: wrong diagnostic family: {err}");
+    };
+
+    // Single-byte mutations at splitmix64-drawn offsets: header bytes,
+    // body bytes, and the checksum tail all get hit across 200 trials.
+    let mut rng = 0xbad_5eed_u64;
+    for trial in 0..200 {
+        let off = (splitmix64(&mut rng) % pristine.len() as u64) as usize;
+        let flip = (splitmix64(&mut rng) % 255) as u8 + 1; // never a no-op XOR
+        let mut mutated = pristine.clone();
+        mutated[off] ^= flip;
+        reject(
+            mutated,
+            &format!("trial {trial}: byte {off} ^= {flip:#04x}"),
+        );
+    }
+
+    // Truncations: every very-short prefix (degenerate headers, including
+    // the empty image), plus random interior cuts.
+    for len in 0..32.min(pristine.len()) {
+        reject(
+            pristine[..len].to_vec(),
+            &format!("truncated to {len} bytes"),
+        );
+    }
+    for trial in 0..50 {
+        let len = (splitmix64(&mut rng) % (pristine.len() as u64 - 1)) as usize;
+        reject(
+            pristine[..len].to_vec(),
+            &format!("trial {trial}: truncated to {len} bytes"),
+        );
+    }
+
+    // And the pristine image still restores: the rejections above are not
+    // a checksum scheme that rejects everything.
+    Simulator::restore(
+        programs.clone(),
+        cfg.clone(),
+        &Snapshot::from_bytes(pristine),
+    )
+    .expect("pristine image restores");
 }
