@@ -1,0 +1,301 @@
+//! Content-addressable experiment-cell keying (DESIGN.md §16).
+//!
+//! A [`CellKey`] names one deterministic simulation cell — everything a
+//! [`RunResult`](../../experiments) depends on participates, and nothing
+//! else exists that could influence the outcome (the `no-env-in-core` lint
+//! guarantees the simulation crates read no ambient state). Two cells with
+//! equal keys therefore produce byte-identical results, which is the
+//! soundness argument for every cache keyed by it:
+//!
+//! * the warm-start snapshot cache (post-warmup state, PR 7), which keys on
+//!   the [`CellKey::warmup_scope`] projection because the warmed state does
+//!   not depend on how long the measurement afterwards runs;
+//! * the memoized result cache of the sweep service (full key).
+//!
+//! The *code version* participates through [`SNAPSHOT_VERSION`]: the
+//! snapshot format version is bumped on every change to the simulator's
+//! serialized state layout, which any behaviour-affecting refactor of the
+//! machine state forces. Model changes that keep the state layout are
+//! caught by the golden-result suite before they can ship, so within one
+//! checked-in tree the key is sound; across trees the version field keeps
+//! persisted entries from leaking between incompatible builds.
+
+use std::fmt;
+
+use crate::config::{FetchEngineKind, SimConfig};
+use crate::snapshot::{config_hash, fnv1a, SNAPSHOT_VERSION};
+
+/// The identity of one deterministic simulation cell, usable as a cache
+/// key. Ordered and hashable ([`CellKey::hash`]) deterministically.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::{CellKey, FetchEngineKind, FetchPolicy, SimConfig};
+///
+/// let cfg = SimConfig {
+///     fetch_policy: FetchPolicy::icount(2, 8),
+///     ..SimConfig::default()
+/// };
+/// let a = CellKey::new(&cfg, FetchEngineKind::Stream, "2_MIX", 2004, 30_000, 120_000);
+/// let b = CellKey::new(&cfg, FetchEngineKind::Stream, "2_MIX", 2004, 30_000, 120_000);
+/// assert_eq!(a, b);
+/// assert_eq!(a.hash(), b.hash());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Snapshot format version of the producing build ([`SNAPSHOT_VERSION`])
+    /// — the code-version component of the key.
+    pub version: u32,
+    /// [`config_hash`] of the cell's full [`SimConfig`] (fetch policy
+    /// included).
+    pub config: u64,
+    /// Seed the workload programs are synthesized from.
+    pub seed: u64,
+    /// Warmup cycles simulated before statistics start.
+    pub warmup_cycles: u64,
+    /// Measured cycles (0 in a [`CellKey::warmup_scope`] projection).
+    pub measure_cycles: u64,
+    /// Workload name (e.g. `"4_MIX"`).
+    pub workload: String,
+    /// Fetch engine tag (the `Display` name, e.g. `"gskew+FTB"`).
+    pub engine: String,
+}
+
+impl CellKey {
+    /// Keys the cell `(cfg, engine, workload, seed)` run for
+    /// `warmup_cycles` + `measure_cycles`.
+    pub fn new(
+        cfg: &SimConfig,
+        engine: FetchEngineKind,
+        workload: &str,
+        seed: u64,
+        warmup_cycles: u64,
+        measure_cycles: u64,
+    ) -> CellKey {
+        CellKey {
+            version: SNAPSHOT_VERSION,
+            config: config_hash(cfg),
+            seed,
+            warmup_cycles,
+            measure_cycles,
+            workload: workload.to_string(),
+            engine: engine.to_string(),
+        }
+    }
+
+    /// The key's projection onto what a *post-warmup snapshot* depends on:
+    /// the same cell with the measured length zeroed. The warm-start cache
+    /// keys on this, so one warmed snapshot serves every measurement length
+    /// of the same configuration.
+    pub fn warmup_scope(&self) -> CellKey {
+        CellKey {
+            measure_cycles: 0,
+            ..self.clone()
+        }
+    }
+
+    /// FNV-1a over the key's canonical byte rendering — the content hash
+    /// used to address persisted cache entries and to name the cell in
+    /// protocol and report lines. The in-memory caches key on the full
+    /// [`CellKey`] (collision-proof); the hash is its compact name.
+    pub fn hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(44 + self.workload.len() + self.engine.len());
+        bytes.extend_from_slice(&self.version.to_le_bytes());
+        bytes.extend_from_slice(&self.config.to_le_bytes());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(&self.warmup_cycles.to_le_bytes());
+        bytes.extend_from_slice(&self.measure_cycles.to_le_bytes());
+        // Length-prefixed strings: ("ab", "c") and ("a", "bc") must not
+        // collide in the rendering.
+        bytes.extend_from_slice(&(self.workload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(self.workload.as_bytes());
+        bytes.extend_from_slice(&(self.engine.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(self.engine.as_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Renders the key as one `field=value` line (stable, whitespace-free
+    /// values — workload and engine names contain no tabs or newlines);
+    /// [`CellKey::parse`] reads it back. Persisted cache entries echo this
+    /// line so a content-hash collision can be detected instead of served.
+    pub fn to_line(&self) -> String {
+        format!(
+            "version={} config={:#018x} seed={} warmup={} measure={} workload={} engine={}",
+            self.version,
+            self.config,
+            self.seed,
+            self.warmup_cycles,
+            self.measure_cycles,
+            self.workload,
+            self.engine
+        )
+    }
+
+    /// Parses a [`CellKey::to_line`] rendering.
+    pub fn parse(line: &str) -> Result<CellKey, String> {
+        let mut version = None;
+        let mut config = None;
+        let mut seed = None;
+        let mut warmup = None;
+        let mut measure = None;
+        let mut workload = None;
+        let mut engine = None;
+        for field in line.split_whitespace() {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match k {
+                "version" => version = Some(v.parse().map_err(|_| format!("bad version {v:?}"))?),
+                "config" => {
+                    let hex = v
+                        .strip_prefix("0x")
+                        .ok_or_else(|| format!("config {v:?} is not hex"))?;
+                    config = Some(
+                        u64::from_str_radix(hex, 16).map_err(|_| format!("bad config {v:?}"))?,
+                    );
+                }
+                "seed" => seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?),
+                "warmup" => warmup = Some(v.parse().map_err(|_| format!("bad warmup {v:?}"))?),
+                "measure" => measure = Some(v.parse().map_err(|_| format!("bad measure {v:?}"))?),
+                "workload" => workload = Some(v.to_string()),
+                "engine" => engine = Some(v.to_string()),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(CellKey {
+            version: version.ok_or("missing version")?,
+            config: config.ok_or("missing config")?,
+            seed: seed.ok_or("missing seed")?,
+            warmup_cycles: warmup.ok_or("missing warmup")?,
+            measure_cycles: measure.ok_or("missing measure")?,
+            workload: workload.ok_or("missing workload")?,
+            engine: engine.ok_or("missing engine")?,
+        })
+    }
+}
+
+impl fmt::Display for CellKey {
+    /// The compact name: the content hash, hex.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell-{:016x}", self.hash())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FetchPolicy;
+
+    fn key() -> CellKey {
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::GskewFtb,
+            "2_MIX",
+            2004,
+            2_000,
+            10_000,
+        )
+    }
+
+    #[test]
+    fn equal_inputs_equal_keys() {
+        assert_eq!(key(), key());
+        assert_eq!(key().hash(), key().hash());
+        assert_eq!(key().version, SNAPSHOT_VERSION);
+    }
+
+    #[test]
+    fn every_field_changes_the_hash() {
+        let base = key();
+        let cfg = SimConfig {
+            fetch_policy: FetchPolicy::icount(1, 16),
+            ..SimConfig::default()
+        };
+        let variants = [
+            CellKey::new(
+                &cfg,
+                FetchEngineKind::GskewFtb,
+                "2_MIX",
+                2004,
+                2_000,
+                10_000,
+            ),
+            CellKey::new(
+                &SimConfig::default(),
+                FetchEngineKind::Stream,
+                "2_MIX",
+                2004,
+                2_000,
+                10_000,
+            ),
+            CellKey::new(
+                &SimConfig::default(),
+                FetchEngineKind::GskewFtb,
+                "4_MIX",
+                2004,
+                2_000,
+                10_000,
+            ),
+            CellKey::new(
+                &SimConfig::default(),
+                FetchEngineKind::GskewFtb,
+                "2_MIX",
+                2005,
+                2_000,
+                10_000,
+            ),
+            CellKey::new(
+                &SimConfig::default(),
+                FetchEngineKind::GskewFtb,
+                "2_MIX",
+                2004,
+                2_001,
+                10_000,
+            ),
+            CellKey::new(
+                &SimConfig::default(),
+                FetchEngineKind::GskewFtb,
+                "2_MIX",
+                2004,
+                2_000,
+                10_001,
+            ),
+        ];
+        for v in &variants {
+            assert_ne!(v, &base, "{v:?}");
+            assert_ne!(v.hash(), base.hash(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn warmup_scope_ignores_measure_length() {
+        let short = key();
+        let long = CellKey {
+            measure_cycles: 999_999,
+            ..key()
+        };
+        assert_ne!(short, long);
+        assert_eq!(short.warmup_scope(), long.warmup_scope());
+        assert_eq!(short.warmup_scope().measure_cycles, 0);
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let k = key();
+        assert_eq!(CellKey::parse(&k.to_line()), Ok(k.clone()));
+        assert_eq!(
+            CellKey::parse(&k.warmup_scope().to_line()),
+            Ok(k.warmup_scope())
+        );
+        assert!(CellKey::parse("nonsense").is_err());
+        assert!(CellKey::parse("version=1").is_err());
+        assert!(CellKey::parse(&format!("{} bogus=1", k.to_line())).is_err());
+    }
+
+    #[test]
+    fn display_is_the_content_hash() {
+        let k = key();
+        assert_eq!(k.to_string(), format!("cell-{:016x}", k.hash()));
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cellkey;
 mod config;
 mod frontend;
 mod metrics;
@@ -44,6 +45,7 @@ mod snapshot;
 mod thread;
 mod window;
 
+pub use cellkey::CellKey;
 pub use config::{
     FetchEngineKind, FetchPolicy, LongLatencyAction, PolicyKind, PredictorConfig, SimConfig,
 };

@@ -39,9 +39,9 @@ pub const SNAPSHOT_MAGIC: u64 = 0x534d_545f_534e_4150;
 /// reported as `E0018` before the body parse can misread it.
 pub const SNAPSHOT_VERSION: u32 = 3;
 
-/// FNV-1a over a byte slice (the hash both [`config_hash`] and the image
-/// checksum use).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice (the hash [`config_hash`], the image checksum,
+/// and [`crate::CellKey::hash`] all use).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in bytes {
         h ^= u64::from(*b);

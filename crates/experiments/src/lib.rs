@@ -45,12 +45,18 @@
 
 pub mod chunked;
 pub mod figures;
+pub mod memo;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use chunked::{chunk_lengths, run_chunked, ChunkedRun};
 pub use figures::{all, Experiment};
+pub use memo::{
+    cell_key, decode_result, encode_result, memo_snapshot, run_matrix_sweep_memoized, run_memoized,
+    run_memoized_with_config, set_memo_dir, warm_snapshot, BoundedCache, CacheCounters,
+    CacheOutcome, CacheSnapshot, OnCell,
+};
 pub use report::{
     render_grouped_bars, render_markdown, render_stall_breakdown, render_sweep_stats, render_table,
     Metric,

@@ -1,0 +1,683 @@
+//! Content-hash memoization of experiment results (DESIGN.md §16).
+//!
+//! Two process-wide caches keyed by [`CellKey`] share one keying discipline
+//! and one bounded-cache shape:
+//!
+//! * the **memo cache** maps a full cell key to its finished [`RunResult`]
+//!   — the steady-state "repeated query is a lookup, not a run" path the
+//!   sweep service is built on;
+//! * the **warm cache** maps a [`CellKey::warmup_scope`] projection to the
+//!   post-warmup [`Snapshot`] (the PR 7 `SMT_WARM_START` cache, re-keyed).
+//!
+//! Both are bounded ([`BoundedCache`]) with deterministic FIFO eviction —
+//! insertion order is a pure function of the cell schedule, so which entry
+//! is evicted never depends on timing — and both are *pure accelerators*:
+//! every hit returns exactly what the cold path would have computed (the
+//! `CellKey` soundness argument in `smt-core`), and any cache problem falls
+//! back to computing. The memo cache optionally persists entries to a
+//! directory ([`set_memo_dir`] / `SMT_MEMO_DIR`), each file echoing its full
+//! key so a content-hash collision or a stale format is detected and
+//! recomputed instead of served.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use smt_core::{CellKey, FetchEngineKind, FetchPolicy, SimConfig, Snapshot};
+use smt_workloads::Workload;
+
+use crate::runner::{RunLength, RunResult, EXP_SEED};
+use crate::sweep::{sweep_cells, Jobs, Sweep};
+
+/// Whether a cell was served from cache or had to be computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheOutcome {
+    /// Served from the memo cache (in-memory or disk layer).
+    Hit,
+    /// Computed fresh (and inserted for next time).
+    Miss,
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheOutcome::Hit => write!(f, "hit"),
+            CacheOutcome::Miss => write!(f, "miss"),
+        }
+    }
+}
+
+impl std::str::FromStr for CacheOutcome {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CacheOutcome, String> {
+        match s {
+            "hit" => Ok(CacheOutcome::Hit),
+            "miss" => Ok(CacheOutcome::Miss),
+            other => Err(format!("expected hit|miss, got {other:?}")),
+        }
+    }
+}
+
+/// Lifetime counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted by the FIFO cap.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Counter deltas since `earlier` (saturating) — how a job computes its
+    /// per-job numbers from two process-wide snapshots.
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Point-in-time view of one cache: occupancy, cap, and lifetime counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Entries currently held.
+    pub len: usize,
+    /// Entry-count cap (FIFO eviction beyond it).
+    pub cap: usize,
+    /// Lifetime hit/miss/eviction counters.
+    pub counters: CacheCounters,
+}
+
+/// A `BTreeMap` cache (per the determinism lint) bounded to `cap` entries
+/// with FIFO eviction: when a *new* key would exceed the cap, the oldest
+/// inserted key is evicted. Re-inserting a present key replaces the value
+/// in place and keeps its queue position, so eviction order is a pure
+/// function of the sequence of first insertions.
+#[derive(Debug)]
+pub struct BoundedCache<V> {
+    map: BTreeMap<CellKey, V>,
+    order: VecDeque<CellKey>,
+    cap: usize,
+    counters: CacheCounters,
+}
+
+impl<V: Clone> BoundedCache<V> {
+    /// An empty cache holding at most `cap` entries (`cap` is clamped to at
+    /// least 1 — a cache that can hold nothing is a configuration mistake,
+    /// not a useful mode).
+    pub fn new(cap: usize) -> BoundedCache<V> {
+        BoundedCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Pure lookup: no counters move (outcomes are recorded by the caller
+    /// via [`BoundedCache::record`], which knows whether a memory miss was
+    /// rescued by the disk layer).
+    pub fn get(&mut self, key: &CellKey) -> Option<V> {
+        self.map.get(key).cloned()
+    }
+
+    /// Inserts (or replaces) an entry, evicting the oldest first insertion
+    /// when a new key would exceed the cap.
+    pub fn insert(&mut self, key: CellKey, value: V) {
+        if self.map.insert(key.clone(), value).is_some() {
+            return; // replaced in place; queue position unchanged
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.counters.evictions += 1;
+            }
+        }
+    }
+
+    /// Records a lookup outcome in the lifetime counters.
+    pub fn record(&mut self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Hit => self.counters.hits += 1,
+            CacheOutcome::Miss => self.counters.misses += 1,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The point-in-time [`CacheSnapshot`].
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            len: self.map.len(),
+            cap: self.cap,
+            counters: self.counters,
+        }
+    }
+}
+
+/// Entry-count cap from an environment variable, falling back to `default`
+/// when unset, unparsable, or zero.
+fn cap_from_env(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Default memo-cache cap (entries are one `RunResult` each — small).
+const MEMO_CAP_DEFAULT: usize = 65_536;
+
+/// Default warm-cache cap (entries are full machine snapshots — large).
+const WARM_CAP_DEFAULT: usize = 256;
+
+static MEMO: OnceLock<Mutex<BoundedCache<RunResult>>> = OnceLock::new();
+static WARM: OnceLock<Mutex<BoundedCache<Snapshot>>> = OnceLock::new();
+static MEMO_DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+fn memo() -> &'static Mutex<BoundedCache<RunResult>> {
+    MEMO.get_or_init(|| {
+        Mutex::new(BoundedCache::new(cap_from_env(
+            "SMT_MEMO_CAP",
+            MEMO_CAP_DEFAULT,
+        )))
+    })
+}
+
+fn warm() -> &'static Mutex<BoundedCache<Snapshot>> {
+    WARM.get_or_init(|| {
+        Mutex::new(BoundedCache::new(cap_from_env(
+            "SMT_WARM_CAP",
+            WARM_CAP_DEFAULT,
+        )))
+    })
+}
+
+/// The memo cache's on-disk directory: [`set_memo_dir`] if called first,
+/// else `SMT_MEMO_DIR`, else none (in-memory only).
+fn memo_dir() -> Option<&'static PathBuf> {
+    MEMO_DIR
+        .get_or_init(|| std::env::var_os("SMT_MEMO_DIR").map(PathBuf::from))
+        .as_ref()
+}
+
+/// Points the memo cache's optional disk layer at `dir` (`None` disables
+/// it), overriding `SMT_MEMO_DIR`. Returns `Err` if the disk layer was
+/// already initialized (by an earlier call or an earlier cache access).
+pub fn set_memo_dir(dir: Option<PathBuf>) -> Result<(), &'static str> {
+    let mut accepted = false;
+    let chosen = MEMO_DIR.get_or_init(|| {
+        accepted = true;
+        dir.clone()
+    });
+    if accepted || *chosen == dir {
+        Ok(())
+    } else {
+        Err("memo directory already initialized")
+    }
+}
+
+/// Point-in-time view of the result memo cache.
+pub fn memo_snapshot() -> CacheSnapshot {
+    match memo().lock() {
+        Ok(c) => c.snapshot(),
+        Err(_) => CacheSnapshot {
+            len: 0,
+            cap: 0,
+            counters: CacheCounters::default(),
+        },
+    }
+}
+
+/// Point-in-time view of the warm-start snapshot cache.
+pub fn warm_snapshot() -> CacheSnapshot {
+    match warm().lock() {
+        Ok(c) => c.snapshot(),
+        Err(_) => CacheSnapshot {
+            len: 0,
+            cap: 0,
+            counters: CacheCounters::default(),
+        },
+    }
+}
+
+/// Warm-cache lookup for the runner's warmed-simulator path. `key` must be
+/// a [`CellKey::warmup_scope`] projection. Records a hit when found; the
+/// matching miss is recorded by [`warm_store`] on the cold path.
+pub(crate) fn warm_get(key: &CellKey) -> Option<Snapshot> {
+    let mut cache = warm().lock().ok()?;
+    let found = cache.get(key);
+    if found.is_some() {
+        cache.record(CacheOutcome::Hit);
+    }
+    found
+}
+
+/// Stores a freshly warmed snapshot, recording the miss that led here.
+pub(crate) fn warm_store(key: CellKey, snap: Snapshot) {
+    if let Ok(mut cache) = warm().lock() {
+        cache.record(CacheOutcome::Miss);
+        cache.insert(key, snap);
+    }
+}
+
+/// The full cell key of one `(workload, engine, cfg, len)` run under the
+/// experiment seed — the identity the memo cache stores results under.
+pub fn cell_key(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: &SimConfig,
+    len: RunLength,
+) -> CellKey {
+    CellKey::new(
+        cfg,
+        engine,
+        workload.name(),
+        EXP_SEED,
+        len.warmup_cycles,
+        len.measure_cycles,
+    )
+}
+
+/// Renders a [`RunResult`] as one `|`-separated line, every `f64` as its
+/// exact bit pattern (hex of [`f64::to_bits`]) so the decode is bit-for-bit
+/// lossless — the codec the protocol's `RESULT` lines, the disk layer, and
+/// the byte-identity tests all share. No vocabulary string (workload,
+/// engine, policy) contains `|`.
+pub fn encode_result(r: &RunResult) -> String {
+    let bits = |v: f64| format!("{:016x}", v.to_bits());
+    let per_thread: Vec<String> = r.per_thread_ipc.iter().map(|&v| bits(v)).collect();
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.workload,
+        r.engine,
+        r.policy,
+        bits(r.ipfc),
+        bits(r.ipc),
+        bits(r.branch_accuracy),
+        bits(r.wrong_path),
+        bits(r.frac_ge4),
+        bits(r.frac_ge8),
+        bits(r.frac_eq8),
+        bits(r.frac_ge16),
+        bits(r.fairness),
+        r.skipped_cycles,
+        per_thread.join(",")
+    )
+}
+
+/// Parses an [`encode_result`] line back into the exact [`RunResult`].
+pub fn decode_result(line: &str) -> Result<RunResult, String> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 14 {
+        return Err(format!("expected 14 fields, got {}", fields.len()));
+    }
+    let bits = |s: &str| -> Result<f64, String> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad f64 bits {s:?}"))
+    };
+    let per_thread_ipc = if fields[13].is_empty() {
+        Vec::new()
+    } else {
+        fields[13]
+            .split(',')
+            .map(bits)
+            .collect::<Result<Vec<f64>, String>>()?
+    };
+    Ok(RunResult {
+        workload: fields[0].to_string(),
+        engine: fields[1].to_string(),
+        policy: fields[2].to_string(),
+        ipfc: bits(fields[3])?,
+        ipc: bits(fields[4])?,
+        branch_accuracy: bits(fields[5])?,
+        wrong_path: bits(fields[6])?,
+        frac_ge4: bits(fields[7])?,
+        frac_ge8: bits(fields[8])?,
+        frac_eq8: bits(fields[9])?,
+        frac_ge16: bits(fields[10])?,
+        fairness: bits(fields[11])?,
+        skipped_cycles: fields[12]
+            .parse()
+            .map_err(|_| format!("bad skipped_cycles {:?}", fields[12]))?,
+        per_thread_ipc,
+    })
+}
+
+/// The disk file an entry persists to: named by the key's content hash.
+fn disk_path(dir: &Path, key: &CellKey) -> PathBuf {
+    dir.join(format!("{:016x}.cell", key.hash()))
+}
+
+/// Disk-layer lookup: reads the entry file, verifies the echoed key matches
+/// `key` exactly (hash collisions and stale formats decode as mismatches,
+/// never as results), and decodes. Any problem — missing file, torn write,
+/// key mismatch — is a miss.
+fn disk_get(key: &CellKey) -> Option<RunResult> {
+    let dir = memo_dir()?;
+    let text = std::fs::read_to_string(disk_path(dir, key)).ok()?;
+    let mut lines = text.lines();
+    let echoed = CellKey::parse(lines.next()?).ok()?;
+    if echoed != *key {
+        return None;
+    }
+    decode_result(lines.next()?).ok()
+}
+
+/// Disk-layer store: key echo on line 1, encoded result on line 2. Best
+/// effort — an unwritable directory just leaves the entry in-memory-only.
+/// Concurrent writers of the same key write identical bytes, so the race
+/// is harmless; a torn file fails [`disk_get`]'s parse and is recomputed.
+fn disk_put(key: &CellKey, result: &RunResult) {
+    let Some(dir) = memo_dir() else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let body = format!("{}\n{}\n", key.to_line(), encode_result(result));
+    let _ = std::fs::write(disk_path(dir, key), body);
+}
+
+/// Runs one cell through the memo cache: an in-memory or disk hit returns
+/// the stored result; a miss computes it — with the warm-start snapshot
+/// cache unconditionally enabled, so even a cold cell skips re-warming —
+/// and stores it in both layers.
+///
+/// The returned result is byte-identical to a fresh
+/// [`crate::runner::run_with_config`] run of the same cell (pinned by the
+/// memoization property tests).
+pub fn run_memoized_with_config(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: &SimConfig,
+    len: RunLength,
+) -> (RunResult, CacheOutcome) {
+    let key = cell_key(workload, engine, cfg, len);
+    if let Ok(mut cache) = memo().lock() {
+        if let Some(found) = cache.get(&key) {
+            cache.record(CacheOutcome::Hit);
+            return (found, CacheOutcome::Hit);
+        }
+    }
+    if let Some(found) = disk_get(&key) {
+        if let Ok(mut cache) = memo().lock() {
+            cache.record(CacheOutcome::Hit);
+            cache.insert(key, found.clone());
+        }
+        return (found, CacheOutcome::Hit);
+    }
+    let result = crate::runner::run_with_config_warm(workload, engine, cfg.clone(), len);
+    disk_put(&key, &result);
+    if let Ok(mut cache) = memo().lock() {
+        cache.record(CacheOutcome::Miss);
+        cache.insert(key, result.clone());
+    }
+    (result, CacheOutcome::Miss)
+}
+
+/// [`run_memoized_with_config`] for a plain policy cell (Table 3 defaults).
+pub fn run_memoized(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    policy: FetchPolicy,
+    len: RunLength,
+) -> (RunResult, CacheOutcome) {
+    let cfg = SimConfig {
+        fetch_policy: policy,
+        ..SimConfig::default()
+    };
+    run_memoized_with_config(workload, engine, &cfg, len)
+}
+
+/// A per-cell completion callback: `(stable cell index, result, outcome)`,
+/// invoked from whichever worker thread finishes the cell.
+pub type OnCell<'a> = &'a (dyn Fn(usize, &RunResult, CacheOutcome) + Sync);
+
+/// [`crate::runner::run_matrix_sweep`] through the memo cache: the full
+/// `workloads × policies × engines` cross product in the same stable cell
+/// order, each cell looked up before it is computed. Per-cell cache
+/// outcomes are filled into the sweep's [`crate::CellStat`]s, and `on_cell`
+/// (when given) is invoked from the worker thread the moment each cell
+/// completes — completion order, not cell order — which is how the daemon
+/// streams `RESULT` lines while the sweep is still running.
+pub fn run_matrix_sweep_memoized(
+    workloads: &[Workload],
+    engines: &[FetchEngineKind],
+    policies: &[FetchPolicy],
+    len: RunLength,
+    jobs: Jobs,
+    on_cell: Option<OnCell<'_>>,
+) -> Sweep<RunResult> {
+    // Stable cell order: workload × policy × engine (see `run_matrix`).
+    let cells: Vec<(&Workload, FetchEngineKind, FetchPolicy)> = workloads
+        .iter()
+        .flat_map(|w| {
+            policies
+                .iter()
+                .flat_map(move |&p| engines.iter().map(move |&e| (w, e, p)))
+        })
+        .collect();
+    let sweep = sweep_cells(
+        cells.len(),
+        jobs,
+        len.measure_cycles,
+        |i| {
+            let (w, e, p) = &cells[i];
+            format!("{} {} {}", w.name(), e, p)
+        },
+        |i| {
+            let (w, e, p) = cells[i];
+            let (result, outcome) = run_memoized(w, e, p, len);
+            if let Some(cb) = on_cell {
+                cb(i, &result, outcome);
+            }
+            (result, outcome)
+        },
+    );
+    let mut stats = sweep.stats;
+    let results: Vec<RunResult> = sweep
+        .results
+        .into_iter()
+        .zip(stats.iter_mut())
+        .map(|((result, outcome), stat)| {
+            stat.skipped = result.skipped_cycles;
+            stat.cache = Some(outcome);
+            result
+        })
+        .collect();
+    Sweep { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(workload: &str, seedish: u64) -> RunResult {
+        RunResult {
+            workload: workload.into(),
+            engine: "trace cache".into(),
+            policy: "ICOUNT.2.8".into(),
+            ipfc: 3.25 + seedish as f64,
+            ipc: 2.5,
+            branch_accuracy: 0.9375,
+            wrong_path: 0.1,
+            frac_ge4: 0.5,
+            frac_ge8: 0.25,
+            frac_eq8: 0.125,
+            frac_ge16: 0.0,
+            per_thread_ipc: vec![1.25, 1.25, f64::from_bits(0x3ff0_0000_0000_0001)],
+            fairness: 1.0,
+            skipped_cycles: 42,
+        }
+    }
+
+    fn key(n: u64) -> CellKey {
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::Stream,
+            "2_MIX",
+            n,
+            100,
+            200,
+        )
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let r = result("2_MIX", 0);
+        assert_eq!(decode_result(&encode_result(&r)), Ok(r.clone()));
+        // Engine names with spaces survive; subnormal-adjacent bit patterns
+        // survive exactly (the 0x...0001 per-thread entry).
+        let again = decode_result(&encode_result(&r)).unwrap();
+        assert_eq!(
+            again.per_thread_ipc[2].to_bits(),
+            0x3ff0_0000_0000_0001,
+            "f64 bits must round-trip exactly"
+        );
+        assert!(decode_result("short|line").is_err());
+        assert!(decode_result(&encode_result(&r).replace('|', ";")).is_err());
+    }
+
+    #[test]
+    fn codec_handles_empty_per_thread() {
+        let r = RunResult {
+            per_thread_ipc: Vec::new(),
+            ..result("1_X", 0)
+        };
+        assert_eq!(decode_result(&encode_result(&r)), Ok(r));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let mut c: BoundedCache<u64> = BoundedCache::new(2);
+        c.insert(key(1), 1);
+        c.insert(key(2), 2);
+        assert_eq!(c.len(), 2);
+        // Replacing key(1) keeps its queue position (still the oldest).
+        c.insert(key(1), 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.snapshot().counters.evictions, 0);
+        // A third distinct key evicts key(1), the oldest first insertion.
+        c.insert(key(3), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(1)), None);
+        assert_eq!(c.get(&key(2)), Some(2));
+        assert_eq!(c.get(&key(3)), Some(3));
+        assert_eq!(c.snapshot().counters.evictions, 1);
+    }
+
+    #[test]
+    fn bounded_cache_counts_outcomes() {
+        let mut c: BoundedCache<u64> = BoundedCache::new(4);
+        c.record(CacheOutcome::Miss);
+        c.insert(key(1), 1);
+        c.record(CacheOutcome::Hit);
+        c.record(CacheOutcome::Hit);
+        let snap = c.snapshot();
+        assert_eq!(snap.counters.hits, 2);
+        assert_eq!(snap.counters.misses, 1);
+        assert_eq!(snap.len, 1);
+        assert_eq!(snap.cap, 4);
+        let later = CacheCounters {
+            hits: 5,
+            misses: 3,
+            evictions: 1,
+        };
+        assert_eq!(
+            later.since(&snap.counters),
+            CacheCounters {
+                hits: 3,
+                misses: 2,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cache_outcome_round_trips() {
+        assert_eq!("hit".parse(), Ok(CacheOutcome::Hit));
+        assert_eq!("miss".parse(), Ok(CacheOutcome::Miss));
+        assert!("HIT".parse::<CacheOutcome>().is_err());
+        assert_eq!(CacheOutcome::Hit.to_string(), "hit");
+        assert_eq!(CacheOutcome::Miss.to_string(), "miss");
+    }
+
+    #[test]
+    fn memoized_run_hits_on_repeat() {
+        // GshareBtb + MISSCOUNT is used by no other test in this crate, so
+        // the first memoized run is a provable miss.
+        let w = Workload::mix2();
+        let cfg = SimConfig {
+            fetch_policy: FetchPolicy::miss_count(1, 8),
+            ..SimConfig::default()
+        };
+        let fresh = crate::runner::run_with_config(
+            &w,
+            FetchEngineKind::GshareBtb,
+            cfg.clone(),
+            RunLength::SMOKE,
+        );
+        let (first, o1) =
+            run_memoized_with_config(&w, FetchEngineKind::GshareBtb, &cfg, RunLength::SMOKE);
+        let (second, o2) =
+            run_memoized_with_config(&w, FetchEngineKind::GshareBtb, &cfg, RunLength::SMOKE);
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(first, fresh, "memoized miss == fresh, byte-identical");
+        assert_eq!(second, fresh, "memoized hit == fresh, byte-identical");
+    }
+
+    #[test]
+    fn memoized_sweep_fills_cache_outcomes_and_streams() {
+        use std::sync::Mutex as StdMutex;
+        let streamed: StdMutex<Vec<(usize, CacheOutcome)>> = StdMutex::new(Vec::new());
+        let on_cell = |i: usize, r: &RunResult, o: CacheOutcome| {
+            assert!(!r.workload.is_empty());
+            streamed.lock().unwrap().push((i, o));
+        };
+        let sweep = run_matrix_sweep_memoized(
+            &[Workload::mix2()],
+            &[FetchEngineKind::Stream],
+            &[FetchPolicy::round_robin(1, 8)],
+            RunLength::SMOKE,
+            Jobs::SERIAL,
+            Some(&on_cell),
+        );
+        assert_eq!(sweep.results.len(), 1);
+        assert_eq!(sweep.stats[0].cache, Some(CacheOutcome::Miss));
+        assert_eq!(sweep.stats[0].skipped, sweep.results[0].skipped_cycles);
+        assert_eq!(
+            streamed.lock().unwrap().as_slice(),
+            &[(0, CacheOutcome::Miss)]
+        );
+
+        let again = run_matrix_sweep_memoized(
+            &[Workload::mix2()],
+            &[FetchEngineKind::Stream],
+            &[FetchPolicy::round_robin(1, 8)],
+            RunLength::SMOKE,
+            Jobs::SERIAL,
+            None,
+        );
+        assert_eq!(again.results, sweep.results, "hit == miss results");
+        assert_eq!(again.stats[0].cache, Some(CacheOutcome::Hit));
+    }
+}

@@ -1,12 +1,8 @@
 //! Running simulator configurations and collecting results.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
-use smt_core::{
-    config_hash, FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats, Simulator,
-    Snapshot, SNAPSHOT_VERSION,
-};
+use smt_core::{CellKey, FetchEngineKind, FetchPolicy, SimBuilder, SimConfig, SimStats, Simulator};
 use smt_workloads::{Program, Workload};
 
 use crate::sweep::{sweep_cells, Jobs, Sweep};
@@ -131,43 +127,27 @@ impl RunResult {
 /// The seed every experiment uses (reproducibility).
 pub const EXP_SEED: u64 = 2004;
 
-/// Key of one warm-start cache entry: snapshot format version, workload
-/// seed, warmup length, configuration hash, workload name, and engine name.
-/// Everything the warmed state depends on participates, so a hit can only
-/// ever return the snapshot a cold run would have produced.
-type WarmKey = (u32, u64, u64, u64, String, String);
-
-/// Process-wide warm-start cache: post-warmup snapshots, keyed by
-/// [`WarmKey`]. `BTreeMap` (not a hash map) per the determinism lint; the
-/// mutex serializes sweep workers populating it.
-static WARM_CACHE: OnceLock<Mutex<BTreeMap<WarmKey, Snapshot>>> = OnceLock::new();
-
 /// Whether the warm-start snapshot cache is enabled (`SMT_WARM_START` set
-/// to anything but `0`).
+/// to anything but `0`). The sweep service ([`crate::memo`]) enables it
+/// unconditionally, independent of this knob.
 ///
 /// Warm starting caches the simulator state right after the warmup phase
 /// (statistics already reset) and restores it on the next run of the same
 /// `(workload, engine, config, warmup)` cell instead of re-simulating the
-/// warmup. Restoring resumes byte-identically — the snapshot round-trip
+/// warmup. The cache is the bounded, [`CellKey`]-keyed warm cache in
+/// [`crate::memo`] (one key type, one hash, shared with the result memo
+/// cache). Restoring resumes byte-identically — the snapshot round-trip
 /// tests pin this — so results are unchanged; only repeated-warmup time is
 /// saved (e.g. sweeping many measurement lengths over one configuration).
 pub fn warm_start_enabled() -> bool {
     std::env::var_os("SMT_WARM_START").is_some_and(|v| v != "0")
 }
 
-fn warm_cache() -> &'static Mutex<BTreeMap<WarmKey, Snapshot>> {
-    WARM_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
-}
-
-fn warm_key(workload: &Workload, engine: FetchEngineKind, cfg: &SimConfig, warmup: u64) -> WarmKey {
-    (
-        SNAPSHOT_VERSION,
-        EXP_SEED,
-        warmup,
-        config_hash(cfg),
-        workload.name().to_string(),
-        engine.to_string(),
-    )
+/// The warm cache's key for one cell: the [`CellKey::warmup_scope`]
+/// projection — measured length zeroed, because the warmed state does not
+/// depend on it.
+fn warm_key(workload: &Workload, engine: FetchEngineKind, cfg: &SimConfig, warmup: u64) -> CellKey {
+    CellKey::new(cfg, engine, workload.name(), EXP_SEED, warmup, 0)
 }
 
 /// Builds a simulator warmed past `len.warmup_cycles` with statistics
@@ -188,8 +168,7 @@ fn warmed_simulator(
 ) -> Simulator {
     let key = warm_key(workload, engine, cfg, warmup_cycles);
     if warm {
-        let hit = warm_cache().lock().ok().and_then(|c| c.get(&key).cloned());
-        if let Some(snap) = hit {
+        if let Some(snap) = crate::memo::warm_get(&key) {
             if let Ok(sim) = Simulator::restore(programs.clone(), cfg.clone(), &snap) {
                 return sim;
             }
@@ -203,9 +182,7 @@ fn warmed_simulator(
     sim.run_cycles(warmup_cycles);
     sim.reset_stats();
     if warm {
-        if let Ok(mut cache) = warm_cache().lock() {
-            cache.insert(key, sim.snapshot());
-        }
+        crate::memo::warm_store(key, sim.snapshot());
     }
     sim
 }
@@ -308,6 +285,19 @@ pub fn run_with_config(
     len: RunLength,
 ) -> RunResult {
     run_measured(workload, engine, cfg, len, warm_start_enabled())
+}
+
+/// [`run_with_config`] with the warm-start cache unconditionally enabled:
+/// the memoized-service path ([`crate::memo`]), where snapshots live for
+/// the daemon's lifetime so even cold cells skip re-warming. Identical
+/// results either way (the warm cache is transparent).
+pub(crate) fn run_with_config_warm(
+    workload: &Workload,
+    engine: FetchEngineKind,
+    cfg: smt_core::SimConfig,
+    len: RunLength,
+) -> RunResult {
+    run_measured(workload, engine, cfg, len, true)
 }
 
 /// Runs the full cross product `workloads × policies × engines`, serially.
@@ -500,9 +490,10 @@ mod tests {
             RunLength::SMOKE.warmup_cycles,
         );
         assert!(
-            warm_cache().lock().expect("unpoisoned").contains_key(&key),
+            crate::memo::warm_get(&key).is_some(),
             "warm run populated the cache"
         );
+        assert_eq!(key.measure_cycles, 0, "warm keys use the warmup scope");
         let hit = run_measured(&w, FetchEngineKind::GskewFtb, cfg, RunLength::SMOKE, true);
         assert_eq!(cold, miss, "cache miss path is bit-identical to cold");
         assert_eq!(cold, hit, "cache hit path is bit-identical to cold");

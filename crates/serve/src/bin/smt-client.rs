@@ -1,0 +1,197 @@
+//! Command-line client for the sweep daemon.
+//!
+//! ```text
+//! smt-client [--addr HOST:PORT] [--wait] <command>
+//!
+//! commands:
+//!   --ping                         liveness probe
+//!   --stats                        print both caches' counters
+//!   --shutdown                     stop the daemon
+//!   --figure5                      submit the paper's figure-5 matrix
+//!   --workloads A,B --engines E,F --policies P,Q
+//!                                  submit a custom matrix
+//!
+//! job options:
+//!   --smoke                        smoke-test run length (2k/10k cycles)
+//!   --warmup N / --measure N       explicit run length
+//!   --jobs N                       daemon-side worker override
+//!   --expect-hits-at-least PCT     exit 1 if the hit rate is below PCT
+//! ```
+//!
+//! `--wait` retries the connection for a few seconds, for scripts that
+//! start the daemon and immediately talk to it.
+
+use std::process::exit;
+use std::time::Duration;
+
+use smt_experiments::RunLength;
+use smt_serve::{Client, MatrixRequest};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smt-client [--addr HOST:PORT] [--wait] \
+         (--ping | --stats | --shutdown | --figure5 | \
+         --workloads A,B --engines E,F --policies P,Q) \
+         [--smoke] [--warmup N] [--measure N] [--jobs N] \
+         [--expect-hits-at-least PCT]"
+    );
+    exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("smt-client: {msg}");
+    exit(1);
+}
+
+#[derive(PartialEq)]
+enum Command {
+    Ping,
+    Stats,
+    Shutdown,
+    Job,
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4004".to_string();
+    let mut wait = false;
+    let mut command = None;
+    let mut figure5 = false;
+    let mut workloads = Vec::new();
+    let mut engines = Vec::new();
+    let mut policies = Vec::new();
+    let mut len = RunLength::from_env();
+    let mut jobs = None;
+    let mut expect_hits_pct = None;
+
+    let mut set_command = |c: Command| {
+        if command.replace(c).is_some() {
+            usage();
+        }
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        let list = |v: String| -> Vec<String> {
+            v.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let num = |v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("{v:?} is not a number")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--wait" => wait = true,
+            "--ping" => set_command(Command::Ping),
+            "--stats" => set_command(Command::Stats),
+            "--shutdown" => set_command(Command::Shutdown),
+            "--figure5" => {
+                figure5 = true;
+                set_command(Command::Job);
+            }
+            "--workloads" => {
+                workloads = list(value());
+                set_command(Command::Job);
+            }
+            "--engines" => engines = list(value()),
+            "--policies" => policies = list(value()),
+            "--smoke" => len = RunLength::SMOKE,
+            "--warmup" => len.warmup_cycles = num(value()),
+            "--measure" => len.measure_cycles = num(value()),
+            "--jobs" => {
+                jobs = Some(
+                    usize::try_from(num(value())).unwrap_or_else(|_| fail("jobs out of range")),
+                )
+            }
+            "--expect-hits-at-least" => expect_hits_pct = Some(num(value())),
+            _ => usage(),
+        }
+    }
+    let Some(command) = command else { usage() };
+
+    let mut client = connect(&addr, wait);
+    match command {
+        Command::Ping => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("PONG from {addr}");
+        }
+        Command::Stats => {
+            let s = client.stats().unwrap_or_else(|e| fail(e));
+            println!(
+                "memo cache: {} / {} entries, {} hits, {} misses, {} evictions",
+                s.memo.len,
+                s.memo.cap,
+                s.memo.counters.hits,
+                s.memo.counters.misses,
+                s.memo.counters.evictions
+            );
+            println!(
+                "warm cache: {} / {} entries, {} hits, {} misses, {} evictions",
+                s.warm.len,
+                s.warm.cap,
+                s.warm.counters.hits,
+                s.warm.counters.misses,
+                s.warm.counters.evictions
+            );
+        }
+        Command::Shutdown => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("daemon at {addr} acknowledged shutdown");
+        }
+        Command::Job => {
+            let mut req = if figure5 {
+                MatrixRequest::figure5(len)
+            } else {
+                MatrixRequest {
+                    workloads,
+                    engines,
+                    policies,
+                    warmup_cycles: len.warmup_cycles,
+                    measure_cycles: len.measure_cycles,
+                    jobs: None,
+                }
+            };
+            req.jobs = jobs;
+            let job = client.submit(&req).unwrap_or_else(|e| fail(e));
+            for (result, outcome) in job.results.iter().zip(&job.outcomes) {
+                println!(
+                    "{:8} {:12} {:16} {:4}  IPC {:.3}  IPFC {:.3}",
+                    result.workload, result.engine, result.policy, outcome, result.ipc, result.ipfc
+                );
+            }
+            let s = job.summary;
+            println!(
+                "{} cells: {} hits, {} misses, {} evictions, {} ms on the daemon",
+                s.cells, s.hits, s.misses, s.evictions, s.wall_ms
+            );
+            if let Some(pct) = expect_hits_pct {
+                let got = 100 * job.hits() / job.results.len().max(1);
+                if (got as u64) < pct {
+                    fail(format!("hit rate {got}% below required {pct}%"));
+                }
+                println!("hit rate {got}% meets required {pct}%");
+            }
+        }
+    }
+}
+
+/// Connects, optionally retrying for a few seconds while the daemon binds.
+fn connect(addr: &str, wait: bool) -> Client {
+    let attempts = if wait { 100 } else { 1 };
+    let mut last = None;
+    for _ in 0..attempts {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => last = Some(e),
+        }
+        if wait {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    match last {
+        Some(e) => fail(format!("cannot connect to {addr}: {e}")),
+        None => fail(format!("cannot connect to {addr}")),
+    }
+}

@@ -1,0 +1,67 @@
+//! The sweep daemon binary.
+//!
+//! ```text
+//! smt-serve [--addr HOST:PORT] [--jobs N] [--memo-dir PATH]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:4004`), prints the bound address
+//! on stdout (`--addr 127.0.0.1:0` picks an ephemeral port), and serves
+//! until a client sends `SHUTDOWN`. `--memo-dir` enables the on-disk memo
+//! layer so results survive daemon restarts.
+
+use std::process::exit;
+
+use smt_experiments::Jobs;
+use smt_serve::Server;
+
+fn usage() -> ! {
+    eprintln!("usage: smt-serve [--addr HOST:PORT] [--jobs N] [--memo-dir PATH]");
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4004".to_string();
+    let mut jobs = Jobs::from_env().unwrap_or_else(|e| {
+        eprintln!("smt-serve: {e}");
+        exit(2);
+    });
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => match Jobs::new(n) {
+                    Ok(j) => jobs = j,
+                    Err(e) => {
+                        eprintln!("smt-serve: {e}");
+                        exit(2);
+                    }
+                },
+                _ => usage(),
+            },
+            "--memo-dir" => match args.next() {
+                Some(dir) => {
+                    if let Err(e) = smt_experiments::set_memo_dir(Some(dir.into())) {
+                        eprintln!("smt-serve: {e}");
+                        exit(2);
+                    }
+                }
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let server = match Server::bind(&addr, jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smt-serve: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("smt-serve listening on {}", server.addr());
+    server.wait();
+    println!("smt-serve: shutdown complete");
+}

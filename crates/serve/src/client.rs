@@ -1,0 +1,199 @@
+//! A blocking client for the sweep daemon.
+//!
+//! [`Client::submit`] streams a [`MatrixRequest`], reassembles the
+//! completion-ordered `RESULT` lines back into the job's stable cell order
+//! (workload-major, then policy, then engine — the same order
+//! `run_matrix_sweep_memoized` uses), and returns the bit-exact results
+//! plus the job trailer.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use smt_experiments::{CacheOutcome, RunResult};
+
+use crate::protocol::{JobSummary, MatrixRequest, Request, RequestError, Response, StatsReport};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection failed or dropped mid-stream.
+    Io(io::Error),
+    /// The daemon sent something the protocol cannot parse, or the stream
+    /// ended where the protocol promised more.
+    Protocol(String),
+    /// The daemon rejected the request with an `ERR` line.
+    Server(RequestError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server rejected request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Everything a completed job sent back.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Per-cell results in the job's **stable cell order** (not arrival
+    /// order): `workloads × policies × engines`, last index fastest.
+    pub results: Vec<RunResult>,
+    /// Per-cell cache outcomes, same order as `results`.
+    pub outcomes: Vec<CacheOutcome>,
+    /// The job trailer (hit/miss/eviction counts, daemon wall time).
+    pub summary: JobSummary,
+}
+
+impl JobOutcome {
+    /// Cells served from the memo cache.
+    pub fn hits(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == CacheOutcome::Hit)
+            .count()
+    }
+}
+
+/// A connected daemon client. One request in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:4004"`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are single small flushed lines; don't let Nagle hold
+        // them back against the server's delayed ACKs.
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        writeln!(self.writer, "{}", req.to_line())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-conversation".to_string(),
+            ));
+        }
+        Response::parse(line.trim_end_matches(['\n', '\r'])).map_err(ClientError::Protocol)
+    }
+
+    /// Liveness probe; errors unless the daemon answers `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        match self.read_response()? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected PONG, got {:?}",
+                other.to_line()
+            ))),
+        }
+    }
+
+    /// Fetches both caches' occupancy and lifetime counters.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.read_response()? {
+            Response::Stats(s) => Ok(s),
+            Response::Err(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected STATS, got {:?}",
+                other.to_line()
+            ))),
+        }
+    }
+
+    /// Asks the daemon to stop; errors unless it acknowledges with `BYE`.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.read_response()? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected BYE, got {:?}",
+                other.to_line()
+            ))),
+        }
+    }
+
+    /// Submits a matrix job and blocks until its `END`, reassembling the
+    /// streamed results into stable cell order.
+    pub fn submit(&mut self, req: &MatrixRequest) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Run(req.clone()))?;
+        let cells = match self.read_response()? {
+            Response::Ok { cells } => cells,
+            Response::Err(e) => return Err(ClientError::Server(e)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected OK, got {:?}",
+                    other.to_line()
+                )))
+            }
+        };
+        let mut slots: Vec<Option<(RunResult, CacheOutcome)>> = vec![None; cells];
+        let mut summary = None;
+        loop {
+            match self.read_response()? {
+                Response::Result {
+                    index,
+                    outcome,
+                    result,
+                } => {
+                    let slot = slots.get_mut(index).ok_or_else(|| {
+                        ClientError::Protocol(format!("cell index {index} out of range ({cells})"))
+                    })?;
+                    if slot.replace((result, outcome)).is_some() {
+                        return Err(ClientError::Protocol(format!(
+                            "cell index {index} streamed twice"
+                        )));
+                    }
+                }
+                Response::Summary(s) => summary = Some(s),
+                Response::End => break,
+                Response::Err(e) => return Err(ClientError::Server(e)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected mid-job response {:?}",
+                        other.to_line()
+                    )))
+                }
+            }
+        }
+        let summary =
+            summary.ok_or_else(|| ClientError::Protocol("END without SUMMARY".to_string()))?;
+        let mut results = Vec::with_capacity(cells);
+        let mut outcomes = Vec::with_capacity(cells);
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (result, outcome) = slot.ok_or_else(|| {
+                ClientError::Protocol(format!("cell index {index} never streamed"))
+            })?;
+            results.push(result);
+            outcomes.push(outcome);
+        }
+        Ok(JobOutcome {
+            results,
+            outcomes,
+            summary,
+        })
+    }
+}

@@ -1,0 +1,61 @@
+//! # smt-serve — sweep-as-a-service
+//!
+//! A persistent daemon that keeps the expensive per-process state of the
+//! experiment harness — parsed `Arc<Program>` images, warm-start
+//! snapshots, and above all the content-hash memo cache of finished
+//! [`RunResult`](smt_experiments::RunResult)s — alive across many sweep
+//! invocations, so that re-running a figure costs milliseconds instead of
+//! a fresh simulation.
+//!
+//! Zero dependencies beyond the workspace: the transport is `std::net`
+//! TCP with a newline-delimited, tab-separated protocol
+//! ([`protocol`], DESIGN.md §16). Per-job parallelism reuses the audited
+//! deterministic sweep executor, so a daemon-served result is bit-exact
+//! with a fresh `cargo run` of the same cell — the memoized == fresh
+//! property is enforced by tests.
+//!
+//! ## Quick start
+//!
+//! ```text
+//! cargo run --release -p smt-serve --bin smt-serve -- --addr 127.0.0.1:4004 &
+//! cargo run --release -p smt-serve --bin smt-client -- --figure5        # cold
+//! cargo run --release -p smt-serve --bin smt-client -- --figure5        # warm: ~100% hits
+//! cargo run --release -p smt-serve --bin smt-client -- --shutdown
+//! ```
+//!
+//! In-process embedding (no fixed port, no race):
+//!
+//! ```
+//! use smt_experiments::{Jobs, RunLength};
+//! use smt_serve::{Client, MatrixRequest, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind");
+//! let addr = server.addr().to_string();
+//! let mut client = Client::connect(&addr).expect("connect");
+//! client.ping().expect("ping");
+//! let req = MatrixRequest {
+//!     workloads: vec!["2_ILP".into()],
+//!     engines: vec!["stream".into()],
+//!     policies: vec!["ICOUNT.2.8".into()],
+//!     warmup_cycles: 100,
+//!     measure_cycles: 400,
+//!     jobs: None,
+//! };
+//! let job = client.submit(&req).expect("job");
+//! assert_eq!(job.results.len(), 1);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, JobOutcome};
+pub use protocol::{
+    JobSummary, MatrixRequest, Request, RequestError, ResolvedMatrix, Response, StatsReport,
+    MAX_CELLS,
+};
+pub use server::Server;

@@ -1,0 +1,683 @@
+//! The hand-rolled, newline-delimited request/response protocol
+//! (DESIGN.md §16).
+//!
+//! One request or response per line. Fields are **tab**-separated — the
+//! engine vocabulary contains a space (`"trace cache"`), so space cannot
+//! delimit — and list-valued fields are comma-joined (no vocabulary string
+//! contains a comma). `RunResult` payloads ride inside one tab field using
+//! the `|`-separated bit-exact codec from `smt_experiments::memo`, so a
+//! decoded result is byte-identical to the daemon's.
+//!
+//! ## Grammar
+//!
+//! Requests:
+//!
+//! ```text
+//! PING
+//! STATS
+//! SHUTDOWN
+//! RUN \t workloads=<w,...> \t engines=<e,...> \t policies=<p,...>
+//!     \t warmup=<u64> \t measure=<u64> [\t jobs=<usize>]
+//! ```
+//!
+//! Responses (to `RUN`: one `OK`, then `RESULT` lines in **completion**
+//! order as cells finish, then `SUMMARY`, then `END`):
+//!
+//! ```text
+//! PONG
+//! BYE
+//! STATS \t memo_len=… \t memo_cap=… \t memo_hits=… \t memo_misses=…
+//!       \t memo_evictions=… \t warm_len=… \t warm_cap=… \t warm_hits=…
+//!       \t warm_misses=… \t warm_evictions=…
+//! OK \t cells=<n>
+//! RESULT \t <cell index> \t <hit|miss> \t <encoded RunResult>
+//! SUMMARY \t cells=<n> \t hits=<n> \t misses=<n> \t evictions=<n> \t wall_ms=<n>
+//! END
+//! ERR \t <code> \t <message>
+//! ```
+//!
+//! Error codes: `E_PARSE` (malformed line), `E_VOCAB` (unknown workload,
+//! engine or policy name), `E_CONFIG` (the request's configuration fails
+//! semantic validation), `E_JOBS` (bad worker count), `E_TOO_LARGE` (cell
+//! count above [`MAX_CELLS`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+use smt_core::{FetchEngineKind, FetchPolicy, SimConfig};
+use smt_experiments::{
+    decode_result, encode_result, CacheOutcome, CacheSnapshot, Jobs, RunLength, RunResult,
+};
+use smt_workloads::Workload;
+
+/// Upper bound on a single request's cell count: a fat-fingered cross
+/// product should be an error, not a denial of service.
+pub const MAX_CELLS: usize = 4096;
+
+/// A config-matrix job request: the cross product
+/// `workloads × policies × engines` at one run length, all in the existing
+/// experiment vocabulary (names as spelled by `Display`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixRequest {
+    /// Workload names (e.g. `"4_MIX"`), Table 2 vocabulary.
+    pub workloads: Vec<String>,
+    /// Engine names (e.g. `"gskew+FTB"`, `"trace cache"`).
+    pub engines: Vec<String>,
+    /// Policy names in `POLICY[-STALL|-FLUSH].n.X` notation.
+    pub policies: Vec<String>,
+    /// Warmup cycles per cell.
+    pub warmup_cycles: u64,
+    /// Measured cycles per cell.
+    pub measure_cycles: u64,
+    /// Worker-count override; `None` uses the daemon's default.
+    pub jobs: Option<usize>,
+}
+
+impl MatrixRequest {
+    /// The paper's figure-5 matrix (ILP suite × three engines ×
+    /// `ICOUNT.1.8`/`ICOUNT.2.8`) at the given run length — 24 cells.
+    pub fn figure5(len: RunLength) -> MatrixRequest {
+        MatrixRequest {
+            workloads: Workload::ilp_suite()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
+            engines: FetchEngineKind::all()
+                .iter()
+                .map(|e| e.to_string())
+                .collect(),
+            policies: vec!["ICOUNT.1.8".to_string(), "ICOUNT.2.8".to_string()],
+            warmup_cycles: len.warmup_cycles,
+            measure_cycles: len.measure_cycles,
+            jobs: None,
+        }
+    }
+
+    /// The request's cell count (`workloads × policies × engines`).
+    pub fn cells(&self) -> usize {
+        self.workloads.len() * self.engines.len() * self.policies.len()
+    }
+
+    /// Renders the request as its `RUN` line.
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "RUN\tworkloads={}\tengines={}\tpolicies={}\twarmup={}\tmeasure={}",
+            self.workloads.join(","),
+            self.engines.join(","),
+            self.policies.join(","),
+            self.warmup_cycles,
+            self.measure_cycles,
+        );
+        if let Some(jobs) = self.jobs {
+            line.push_str(&format!("\tjobs={jobs}"));
+        }
+        line
+    }
+
+    /// Resolves the request's names against the experiment vocabulary and
+    /// validates every `(workload, policy)` configuration, returning the
+    /// concrete matrix the daemon can hand to the memoized sweep.
+    pub fn resolve(&self) -> Result<ResolvedMatrix, RequestError> {
+        if self.workloads.is_empty() || self.engines.is_empty() || self.policies.is_empty() {
+            return Err(RequestError::new(
+                "E_PARSE",
+                "workloads, engines and policies must each be non-empty",
+            ));
+        }
+        if self.measure_cycles == 0 {
+            return Err(RequestError::new("E_PARSE", "measure must be at least 1"));
+        }
+        if self.cells() > MAX_CELLS {
+            return Err(RequestError::new(
+                "E_TOO_LARGE",
+                format!("{} cells exceeds the {MAX_CELLS}-cell limit", self.cells()),
+            ));
+        }
+        let table2 = Workload::all_table2();
+        let mut workloads = Vec::with_capacity(self.workloads.len());
+        for name in &self.workloads {
+            match table2.iter().find(|w| w.name() == name) {
+                Some(w) => workloads.push(w.clone()),
+                None => {
+                    return Err(RequestError::new(
+                        "E_VOCAB",
+                        format!("unknown workload {name:?} (Table 2 names only)"),
+                    ))
+                }
+            }
+        }
+        let mut engines = Vec::with_capacity(self.engines.len());
+        for name in &self.engines {
+            match FetchEngineKind::from_str(name) {
+                Ok(e) => engines.push(e),
+                Err(d) => return Err(RequestError::new("E_VOCAB", d.to_string())),
+            }
+        }
+        let mut policies = Vec::with_capacity(self.policies.len());
+        for name in &self.policies {
+            match FetchPolicy::from_str(name) {
+                Ok(p) => policies.push(p),
+                Err(d) => return Err(RequestError::new("E_VOCAB", d.to_string())),
+            }
+        }
+        let jobs = match self.jobs {
+            None => None,
+            Some(n) => match Jobs::new(n) {
+                Ok(j) => Some(j),
+                Err(e) => return Err(RequestError::new("E_JOBS", e.to_string())),
+            },
+        };
+        // Semantic validation before any cycle is simulated: the daemon
+        // must reply ERR with the stable diagnostic codes, never exit the
+        // process the way the CLI preflight does.
+        for w in &workloads {
+            for &p in &policies {
+                let cfg = SimConfig {
+                    fetch_policy: p,
+                    ..SimConfig::default()
+                };
+                let diags = cfg.validate_for_threads(w.num_threads());
+                if smt_core::has_errors(&diags) {
+                    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                    return Err(RequestError::new(
+                        "E_CONFIG",
+                        format!("{} / {}: {}", w.name(), p, rendered.join("; ")),
+                    ));
+                }
+            }
+        }
+        Ok(ResolvedMatrix {
+            workloads,
+            engines,
+            policies,
+            len: RunLength {
+                warmup_cycles: self.warmup_cycles,
+                measure_cycles: self.measure_cycles,
+            },
+            jobs,
+        })
+    }
+}
+
+/// A [`MatrixRequest`] resolved against the vocabulary: concrete workloads,
+/// engines, policies, run length and validated worker count.
+#[derive(Clone, Debug)]
+pub struct ResolvedMatrix {
+    /// The workloads, Table 2 order preserved from the request.
+    pub workloads: Vec<Workload>,
+    /// The engines.
+    pub engines: Vec<FetchEngineKind>,
+    /// The policies.
+    pub policies: Vec<FetchPolicy>,
+    /// Warmup and measured cycles per cell.
+    pub len: RunLength,
+    /// Validated worker-count override, if the request carried one.
+    pub jobs: Option<Jobs>,
+}
+
+/// Why a request was rejected: a stable machine-readable code plus a
+/// human-readable message (sanitized onto one line).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// Stable error code (`E_PARSE`, `E_VOCAB`, `E_CONFIG`, `E_JOBS`,
+    /// `E_TOO_LARGE`).
+    pub code: String,
+    /// One-line description.
+    pub message: String,
+}
+
+impl RequestError {
+    /// A new error with `message` flattened onto one line (protocol lines
+    /// must contain no newlines, and `ERR`'s message field no tabs).
+    pub fn new(code: &str, message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: code.to_string(),
+            message: sanitize(&message.into()),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Flattens arbitrary text into one tab-free protocol field.
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r', '\t'], " ")
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Cache-occupancy and counter report.
+    Stats,
+    /// Run a config matrix.
+    Run(MatrixRequest),
+    /// Stop the daemon (acknowledged with `BYE`).
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as its protocol line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Run(m) => m.to_line(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, RequestError> {
+        let mut fields = line.split('\t');
+        let verb = fields.next().unwrap_or("");
+        match verb {
+            "PING" => Ok(Request::Ping),
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            "RUN" => {
+                let mut workloads = None;
+                let mut engines = None;
+                let mut policies = None;
+                let mut warmup = None;
+                let mut measure = None;
+                let mut jobs = None;
+                for field in fields {
+                    let (k, v) = field.split_once('=').ok_or_else(|| {
+                        RequestError::new("E_PARSE", format!("field {field:?} is not key=value"))
+                    })?;
+                    let list = |v: &str| -> Vec<String> {
+                        v.split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.to_string())
+                            .collect()
+                    };
+                    let num = |v: &str| -> Result<u64, RequestError> {
+                        v.parse().map_err(|_| {
+                            RequestError::new("E_PARSE", format!("{k}={v:?} is not a number"))
+                        })
+                    };
+                    match k {
+                        "workloads" => workloads = Some(list(v)),
+                        "engines" => engines = Some(list(v)),
+                        "policies" => policies = Some(list(v)),
+                        "warmup" => warmup = Some(num(v)?),
+                        "measure" => measure = Some(num(v)?),
+                        "jobs" => {
+                            jobs =
+                                Some(usize::try_from(num(v)?).map_err(|_| {
+                                    RequestError::new("E_PARSE", "jobs out of range")
+                                })?)
+                        }
+                        other => {
+                            return Err(RequestError::new(
+                                "E_PARSE",
+                                format!("unknown RUN field {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                let missing =
+                    |what: &str| RequestError::new("E_PARSE", format!("RUN missing {what}="));
+                Ok(Request::Run(MatrixRequest {
+                    workloads: workloads.ok_or_else(|| missing("workloads"))?,
+                    engines: engines.ok_or_else(|| missing("engines"))?,
+                    policies: policies.ok_or_else(|| missing("policies"))?,
+                    warmup_cycles: warmup.ok_or_else(|| missing("warmup"))?,
+                    measure_cycles: measure.ok_or_else(|| missing("measure"))?,
+                    jobs,
+                }))
+            }
+            other => Err(RequestError::new(
+                "E_PARSE",
+                format!("unknown request {other:?}"),
+            )),
+        }
+    }
+}
+
+/// The trailer of a completed job: per-job cache counters and wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Cells in the job.
+    pub cells: usize,
+    /// Cells served from the memo cache.
+    pub hits: usize,
+    /// Cells computed fresh.
+    pub misses: usize,
+    /// Memo-cache evictions while the job ran (process-wide delta: exact
+    /// when one job runs at a time, an upper bound under concurrency).
+    pub evictions: u64,
+    /// Wall-clock milliseconds the job took on the daemon.
+    pub wall_ms: u64,
+}
+
+/// Both caches' [`CacheSnapshot`]s, as reported by `STATS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsReport {
+    /// The result memo cache.
+    pub memo: CacheSnapshot,
+    /// The warm-start snapshot cache.
+    pub warm: CacheSnapshot,
+}
+
+/// One daemon response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `PING` acknowledgement.
+    Pong,
+    /// `SHUTDOWN` acknowledgement.
+    Bye,
+    /// Cache report.
+    Stats(StatsReport),
+    /// Job accepted; `cells` results will follow.
+    Ok {
+        /// Cell count of the accepted job.
+        cells: usize,
+    },
+    /// One finished cell, streamed in completion order.
+    Result {
+        /// The cell's index in the job's stable cell order.
+        index: usize,
+        /// Served from cache or computed.
+        outcome: CacheOutcome,
+        /// The cell's result, bit-exact.
+        result: RunResult,
+    },
+    /// Job trailer.
+    Summary(JobSummary),
+    /// End of a job's response stream.
+    End,
+    /// Request rejected.
+    Err(RequestError),
+}
+
+impl Response {
+    /// Renders the response as its protocol line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Pong => "PONG".to_string(),
+            Response::Bye => "BYE".to_string(),
+            Response::Stats(s) => format!(
+                "STATS\tmemo_len={}\tmemo_cap={}\tmemo_hits={}\tmemo_misses={}\tmemo_evictions={}\
+                 \twarm_len={}\twarm_cap={}\twarm_hits={}\twarm_misses={}\twarm_evictions={}",
+                s.memo.len,
+                s.memo.cap,
+                s.memo.counters.hits,
+                s.memo.counters.misses,
+                s.memo.counters.evictions,
+                s.warm.len,
+                s.warm.cap,
+                s.warm.counters.hits,
+                s.warm.counters.misses,
+                s.warm.counters.evictions,
+            ),
+            Response::Ok { cells } => format!("OK\tcells={cells}"),
+            Response::Result {
+                index,
+                outcome,
+                result,
+            } => format!("RESULT\t{index}\t{outcome}\t{}", encode_result(result)),
+            Response::Summary(s) => format!(
+                "SUMMARY\tcells={}\thits={}\tmisses={}\tevictions={}\twall_ms={}",
+                s.cells, s.hits, s.misses, s.evictions, s.wall_ms
+            ),
+            Response::End => "END".to_string(),
+            Response::Err(e) => format!("ERR\t{}\t{}", e.code, e.message),
+        }
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let num =
+            |s: &str| -> Result<u64, String> { s.parse().map_err(|_| format!("bad number {s:?}")) };
+        let kv = |field: &str, key: &str| -> Result<u64, String> {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            if k != key {
+                return Err(format!("expected {key}=, got {k}="));
+            }
+            num(v)
+        };
+        match fields.first().copied() {
+            Some("PONG") => Ok(Response::Pong),
+            Some("BYE") => Ok(Response::Bye),
+            Some("END") => Ok(Response::End),
+            Some("OK") if fields.len() == 2 => Ok(Response::Ok {
+                cells: usize::try_from(kv(fields[1], "cells")?)
+                    .map_err(|_| "cells out of range".to_string())?,
+            }),
+            Some("RESULT") if fields.len() == 4 => Ok(Response::Result {
+                index: usize::try_from(num(fields[1])?)
+                    .map_err(|_| "index out of range".to_string())?,
+                outcome: fields[2].parse()?,
+                result: decode_result(fields[3])?,
+            }),
+            Some("SUMMARY") if fields.len() == 6 => Ok(Response::Summary(JobSummary {
+                cells: usize::try_from(kv(fields[1], "cells")?)
+                    .map_err(|_| "cells out of range".to_string())?,
+                hits: usize::try_from(kv(fields[2], "hits")?)
+                    .map_err(|_| "hits out of range".to_string())?,
+                misses: usize::try_from(kv(fields[3], "misses")?)
+                    .map_err(|_| "misses out of range".to_string())?,
+                evictions: kv(fields[4], "evictions")?,
+                wall_ms: kv(fields[5], "wall_ms")?,
+            })),
+            Some("STATS") if fields.len() == 11 => {
+                let snap = |at: usize, prefix: &str| -> Result<CacheSnapshot, String> {
+                    Ok(CacheSnapshot {
+                        len: usize::try_from(kv(fields[at], &format!("{prefix}_len"))?)
+                            .map_err(|_| "len out of range".to_string())?,
+                        cap: usize::try_from(kv(fields[at + 1], &format!("{prefix}_cap"))?)
+                            .map_err(|_| "cap out of range".to_string())?,
+                        counters: smt_experiments::CacheCounters {
+                            hits: kv(fields[at + 2], &format!("{prefix}_hits"))?,
+                            misses: kv(fields[at + 3], &format!("{prefix}_misses"))?,
+                            evictions: kv(fields[at + 4], &format!("{prefix}_evictions"))?,
+                        },
+                    })
+                };
+                Ok(Response::Stats(StatsReport {
+                    memo: snap(1, "memo")?,
+                    warm: snap(6, "warm")?,
+                }))
+            }
+            Some("ERR") if fields.len() >= 3 => Ok(Response::Err(RequestError {
+                code: fields[1].to_string(),
+                message: fields[2..].join(" "),
+            })),
+            _ => Err(format!("unparsable response line {line:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> MatrixRequest {
+        MatrixRequest {
+            workloads: vec!["2_ILP".into(), "4_MIX".into()],
+            engines: vec!["gshare+BTB".into(), "trace cache".into()],
+            policies: vec!["ICOUNT.1.8".into(), "ICOUNT-FLUSH.2.8".into()],
+            warmup_cycles: 2_000,
+            measure_cycles: 10_000,
+            jobs: Some(3),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Run(request()),
+            Request::Run(MatrixRequest {
+                jobs: None,
+                ..request()
+            }),
+        ] {
+            assert_eq!(Request::parse(&req.to_line()), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn run_parse_rejects_malformed_lines() {
+        assert!(Request::parse("NONSENSE").is_err());
+        assert!(
+            Request::parse("RUN\tworkloads=2_ILP").is_err(),
+            "missing fields"
+        );
+        assert!(Request::parse("RUN\tbogus=1").is_err(), "unknown field");
+        assert!(Request::parse("RUN\tworkloads").is_err(), "not key=value");
+        let e = Request::parse("RUN\twarmup=abc").unwrap_err();
+        assert_eq!(e.code, "E_PARSE");
+    }
+
+    #[test]
+    fn figure5_is_24_cells_and_resolves() {
+        let req = MatrixRequest::figure5(RunLength::SMOKE);
+        assert_eq!(req.cells(), 24);
+        let resolved = req.resolve().expect("figure 5 resolves");
+        assert_eq!(resolved.workloads.len(), 4);
+        assert_eq!(resolved.engines.len(), 3);
+        assert_eq!(resolved.policies.len(), 2);
+        assert_eq!(resolved.len, RunLength::SMOKE);
+        assert_eq!(resolved.jobs, None);
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_vocabulary() {
+        let e = MatrixRequest {
+            workloads: vec!["9_NOPE".into()],
+            ..MatrixRequest::figure5(RunLength::SMOKE)
+        }
+        .resolve()
+        .unwrap_err();
+        assert_eq!(e.code, "E_VOCAB");
+        let e = MatrixRequest {
+            engines: vec!["quantum".into()],
+            ..MatrixRequest::figure5(RunLength::SMOKE)
+        }
+        .resolve()
+        .unwrap_err();
+        assert_eq!(e.code, "E_VOCAB");
+        let e = MatrixRequest {
+            policies: vec!["ICOUNT.3.8".into()],
+            ..MatrixRequest::figure5(RunLength::SMOKE)
+        }
+        .resolve()
+        .unwrap_err();
+        assert_eq!(e.code, "E_VOCAB");
+    }
+
+    #[test]
+    fn resolve_rejects_degenerate_requests() {
+        let base = MatrixRequest::figure5(RunLength::SMOKE);
+        let empty = MatrixRequest {
+            workloads: Vec::new(),
+            ..base.clone()
+        };
+        assert_eq!(empty.resolve().unwrap_err().code, "E_PARSE");
+        let zero = MatrixRequest {
+            measure_cycles: 0,
+            ..base.clone()
+        };
+        assert_eq!(zero.resolve().unwrap_err().code, "E_PARSE");
+        let huge = MatrixRequest {
+            policies: vec!["ICOUNT.1.8".to_string(); MAX_CELLS],
+            ..base.clone()
+        };
+        assert_eq!(huge.resolve().unwrap_err().code, "E_TOO_LARGE");
+        let jobs = MatrixRequest {
+            jobs: Some(0),
+            ..base
+        };
+        assert_eq!(jobs.resolve().unwrap_err().code, "E_JOBS");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let result = RunResult {
+            workload: "2_ILP".into(),
+            engine: "trace cache".into(),
+            policy: "ICOUNT.2.8".into(),
+            ipfc: 3.5,
+            ipc: 2.25,
+            branch_accuracy: 0.9375,
+            wrong_path: 0.125,
+            frac_ge4: 0.5,
+            frac_ge8: 0.25,
+            frac_eq8: 0.25,
+            frac_ge16: 0.0,
+            per_thread_ipc: vec![1.125, 1.125],
+            fairness: 1.0,
+            skipped_cycles: 7,
+        };
+        let snap = CacheSnapshot {
+            len: 24,
+            cap: 4096,
+            counters: smt_experiments::CacheCounters {
+                hits: 48,
+                misses: 24,
+                evictions: 0,
+            },
+        };
+        for resp in [
+            Response::Pong,
+            Response::Bye,
+            Response::End,
+            Response::Ok { cells: 24 },
+            Response::Result {
+                index: 5,
+                outcome: CacheOutcome::Hit,
+                result,
+            },
+            Response::Summary(JobSummary {
+                cells: 24,
+                hits: 24,
+                misses: 0,
+                evictions: 1,
+                wall_ms: 3,
+            }),
+            Response::Stats(StatsReport {
+                memo: snap,
+                warm: CacheSnapshot {
+                    len: 2,
+                    cap: 256,
+                    ..snap
+                },
+            }),
+            Response::Err(RequestError::new("E_VOCAB", "unknown\tworkload\n\"9_X\"")),
+        ] {
+            assert_eq!(
+                Response::parse(&resp.to_line()),
+                Ok(resp.clone()),
+                "{resp:?}"
+            );
+        }
+        assert!(Response::parse("GOBBLEDYGOOK").is_err());
+        assert!(
+            Response::parse("RESULT\t1\thit").is_err(),
+            "missing payload"
+        );
+    }
+
+    #[test]
+    fn error_messages_are_sanitized_to_one_field() {
+        let e = RequestError::new("E_CONFIG", "line one\nline two\twith tab");
+        assert!(!e.message.contains('\n'));
+        assert!(!e.message.contains('\t'));
+        let rendered = Response::Err(e).to_line();
+        assert_eq!(rendered.lines().count(), 1);
+        assert_eq!(rendered.matches('\t').count(), 2, "{rendered:?}");
+    }
+}

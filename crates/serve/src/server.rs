@@ -1,0 +1,285 @@
+//! The sweep daemon: a `std::net` TCP listener speaking the line protocol.
+//!
+//! One accept-loop thread; one thread per connection; per-job parallelism
+//! inside a connection goes through the audited sweep executor
+//! (`run_matrix_sweep_memoized` → `sweep_cells`). The raw `thread::spawn`
+//! and wall-clock reads in this file are the daemon's ledgered lint
+//! escapes: connection threads only move protocol bytes — every simulated
+//! result is produced inside the executor, so the parallel == serial
+//! determinism argument is untouched — and the one timer feeds the
+//! `SUMMARY` line's `wall_ms` observability field, never a result.
+//!
+//! Shutdown is cooperative: `SHUTDOWN` (or [`Server::shutdown`]) sets a
+//! flag, closes every live connection (waking threads parked in a read),
+//! and self-connects to unblock `accept`; the accept loop exits, and
+//! every connection thread is joined before [`Server::wait`] returns.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use smt_experiments::{
+    memo_snapshot, run_matrix_sweep_memoized, warm_snapshot, CacheOutcome, Jobs, RunResult,
+};
+
+use crate::protocol::{JobSummary, MatrixRequest, Request, Response, StatsReport};
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    /// Set once; the accept loop exits at the next wakeup.
+    shutdown: AtomicBool,
+    /// The bound address (connection threads self-connect to wake accept).
+    addr: SocketAddr,
+    /// Default per-job worker count (requests may override with `jobs=`).
+    jobs: Jobs,
+    /// One clone per live connection, so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// Raises the shutdown flag, unblocks every connection thread parked in a
+/// read, and wakes the accept loop so it can observe the flag.
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    if let Ok(conns) = shared.conns.lock() {
+        for conn in conns.iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// A running sweep daemon.
+///
+/// Binding spawns the accept loop and returns immediately; the daemon then
+/// serves until a client sends `SHUTDOWN` ([`Server::wait`] returns) or the
+/// owner calls [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving with `jobs` workers per job by default.
+    pub fn bind(addr: &str, jobs: Jobs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            addr,
+            jobs,
+            conns: Mutex::new(Vec::new()),
+        });
+        let loop_shared = Arc::clone(&shared);
+        // lint:allow(no-nondeterministic-threading): the daemon's accept loop; moves protocol bytes only, all simulation runs inside the audited sweep executor
+        let accept = std::thread::spawn(move || accept_loop(listener, loop_shared));
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (a client sent `SHUTDOWN`). Every
+    /// connection thread has been joined when this returns.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the daemon from the owning process: sets the shutdown flag,
+    /// wakes the accept loop, and joins it (and, transitively, every
+    /// connection thread).
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections until the shutdown flag is observed, then joins
+/// every connection thread.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Results stream as many small flushed lines; leaving Nagle on
+        // would serialize them against delayed ACKs (~40 ms per line).
+        let _ = stream.set_nodelay(true);
+        if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), shared.conns.lock()) {
+            conns.push(clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        // lint:allow(no-nondeterministic-threading): one protocol-pump thread per client connection; cell results are computed by the audited sweep executor, so which thread serves a client cannot affect any result
+        connections.push(std::thread::spawn(move || {
+            handle_connection(stream, conn_shared)
+        }));
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+/// Serves one client connection: requests in, response lines out, until
+/// the client disconnects or sends `SHUTDOWN`.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let writer = Mutex::new(BufWriter::new(stream));
+    let send = |resp: &Response| -> bool {
+        let Ok(mut w) = writer.lock() else {
+            return false;
+        };
+        writeln!(w, "{}", resp.to_line())
+            .and_then(|()| w.flush())
+            .is_ok()
+    };
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(e) => {
+                if !send(&Response::Err(e)) {
+                    break;
+                }
+            }
+            Ok(Request::Ping) => {
+                if !send(&Response::Pong) {
+                    break;
+                }
+            }
+            Ok(Request::Stats) => {
+                let report = StatsReport {
+                    memo: memo_snapshot(),
+                    warm: warm_snapshot(),
+                };
+                if !send(&Response::Stats(report)) {
+                    break;
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = send(&Response::Bye);
+                trigger_shutdown(&shared);
+                break;
+            }
+            Ok(Request::Run(req)) => {
+                if !run_job(&req, &shared, &writer) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one `RUN` job, streaming `RESULT` lines as cells complete.
+/// Returns `false` when the client is gone and the connection should close.
+fn run_job(req: &MatrixRequest, shared: &Shared, writer: &Mutex<BufWriter<TcpStream>>) -> bool {
+    let send = |resp: &Response| -> bool {
+        let Ok(mut w) = writer.lock() else {
+            return false;
+        };
+        writeln!(w, "{}", resp.to_line())
+            .and_then(|()| w.flush())
+            .is_ok()
+    };
+    let resolved = match req.resolve() {
+        Ok(r) => r,
+        Err(e) => return send(&Response::Err(e)),
+    };
+    let cells = req.cells();
+    if !send(&Response::Ok { cells }) {
+        return false;
+    }
+    let jobs = resolved.jobs.unwrap_or(shared.jobs);
+    let evictions_before = memo_snapshot().counters.evictions;
+    // The job wall timer: observability only (the SUMMARY line), never a
+    // result — results are deterministic functions of the request.
+    let started = Instant::now(); // lint:allow(no-wall-clock): job wall-time for the SUMMARY observability line; results never see it
+    let on_cell = |index: usize, result: &RunResult, outcome: CacheOutcome| {
+        // A send failure here (client went away) cannot abort the sweep —
+        // remaining cells still land in the memo cache for the next client.
+        send(&Response::Result {
+            index,
+            outcome,
+            result: result.clone(),
+        });
+    };
+    let sweep = run_matrix_sweep_memoized(
+        &resolved.workloads,
+        &resolved.engines,
+        &resolved.policies,
+        resolved.len,
+        jobs,
+        Some(&on_cell),
+    );
+    let hits = sweep
+        .stats
+        .iter()
+        .filter(|s| s.cache == Some(CacheOutcome::Hit))
+        .count();
+    let misses = sweep
+        .stats
+        .iter()
+        .filter(|s| s.cache == Some(CacheOutcome::Miss))
+        .count();
+    if smt_experiments::report_level() >= 1 {
+        eprintln!(
+            "{}",
+            smt_experiments::render_sweep_stats("smt-serve job", &sweep.stats)
+        );
+    }
+    let summary = JobSummary {
+        cells,
+        hits,
+        misses,
+        evictions: memo_snapshot()
+            .counters
+            .evictions
+            .saturating_sub(evictions_before),
+        wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+    };
+    send(&Response::Summary(summary)) && send(&Response::End)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // End-to-end daemon behaviour is covered by `tests/service.rs`; here
+    // only the pure pieces.
+
+    #[test]
+    fn bind_and_shutdown_without_clients() {
+        let server = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind");
+        assert_ne!(server.addr().port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_error_is_not_possible_for_ephemeral_bind() {
+        // Two servers on distinct ephemeral ports coexist.
+        let a = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind a");
+        let b = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind b");
+        assert_ne!(a.addr(), b.addr());
+        a.shutdown();
+        b.shutdown();
+    }
+}

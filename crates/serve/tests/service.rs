@@ -1,0 +1,133 @@
+//! End-to-end daemon tests: cache reuse across jobs, bit-exact results
+//! independent of client arrival order, and protocol error recovery.
+//!
+//! All tests share one process-global memo cache (that is the point of the
+//! daemon), so each test uses a cell space no other test touches — a
+//! distinct `measure_cycles` is enough, since the run length is part of
+//! the `CellKey`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use smt_experiments::{encode_result, sweep_indexed, CacheOutcome, Jobs, RunLength};
+use smt_serve::{Client, ClientError, MatrixRequest, Server};
+
+fn jobs(n: usize) -> Jobs {
+    Jobs::new(n).expect("worker count")
+}
+
+/// The figure-5 matrix served twice: the second job must be pure cache
+/// hits and byte-identical to the first.
+#[test]
+fn figure5_twice_is_all_hits_and_bit_exact() {
+    let server = Server::bind("127.0.0.1:0", jobs(4)).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let req = MatrixRequest::figure5(RunLength::SMOKE);
+
+    let first = client.submit(&req).expect("first job");
+    assert_eq!(first.results.len(), 24);
+    assert_eq!(first.summary.cells, 24);
+    assert_eq!(first.summary.hits + first.summary.misses, 24);
+
+    let second = client.submit(&req).expect("second job");
+    assert_eq!(second.summary.hits, 24, "repeat job must be pure hits");
+    assert_eq!(second.summary.misses, 0);
+    assert!(second.outcomes.iter().all(|&o| o == CacheOutcome::Hit));
+    let encode = |job: &smt_serve::JobOutcome| -> Vec<String> {
+        job.results.iter().map(encode_result).collect()
+    };
+    assert_eq!(encode(&first), encode(&second), "results must be bit-exact");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.memo.len >= 24, "memo cache holds the matrix");
+    assert!(stats.warm.len >= 1, "warm-start snapshots retained");
+
+    client.shutdown().expect("shutdown handshake");
+    server.wait();
+}
+
+/// Four clients submit the same job concurrently (driven by the audited
+/// sweep executor, so no raw threads in this test): every client gets the
+/// same bit-exact result regardless of arrival order.
+#[test]
+fn concurrent_clients_agree_bit_exactly() {
+    let server = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind");
+    let addr = server.addr().to_string();
+    // A cell space private to this test: measure length no other test uses.
+    let req = MatrixRequest {
+        workloads: vec!["2_ILP".into(), "4_ILP".into()],
+        engines: vec!["stream".into(), "gshare+BTB".into()],
+        policies: vec!["ICOUNT.1.8".into(), "ICOUNT.2.8".into()],
+        warmup_cycles: 500,
+        measure_cycles: 2_401,
+        jobs: None,
+    };
+    let transcripts: Vec<Vec<String>> = sweep_indexed(4, jobs(4), |_| {
+        let mut client = Client::connect(&addr).expect("connect");
+        let job = client.submit(&req).expect("job");
+        assert_eq!(job.summary.hits + job.summary.misses, 8);
+        job.results.iter().map(encode_result).collect()
+    });
+    for t in &transcripts[1..] {
+        assert_eq!(
+            t, &transcripts[0],
+            "every client must see identical bit-exact results"
+        );
+    }
+    server.shutdown();
+}
+
+/// Malformed and invalid requests produce `ERR` lines, and the connection
+/// stays usable afterwards.
+#[test]
+fn errors_are_reported_and_survivable() {
+    let server = Server::bind("127.0.0.1:0", Jobs::SERIAL).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Raw socket: a garbage line gets E_PARSE, then the connection still
+    // answers PING.
+    let mut raw = TcpStream::connect(&addr).expect("connect raw");
+    writeln!(raw, "NONSENSE").expect("write");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR\tE_PARSE\t"), "got {line:?}");
+    writeln!(raw, "PING").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim_end(), "PONG");
+    drop((raw, reader));
+
+    // Typed client: vocabulary and size violations come back as
+    // `ClientError::Server` with the stable codes.
+    let mut client = Client::connect(&addr).expect("connect");
+    let bad_vocab = MatrixRequest {
+        workloads: vec!["9_NOPE".into()],
+        ..MatrixRequest::figure5(RunLength::SMOKE)
+    };
+    match client.submit(&bad_vocab) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "E_VOCAB"),
+        other => panic!("expected E_VOCAB, got {other:?}"),
+    }
+    let too_big = MatrixRequest {
+        policies: vec!["ICOUNT.1.8".into(); smt_serve::MAX_CELLS],
+        ..MatrixRequest::figure5(RunLength::SMOKE)
+    };
+    match client.submit(&too_big) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "E_TOO_LARGE"),
+        other => panic!("expected E_TOO_LARGE, got {other:?}"),
+    }
+    // The same connection still serves a real (tiny, test-private) job.
+    let ok = MatrixRequest {
+        workloads: vec!["2_ILP".into()],
+        engines: vec!["stream".into()],
+        policies: vec!["ICOUNT.2.8".into()],
+        warmup_cycles: 100,
+        measure_cycles: 503,
+        jobs: Some(1),
+    };
+    let job = client.submit(&ok).expect("job after errors");
+    assert_eq!(job.results.len(), 1);
+    server.shutdown();
+}

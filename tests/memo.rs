@@ -1,0 +1,267 @@
+//! Properties of the content-hash memo layer (DESIGN.md §16): a memoized
+//! result is **byte-identical** to a fresh cold run for random
+//! configurations across every engine and policy family, the result codec
+//! is bit-exact on adversarial floats, and the bounded cache's FIFO
+//! eviction is deterministic.
+
+use smtfetch::core::{CellKey, FetchEngineKind, FetchPolicy, SimConfig};
+use smtfetch::experiments::runner::run_with_config;
+use smtfetch::experiments::{
+    decode_result, encode_result, run_memoized_with_config, BoundedCache, CacheOutcome, RunLength,
+    RunResult,
+};
+use smtfetch::workloads::{Srng, Workload};
+
+/// Draws a random-but-valid `SimConfig` for `threads` hardware contexts:
+/// a policy from every family, plus jittered front-end geometry so the
+/// config hash varies beyond the policy bits. Resamples until the
+/// semantic validator accepts the draw.
+fn random_config(rng: &mut Srng, threads: usize) -> SimConfig {
+    loop {
+        let n = rng.range_u32(1, 3);
+        let x = *[4, 8, 16].get(rng.range(0, 3) as usize).unwrap_or(&8);
+        let policy = match rng.range(0, 6) {
+            0 => FetchPolicy::icount(n, x),
+            1 => FetchPolicy::icount(n, x).with_stall(),
+            2 => FetchPolicy::icount(n, x).with_flush(),
+            3 => FetchPolicy::round_robin(n, x),
+            4 => FetchPolicy::br_count(n, x),
+            _ => FetchPolicy::miss_count(n, x),
+        };
+        let mut cfg = SimConfig {
+            fetch_policy: policy,
+            ..SimConfig::default()
+        };
+        cfg.ftq_depth = rng.range_u32(2, 7);
+        cfg.fetch_buffer = rng.range_u32(2, 7) * 8;
+        if cfg.validate_for_threads(threads).is_empty() {
+            return cfg;
+        }
+    }
+}
+
+/// The tentpole property: for random configurations — every engine, every
+/// policy family, jittered geometry and run lengths — the memoized path
+/// (warm-start snapshots + result cache) returns a `RunResult` that is
+/// byte-identical under the exact codec to a fresh cold run, and a repeat
+/// query is a pure cache hit with the same bytes.
+#[test]
+fn memoized_result_is_byte_identical_to_fresh_run() {
+    let mut rng = Srng::new(0x5EED_CE11);
+    let workloads = [Workload::mix2(), Workload::ilp_suite()[0].clone()];
+    let engines = FetchEngineKind::all();
+    for trial in 0..12 {
+        let workload = &workloads[rng.range(0, workloads.len() as u64) as usize];
+        let engine = engines[rng.range(0, engines.len() as u64) as usize];
+        let cfg = random_config(&mut rng, workload.num_threads());
+        let len = RunLength {
+            warmup_cycles: rng.range(0, 800),
+            measure_cycles: rng.range(200, 1_500),
+        };
+
+        let fresh = run_with_config(workload, engine, cfg.clone(), len);
+        let (memoized, _) = run_memoized_with_config(workload, engine, &cfg, len);
+        assert_eq!(
+            encode_result(&fresh),
+            encode_result(&memoized),
+            "trial {trial}: memoized != fresh for {} / {engine} / {} @ {len:?}",
+            workload.name(),
+            cfg.fetch_policy,
+        );
+
+        let (repeat, outcome) = run_memoized_with_config(workload, engine, &cfg, len);
+        assert_eq!(outcome, CacheOutcome::Hit, "trial {trial}: repeat must hit");
+        assert_eq!(encode_result(&memoized), encode_result(&repeat));
+    }
+}
+
+/// The result codec round-trips adversarial float bit patterns exactly:
+/// NaN payloads, infinities, signed zero, subnormals — the decoded struct
+/// re-encodes to the same bytes, so "byte-identical" is a meaningful
+/// equality for cached results.
+#[test]
+fn result_codec_is_bit_exact_on_adversarial_floats() {
+    let adversarial = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        f64::MAX,
+        1.0 / 3.0,
+    ];
+    let mut rng = Srng::new(0x5EED_C0DE);
+    for trial in 0..64 {
+        let threads = rng.range(1, 9) as usize;
+        let workload = format!("{}_ILP", rng.range(2, 9));
+        let skipped = rng.next_u64();
+        let mut float = |i: usize| -> f64 {
+            if rng.chance(0.3) {
+                adversarial[(trial + i) % adversarial.len()]
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        };
+        let result = RunResult {
+            workload,
+            engine: "trace cache".to_string(),
+            policy: "ICOUNT-FLUSH.2.8".to_string(),
+            ipfc: float(0),
+            ipc: float(1),
+            branch_accuracy: float(2),
+            wrong_path: float(3),
+            frac_ge4: float(4),
+            frac_ge8: float(5),
+            frac_eq8: float(6),
+            frac_ge16: float(7),
+            per_thread_ipc: (0..threads).map(|i| float(8 + i)).collect(),
+            fairness: float(16),
+            skipped_cycles: skipped,
+        };
+        let line = encode_result(&result);
+        let decoded = decode_result(&line).expect("codec accepts its own output");
+        assert_eq!(
+            encode_result(&decoded),
+            line,
+            "trial {trial}: re-encode changed bytes"
+        );
+        assert_eq!(decoded.ipc.to_bits(), result.ipc.to_bits());
+        assert_eq!(
+            decoded
+                .per_thread_ipc
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            result
+                .per_thread_ipc
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// FIFO eviction in the bounded cache is deterministic: insertion order
+/// decides the victim, a re-inserted key keeps its queue position, and the
+/// counters account every event.
+#[test]
+fn bounded_cache_fifo_eviction_is_deterministic() {
+    let key = |seed: u64| -> CellKey {
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::Stream,
+            "2_ILP",
+            seed,
+            100,
+            400,
+        )
+    };
+    let mut cache: BoundedCache<u64> = BoundedCache::new(3);
+    for seed in 0..3 {
+        cache.insert(key(seed), seed);
+    }
+    assert_eq!(cache.snapshot().len, 3);
+
+    // Refresh the oldest key's value: it must keep its queue position.
+    cache.insert(key(0), 100);
+    assert_eq!(cache.get(&key(0)), Some(100));
+    assert_eq!(cache.snapshot().len, 3);
+    assert_eq!(cache.snapshot().counters.evictions, 0);
+
+    // The fourth distinct key evicts the oldest (key 0, refreshed in
+    // place, not repositioned).
+    cache.insert(key(3), 3);
+    assert_eq!(cache.snapshot().counters.evictions, 1);
+    assert_eq!(cache.get(&key(0)), None, "FIFO victim is the oldest key");
+    assert_eq!(cache.get(&key(1)), Some(1));
+
+    // Two more: victims follow insertion order exactly.
+    cache.insert(key(4), 4);
+    cache.insert(key(5), 5);
+    assert_eq!(cache.get(&key(1)), None);
+    assert_eq!(cache.get(&key(2)), None);
+    assert_eq!(cache.get(&key(3)), Some(3));
+    assert_eq!(cache.snapshot().counters.evictions, 3);
+
+    // The whole history replays identically: determinism of the policy.
+    let mut replay: BoundedCache<u64> = BoundedCache::new(3);
+    for seed in 0..3 {
+        replay.insert(key(seed), seed);
+    }
+    replay.insert(key(0), 100);
+    for seed in 3..6 {
+        replay.insert(key(seed), seed);
+    }
+    let final_keys = |c: &mut BoundedCache<u64>| -> Vec<bool> {
+        (0..6).map(|s| c.get(&key(s)).is_some()).collect()
+    };
+    assert_eq!(final_keys(&mut cache), final_keys(&mut replay));
+}
+
+/// `CellKey` separates every dimension it hashes: flipping any one field
+/// of the key changes the content hash (no accidental aliasing between,
+/// say, warmup and measure cycles).
+#[test]
+fn cell_key_hash_separates_dimensions() {
+    let base = CellKey::new(
+        &SimConfig::default(),
+        FetchEngineKind::Stream,
+        "4_ILP",
+        2004,
+        2_000,
+        10_000,
+    );
+    let variants = [
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::GshareBtb,
+            "4_ILP",
+            2004,
+            2_000,
+            10_000,
+        ),
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::Stream,
+            "4_MIX",
+            2004,
+            2_000,
+            10_000,
+        ),
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::Stream,
+            "4_ILP",
+            2005,
+            2_000,
+            10_000,
+        ),
+        CellKey::new(
+            &SimConfig::default(),
+            FetchEngineKind::Stream,
+            "4_ILP",
+            2004,
+            10_000,
+            2_000,
+        ),
+        CellKey::new(
+            &SimConfig {
+                fetch_policy: FetchPolicy::icount(2, 8),
+                ..SimConfig::default()
+            },
+            FetchEngineKind::Stream,
+            "4_ILP",
+            2004,
+            2_000,
+            10_000,
+        ),
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(base.hash(), v.hash(), "variant {i} aliased the base key");
+        assert_ne!(&base, v);
+    }
+    // And the line codec round-trips the key exactly.
+    let parsed = CellKey::parse(&base.to_line()).expect("parse own rendering");
+    assert_eq!(parsed, base);
+    assert_eq!(parsed.hash(), base.hash());
+}

@@ -14,7 +14,7 @@
 
 use smt_lint::{
     check_deps, check_file, check_workspace, workspace_escapes, Rule, HOT_PATH_FILE,
-    MODULE_SIZE_LIMIT, STATS_FILE, SWEEP_EXECUTOR,
+    MODULE_SIZE_LIMIT, SERVE_LISTENER, STATS_FILE, SWEEP_EXECUTOR,
 };
 use smtfetch::core::{FetchPolicy, SimConfig};
 use smtfetch::isa::MAX_THREADS;
@@ -59,11 +59,12 @@ fn linter_detects_seeded_violations() {
         "seeded alias not flagged: {v:?}"
     );
 
-    // Wall-clock time in a simulation crate.
-    let v = check_file(
-        "crates/mem/src/fake.rs",
-        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
-    );
+    // Wall-clock time in a simulation crate, and in the sweep daemon
+    // (which joined CLOCK_CRATES so served results stay seed-pure).
+    let seeded_clock = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    let v = check_file("crates/mem/src/fake.rs", seeded_clock);
+    assert!(v.iter().any(|x| x.rule == Rule::NoWallClock), "{v:?}");
+    let v = check_file("crates/serve/src/fake.rs", seeded_clock);
     assert!(v.iter().any(|x| x.rule == Rule::NoWallClock), "{v:?}");
 
     // An environment read in a simulation crate.
@@ -124,10 +125,13 @@ fn linter_detects_seeded_violations() {
 /// (path, rule) and the justification text are what the audit reviews.
 ///
 /// Notable invariants the ledger encodes:
-/// * the only `no-wall-clock` escape is the sweep executor's harness timer;
+/// * the only `no-wall-clock` escapes are the sweep executor's harness
+///   timer and the daemon's per-job `SUMMARY` timer;
 /// * the only `no-env-in-core` escape is commit's debug-only stderr tracing;
 /// * every `no-nondeterministic-threading` escape is inside the sweep
-///   executor, the one audited parallelism site;
+///   executor or the daemon's listener — the executor is the only place
+///   simulation work runs in parallel; the listener's threads pump
+///   protocol bytes only;
 /// * every hot-path `no-alloc-in-step` escape is construction-time work:
 ///   the two copies in `Simulator::new` and the two column allocations in
 ///   `Window::presize`.
@@ -460,6 +464,24 @@ fn escape_ledger_is_pinned() {
             "entries checked non-empty before LRU eviction",
         ),
         (
+            "crates/serve/src/server.rs",
+            "no-nondeterministic-threading",
+            false,
+            "the daemon's accept loop; moves protocol bytes only, all simulation runs inside the audited sweep executor",
+        ),
+        (
+            "crates/serve/src/server.rs",
+            "no-nondeterministic-threading",
+            false,
+            "one protocol-pump thread per client connection; cell results are computed by the audited sweep executor, so which thread serves a client cannot affect any result",
+        ),
+        (
+            "crates/serve/src/server.rs",
+            "no-wall-clock",
+            false,
+            "job wall-time for the SUMMARY observability line; results never see it",
+        ),
+        (
             "crates/workloads/src/builder.rs",
             "no-lossy-cast",
             false,
@@ -547,9 +569,11 @@ fn escape_ledger_is_pinned() {
     // Restate the confinement invariants directly, so a failure names them.
     for e in &ledger {
         if e.rule == Some(Rule::NoWallClock) || e.rule == Some(Rule::NoNondeterministicThreading) {
-            assert_eq!(
-                e.path, SWEEP_EXECUTOR,
-                "clock/threading escapes are confined to the sweep executor"
+            assert!(
+                e.path == SWEEP_EXECUTOR || e.path == SERVE_LISTENER,
+                "clock/threading escape at {} — confined to the sweep \
+                 executor and the daemon listener",
+                e.path
             );
         }
     }
